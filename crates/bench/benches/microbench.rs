@@ -1,0 +1,213 @@
+//! Criterion micro-benchmarks for the simulator's hot paths: DRAM command
+//! stepping, cache probes, prefetcher training, controller scheduling at
+//! varying occupancy, and end-to-end simulation throughput per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use padc_core::{AccuracyTracker, ControllerConfig, MemoryController, SchedulingPolicy};
+use padc_sim::{SimConfig, System};
+use padc_types::{AccessKind, CoreId, LineAddr, RequestKind};
+use padc_workloads::profiles;
+
+fn bench_dram_channel(c: &mut Criterion) {
+    use padc_dram::{Channel, DramConfig};
+    let cfg = DramConfig::default();
+    c.bench_function("dram/advance_row_hit_stream", |b| {
+        b.iter_batched(
+            || Channel::new(&cfg),
+            |mut ch| {
+                let mut now = 0;
+                for i in 0..64u64 {
+                    loop {
+                        match ch.advance(0, 0, false, now) {
+                            padc_dram::StepOutcome::CasIssued { .. } => break,
+                            _ => now += 10,
+                        }
+                    }
+                    now += 10;
+                    std::hint::black_box(i);
+                }
+                ch
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use padc_cache::{Cache, CacheConfig};
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l2_private());
+        for i in 0..1024u64 {
+            cache.fill(LineAddr::new(i), false, false, false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            std::hint::black_box(cache.probe(LineAddr::new(i), false))
+        })
+    });
+    group.bench_function("fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(cache.fill(LineAddr::new(i), false, false, false))
+        })
+    });
+    group.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    use padc_prefetch::{build, AccessEvent, PrefetcherKind};
+    let mut group = c.benchmark_group("prefetcher_on_access");
+    for kind in PrefetcherKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, k| {
+                let mut p = build(*k);
+                let mut out = Vec::new();
+                let mut line = 0u64;
+                b.iter(|| {
+                    line += 1;
+                    out.clear();
+                    p.on_access(
+                        &AccessEvent {
+                            core: CoreId::new(0),
+                            line: LineAddr::new(line),
+                            pc: 0x400,
+                            hit: !line.is_multiple_of(4),
+                            runahead: false,
+                        },
+                        &mut out,
+                    );
+                    std::hint::black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_controller_scheduling(c: &mut Criterion) {
+    use padc_dram::{DramConfig, MappingScheme};
+    let mut group = c.benchmark_group("controller_tick");
+    for occupancy in [8usize, 64, 128] {
+        for policy in [
+            SchedulingPolicy::DemandFirst,
+            SchedulingPolicy::Padc,
+            SchedulingPolicy::PadcRank,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), occupancy),
+                &occupancy,
+                |b, &occ| {
+                    let tracker = AccuracyTracker::new(4, 100_000);
+                    b.iter_batched(
+                        || {
+                            let mut cfg = ControllerConfig::from_policy(policy, 4);
+                            cfg.buffer_entries = 128;
+                            let mut mc = MemoryController::new(
+                                cfg,
+                                DramConfig::default(),
+                                MappingScheme::Linear,
+                            );
+                            for i in 0..occ as u64 {
+                                mc.enqueue(
+                                    CoreId::new((i % 4) as usize),
+                                    LineAddr::new(i * 97),
+                                    AccessKind::Load,
+                                    if i % 2 == 0 {
+                                        RequestKind::Demand
+                                    } else {
+                                        RequestKind::Prefetch
+                                    },
+                                    0,
+                                )
+                                .expect("space");
+                            }
+                            mc
+                        },
+                        |mut mc| {
+                            for now in 0..100u64 {
+                                std::hint::black_box(mc.tick(now * 10, &tracker));
+                            }
+                            mc
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    use padc_cpu::TraceSource;
+    use padc_workloads::TraceGen;
+    let mut group = c.benchmark_group("tracegen");
+    group.throughput(Throughput::Elements(1));
+    for profile in [profiles::libquantum(), profiles::milc()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, p| {
+                let mut g = TraceGen::new(p, 0, 1);
+                b.iter(|| std::hint::black_box(g.next_op()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for policy in [
+        SchedulingPolicy::DemandFirst,
+        SchedulingPolicy::DemandPrefetchEqual,
+        SchedulingPolicy::Padc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("single_core_libquantum_20k", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::single_core(p);
+                    cfg.max_instructions = 20_000;
+                    let mut sys = System::new(cfg, vec![profiles::libquantum()]);
+                    std::hint::black_box(sys.run().total_cycles)
+                })
+            },
+        );
+    }
+    group.bench_function("four_core_mixed_10k", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(4, SchedulingPolicy::Padc);
+            cfg.max_instructions = 10_000;
+            let w = padc_workloads::Workload::from_names(&[
+                "omnetpp_06",
+                "libquantum_06",
+                "galgel_00",
+                "GemsFDTD_06",
+            ]);
+            let mut sys = System::new(cfg, w.benchmarks);
+            std::hint::black_box(sys.run().total_cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_channel,
+    bench_cache,
+    bench_prefetchers,
+    bench_controller_scheduling,
+    bench_trace_generation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Reproduction harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! repro [--quick|--smoke] [--json|--csv|--bars COL] <experiment-id>...
+//! repro --list
+//! repro all
+//! ```
+//!
+//! With no scale flag, experiments run at `ExpConfig::full()` scale (the
+//! paper's workload counts). `--quick` shrinks runs for fast iteration.
+
+use std::io::Write as _;
+
+use padc_bench::{find, registry};
+use padc_sim::experiments::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::full();
+    let mut json = false;
+    let mut csv = false;
+    let mut bars: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--smoke" => cfg = ExpConfig::smoke(),
+            "--json" => json = true,
+            "--csv" => csv = true,
+            "--bars" => {
+                bars = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--bars expects a column name");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                )
+            }
+            "--list" => {
+                for e in registry() {
+                    println!("{:<8} {}", e.id, e.paper_ref);
+                }
+                return;
+            }
+            "all" => ids = registry().iter().map(|e| e.id.to_string()).collect(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--quick|--smoke] [--json] <id>... | all | --list");
+        eprintln!("known ids:");
+        for e in registry() {
+            eprintln!("  {:<8} {}", e.id, e.paper_ref);
+        }
+        std::process::exit(2);
+    }
+    let mut stdout = std::io::stdout().lock();
+    for id in &ids {
+        let Some(e) = find(id) else {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        };
+        let start = std::time::Instant::now();
+        let tables = (e.run)(&cfg);
+        writeln!(
+            stdout,
+            "# {} — {} ({:.1}s)",
+            e.id,
+            e.paper_ref,
+            start.elapsed().as_secs_f64()
+        )
+        .expect("stdout");
+        for t in &tables {
+            if json {
+                writeln!(
+                    stdout,
+                    "{}",
+                    serde_json::to_string_pretty(t).expect("tables serialize")
+                )
+                .expect("stdout");
+            } else if csv {
+                writeln!(stdout, "{}", t.to_csv()).expect("stdout");
+            } else if let Some(col) = &bars {
+                match t.to_bars(col, 50) {
+                    Some(chart) => writeln!(stdout, "{chart}").expect("stdout"),
+                    None => writeln!(stdout, "{t}").expect("stdout"),
+                }
+            } else {
+                writeln!(stdout, "{t}").expect("stdout");
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+use padc_types::LineAddr;
+
+use crate::{CacheConfig, CacheStats};
+
+/// Per-line metadata. `prefetched` is the paper's `P` bit; `filled_row_hit`
+/// remembers whether the fill was serviced as a DRAM row hit so the RBHU
+/// metric (§6.1.1) can attribute row-buffer locality to *useful* prefetches
+/// when the line is eventually used.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    filled_row_hit: bool,
+    lru: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    prefetched: false,
+    filled_row_hit: false,
+    lru: 0,
+};
+
+/// Details of a cache hit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HitInfo {
+    /// True when this is the first demand touch of a prefetched line: the
+    /// `P` bit was set and has just been reset. The caller must credit the
+    /// prefetcher (increment `PUC`).
+    pub first_demand_use_of_prefetch: bool,
+    /// Whether the fill that brought this line in was a DRAM row hit. Only
+    /// meaningful when `first_demand_use_of_prefetch` is true.
+    pub fill_was_row_hit: bool,
+}
+
+/// Result of a demand probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeOutcome {
+    /// The line is present; LRU updated, `P` bit (if set) consumed.
+    Hit(HitInfo),
+    /// The line is absent.
+    Miss,
+}
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eviction {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// True if the line was dirty and must be written back.
+    pub dirty: bool,
+    /// True if the line was prefetched and never used by a demand — a
+    /// useless prefetch that polluted the cache.
+    pub unused_prefetch: bool,
+}
+
+/// A set-associative, true-LRU, write-back cache with per-line prefetch
+/// bits.
+///
+/// The model is a tag store only — data values are not simulated, since all
+/// results in the paper depend only on hit/miss behaviour and traffic.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    set_shift: u32,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration geometry is invalid (see
+    /// [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            sets: vec![vec![INVALID; cfg.ways]; sets],
+            set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
+            cfg,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index(&self, line: LineAddr) -> (usize, u64) {
+        let set = (line.raw() & self.set_mask) as usize;
+        let tag = line.raw() >> self.set_shift;
+        (set, tag)
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr::new((tag << self.set_shift) | set as u64)
+    }
+
+    /// Demand access (load or store). Hits update LRU, consume the `P` bit,
+    /// and set the dirty bit on writes. Misses change nothing.
+    pub fn probe(&mut self, line: LineAddr, write: bool) -> ProbeOutcome {
+        self.stamp += 1;
+        let (set, tag) = self.index(line);
+        let stamp = self.stamp;
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                l.lru = stamp;
+                let first_use = l.prefetched;
+                let fill_row_hit = l.filled_row_hit;
+                l.prefetched = false;
+                if write {
+                    l.dirty = true;
+                }
+                self.stats.hits += 1;
+                return ProbeOutcome::Hit(HitInfo {
+                    first_demand_use_of_prefetch: first_use,
+                    fill_was_row_hit: fill_row_hit,
+                });
+            }
+        }
+        self.stats.misses += 1;
+        ProbeOutcome::Miss
+    }
+
+    /// Checks for presence without updating any state (no LRU movement, no
+    /// `P`-bit consumption, no statistics).
+    pub fn peek(&self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Inserts `line`, evicting the LRU victim if the set is full.
+    ///
+    /// `prefetched` sets the `P` bit; `dirty` marks the line modified on
+    /// arrival (write-allocate fills); `row_hit` records how DRAM serviced
+    /// the fill. Filling a line that is already present refreshes its
+    /// metadata instead of duplicating it.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        prefetched: bool,
+        dirty: bool,
+        row_hit: bool,
+    ) -> Option<Eviction> {
+        self.stamp += 1;
+        let (set, tag) = self.index(line);
+        let stamp = self.stamp;
+        // Refresh in place if already present (e.g. a prefetch landing after
+        // a demand fill of the same line).
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = stamp;
+            l.dirty |= dirty;
+            // A prefetch fill of a line that demand already owns must not
+            // re-mark it prefetched; a demand fill of a prefetched line
+            // consumes the P bit.
+            l.prefetched &= prefetched;
+            return None;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("sets are non-empty");
+        let evicted = if victim.valid {
+            Some(Eviction {
+                line: LineAddr::new(0), // patched below; tag needed first
+                dirty: victim.dirty,
+                unused_prefetch: victim.prefetched,
+            })
+        } else {
+            None
+        };
+        let victim_tag = victim.tag;
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            prefetched,
+            filled_row_hit: row_hit,
+            lru: stamp,
+        };
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        evicted.map(|e| Eviction {
+            line: self.line_addr(set, victim_tag),
+            ..e
+        })
+    }
+
+    /// Removes `line` if present, returning whether it was there.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                *l = INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks `line` dirty if present (L1 writeback landing in L2). Returns
+    /// true on success.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                l.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of resident lines whose `P` bit is still set — prefetches that
+    /// were fetched but never used (counted as useless at end of run).
+    pub fn unused_prefetched_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid && l.prefetched)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 2 * 64,
+            ways: 2,
+            hit_latency: 1,
+        })
+    }
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe(l(1), false), ProbeOutcome::Miss);
+        assert_eq!(c.fill(l(1), false, false, false), None);
+        assert!(matches!(c.probe(l(1), false), ProbeOutcome::Hit(_)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets).
+        c.fill(l(0), false, false, false);
+        c.fill(l(4), false, false, false);
+        c.probe(l(0), false); // 0 is now MRU
+        let ev = c.fill(l(8), false, false, false).expect("eviction");
+        assert_eq!(ev.line, l(4));
+        assert!(c.peek(l(0)));
+        assert!(!c.peek(l(4)));
+        assert!(c.peek(l(8)));
+    }
+
+    #[test]
+    fn prefetch_bit_consumed_on_first_demand_hit() {
+        let mut c = tiny();
+        c.fill(l(3), true, false, true);
+        match c.probe(l(3), false) {
+            ProbeOutcome::Hit(info) => {
+                assert!(info.first_demand_use_of_prefetch);
+                assert!(info.fill_was_row_hit);
+            }
+            ProbeOutcome::Miss => panic!("expected hit"),
+        }
+        // Second hit no longer reports first use.
+        match c.probe(l(3), false) {
+            ProbeOutcome::Hit(info) => assert!(!info.first_demand_use_of_prefetch),
+            ProbeOutcome::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch() {
+        let mut c = tiny();
+        c.fill(l(0), true, false, false);
+        c.fill(l(4), false, false, false);
+        let ev = c.fill(l(8), false, false, false).expect("eviction");
+        assert_eq!(ev.line, l(0));
+        assert!(ev.unused_prefetch);
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    fn used_prefetch_not_reported_unused_on_eviction() {
+        let mut c = tiny();
+        c.fill(l(0), true, false, false);
+        c.probe(l(0), false); // use it
+        c.fill(l(4), false, false, false);
+        c.probe(l(4), false); // make 0 the LRU victim
+        let ev = c.fill(l(8), false, false, false).expect("eviction");
+        assert_eq!(ev.line, l(0));
+        assert!(!ev.unused_prefetch);
+    }
+
+    #[test]
+    fn write_sets_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.fill(l(0), false, false, false);
+        c.probe(l(0), true);
+        c.fill(l(4), false, false, false);
+        c.probe(l(4), false);
+        let ev = c.fill(l(8), false, false, false).expect("eviction");
+        assert_eq!(ev.line, l(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(l(0), false, false, false);
+        c.fill(l(4), false, false, false);
+        assert_eq!(c.fill(l(0), false, false, false), None);
+        assert!(c.peek(l(0)));
+        assert!(c.peek(l(4)));
+    }
+
+    #[test]
+    fn demand_refill_clears_p_bit_but_prefetch_refill_preserves_demand_status() {
+        let mut c = tiny();
+        c.fill(l(0), true, false, false); // prefetched
+        c.fill(l(0), false, false, false); // demand refill clears P
+        assert_eq!(c.unused_prefetched_lines(), 0);
+
+        c.fill(l(4), false, false, false); // demand line
+        c.fill(l(4), true, false, false); // late prefetch fill must not set P
+        assert_eq!(c.unused_prefetched_lines(), 0);
+    }
+
+    #[test]
+    fn invalidate_and_mark_dirty() {
+        let mut c = tiny();
+        c.fill(l(9), false, false, false);
+        assert!(c.mark_dirty(l(9)));
+        assert!(c.invalidate(l(9)));
+        assert!(!c.invalidate(l(9)));
+        assert!(!c.mark_dirty(l(9)));
+    }
+
+    #[test]
+    fn unused_prefetched_lines_counts_resident_p_bits() {
+        let mut c = tiny();
+        c.fill(l(0), true, false, false);
+        c.fill(l(1), true, false, false);
+        c.fill(l(2), false, false, false);
+        assert_eq!(c.unused_prefetched_lines(), 2);
+        c.probe(l(0), false);
+        assert_eq!(c.unused_prefetched_lines(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+use padc_types::{Cycle, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache.
+///
+/// Defaults mirror the paper's Table 3: a 32KB 4-way L1D with 2-cycle
+/// latency and a 512KB 8-way private L2 with 15-cycle latency (1MB for the
+/// single-core system; §6.9 sweeps 512KB–8MB; §6.10 uses shared L2s).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: Cycle,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 32KB, 4-way, 2-cycle.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            hit_latency: 2,
+        }
+    }
+
+    /// The paper's private per-core L2: 512KB, 8-way, 15-cycle.
+    pub fn l2_private() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            hit_latency: 15,
+        }
+    }
+
+    /// The paper's single-core L2: 1MB, 8-way, 15-cycle.
+    pub fn l2_single_core() -> Self {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 8,
+            hit_latency: 15,
+        }
+    }
+
+    /// A shared last-level cache for `cores` cores (§6.10): capacity equals
+    /// the sum of the private L2s and associativity scales with core count
+    /// (2MB/16-way at 4 cores, 4MB/32-way at 8 cores).
+    pub fn l2_shared(cores: usize) -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024 * cores as u64,
+            ways: 4 * cores,
+            hit_latency: 15,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into a whole power-of-two
+    /// number of sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines / self.ways as u64;
+        assert!(sets > 0, "cache smaller than one set");
+        assert_eq!(
+            sets * self.ways as u64 * LINE_BYTES,
+            self.size_bytes,
+            "size must be sets*ways*line"
+        );
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        sets as usize
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        assert_eq!(CacheConfig::l1d().sets(), 128);
+        assert_eq!(CacheConfig::l2_private().sets(), 1024);
+        assert_eq!(CacheConfig::l2_single_core().sets(), 2048);
+        assert_eq!(CacheConfig::l2_shared(4).sets(), 2048);
+        assert_eq!(CacheConfig::l2_shared(8).sets(), 2048);
+    }
+
+    #[test]
+    fn line_counts() {
+        assert_eq!(CacheConfig::l1d().lines(), 512);
+        assert_eq!(CacheConfig::l2_private().lines(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be a power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let cfg = CacheConfig {
+            size_bytes: 3 * 64 * 4,
+            ways: 4,
+            hit_latency: 1,
+        };
+        let _ = cfg.sets();
+    }
+}

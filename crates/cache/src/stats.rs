@@ -1,0 +1,49 @@
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand probes that hit.
+    pub hits: u64,
+    /// Demand probes that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total demand probes.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of probes that missed (0 when there were no probes).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_fraction_of_probes() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

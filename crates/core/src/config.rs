@@ -1,0 +1,217 @@
+use padc_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Named DRAM scheduling policies evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// FR-FCFS with no demand/prefetch distinction (§1, "demand-prefetch-equal").
+    DemandPrefetchEqual,
+    /// Demands strictly prioritized over prefetches (the paper's baseline).
+    #[default]
+    DemandFirst,
+    /// Prefetches strictly prioritized over demands (footnote 2's straw man).
+    PrefetchFirst,
+    /// Adaptive Prefetch Scheduling only (§4.2), no dropping.
+    ApsOnly,
+    /// APS + Adaptive Prefetch Dropping — the full PADC (§4).
+    Padc,
+    /// PADC with shortest-job-first request ranking (§6.5).
+    PadcRank,
+}
+
+impl SchedulingPolicy {
+    /// Short stable label used in reports, matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::DemandPrefetchEqual => "demand-pref-equal",
+            SchedulingPolicy::DemandFirst => "demand-first",
+            SchedulingPolicy::PrefetchFirst => "prefetch-first",
+            SchedulingPolicy::ApsOnly => "aps-only",
+            SchedulingPolicy::Padc => "aps-apd (PADC)",
+            SchedulingPolicy::PadcRank => "PADC-rank",
+        }
+    }
+
+    /// True if the policy adapts to measured prefetch accuracy.
+    pub fn is_adaptive(self) -> bool {
+        matches!(
+            self,
+            SchedulingPolicy::ApsOnly | SchedulingPolicy::Padc | SchedulingPolicy::PadcRank
+        )
+    }
+}
+
+/// The 4-level dynamic `drop_threshold` table of §4.3 (paper Table 6),
+/// mapping the previous interval's prefetch accuracy to the age beyond which
+/// a queued prefetch is dropped.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DropThresholds {
+    /// Accuracy breakpoints, ascending (fractions of 1).
+    pub breakpoints: [f64; 3],
+    /// Thresholds in CPU cycles for the four accuracy bands.
+    pub thresholds: [Cycle; 4],
+}
+
+impl Default for DropThresholds {
+    fn default() -> Self {
+        DropThresholds {
+            breakpoints: [0.10, 0.30, 0.70],
+            thresholds: [100, 1_500, 50_000, 100_000],
+        }
+    }
+}
+
+impl DropThresholds {
+    /// The drop threshold for a given prefetch accuracy.
+    ///
+    /// ```
+    /// use padc_core::DropThresholds;
+    /// let t = DropThresholds::default();
+    /// assert_eq!(t.threshold_for(0.05), 100);
+    /// assert_eq!(t.threshold_for(0.20), 1_500);
+    /// assert_eq!(t.threshold_for(0.50), 50_000);
+    /// assert_eq!(t.threshold_for(0.95), 100_000);
+    /// ```
+    pub fn threshold_for(&self, accuracy: f64) -> Cycle {
+        let band = self
+            .breakpoints
+            .iter()
+            .position(|&b| accuracy < b)
+            .unwrap_or(3);
+        self.thresholds[band]
+    }
+}
+
+/// Full configuration of a [`crate::MemoryController`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Which preset the controller implements.
+    pub policy: SchedulingPolicy,
+    /// Memory request buffer entries (paper Table 4: 64/64/128/256 for
+    /// 1/2/4/8 cores).
+    pub buffer_entries: usize,
+    /// Number of cores feeding this controller (sizes per-core state).
+    pub cores: usize,
+    /// Prefetch accuracy at or above which a core's prefetches become
+    /// critical (§4.2; the paper uses 85%).
+    pub promotion_threshold: f64,
+    /// Adaptive Prefetch Dropping enabled (derived from the policy preset
+    /// but overridable, e.g. for the `demand-first-apd` bar of Fig. 29).
+    pub apd: bool,
+    /// Urgent-request prioritization enabled (§4.2 rule 3; Table 8 ablates
+    /// it).
+    pub urgency: bool,
+    /// Shortest-job-first ranking enabled (§6.5).
+    pub ranking: bool,
+    /// PAR-BS-style request batching (Mutlu & Moscibroda, ISCA-35 — the
+    /// mechanism §6.5's ranking is borrowed from): when the current batch
+    /// drains, the oldest `batch_cap` requests of each core are marked and
+    /// prioritized over all newer arrivals, bounding starvation.
+    pub batching: bool,
+    /// Maximum requests per core marked into one batch.
+    pub batch_cap: usize,
+    /// Watermark-based write drain (extension; real controllers buffer
+    /// writebacks and service them in bursts): writebacks are deprioritized
+    /// below everything until their buffered count reaches
+    /// `write_drain_high`, then drained with priority until it falls to
+    /// `write_drain_low`. Disabled by default (the paper treats writebacks
+    /// as demands).
+    pub write_drain: bool,
+    /// Drain-mode entry watermark (buffered writebacks).
+    pub write_drain_high: usize,
+    /// Drain-mode exit watermark.
+    pub write_drain_low: usize,
+    /// Drop-threshold table for APD.
+    pub drop_thresholds: DropThresholds,
+    /// Prefetch-accuracy measurement interval in CPU cycles (§4.1: 100K).
+    pub accuracy_interval: Cycle,
+}
+
+impl ControllerConfig {
+    /// Builds the configuration the paper uses for `policy` on a
+    /// `cores`-core system, including the Table 4 buffer size.
+    pub fn from_policy(policy: SchedulingPolicy, cores: usize) -> Self {
+        ControllerConfig {
+            policy,
+            buffer_entries: Self::buffer_entries_for(cores),
+            cores,
+            promotion_threshold: 0.85,
+            apd: matches!(policy, SchedulingPolicy::Padc | SchedulingPolicy::PadcRank),
+            urgency: true,
+            ranking: matches!(policy, SchedulingPolicy::PadcRank),
+            batching: false,
+            batch_cap: 5,
+            write_drain: false,
+            write_drain_high: Self::buffer_entries_for(cores) / 4,
+            write_drain_low: Self::buffer_entries_for(cores) / 16,
+            drop_thresholds: DropThresholds::default(),
+            accuracy_interval: 100_000,
+        }
+    }
+
+    /// The paper's Table 4 memory-request-buffer sizing.
+    pub fn buffer_entries_for(cores: usize) -> usize {
+        match cores {
+            0..=2 => 64,
+            3..=4 => 128,
+            _ => 256,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::from_policy(SchedulingPolicy::DemandFirst, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_enable_the_right_features() {
+        let c = ControllerConfig::from_policy(SchedulingPolicy::DemandFirst, 4);
+        assert!(!c.apd && !c.ranking);
+        let c = ControllerConfig::from_policy(SchedulingPolicy::ApsOnly, 4);
+        assert!(!c.apd && !c.ranking && c.urgency);
+        let c = ControllerConfig::from_policy(SchedulingPolicy::Padc, 4);
+        assert!(c.apd && !c.ranking);
+        let c = ControllerConfig::from_policy(SchedulingPolicy::PadcRank, 4);
+        assert!(c.apd && c.ranking);
+    }
+
+    #[test]
+    fn buffer_sizes_match_table4() {
+        assert_eq!(ControllerConfig::buffer_entries_for(1), 64);
+        assert_eq!(ControllerConfig::buffer_entries_for(2), 64);
+        assert_eq!(ControllerConfig::buffer_entries_for(4), 128);
+        assert_eq!(ControllerConfig::buffer_entries_for(8), 256);
+    }
+
+    #[test]
+    fn drop_thresholds_match_table6() {
+        let t = DropThresholds::default();
+        assert_eq!(t.threshold_for(0.0), 100);
+        assert_eq!(t.threshold_for(0.099), 100);
+        assert_eq!(t.threshold_for(0.10), 1_500);
+        assert_eq!(t.threshold_for(0.299), 1_500);
+        assert_eq!(t.threshold_for(0.30), 50_000);
+        assert_eq!(t.threshold_for(0.699), 50_000);
+        assert_eq!(t.threshold_for(0.70), 100_000);
+        assert_eq!(t.threshold_for(1.0), 100_000);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SchedulingPolicy::Padc.label(), "aps-apd (PADC)");
+        assert_eq!(SchedulingPolicy::DemandFirst.label(), "demand-first");
+    }
+
+    #[test]
+    fn adaptivity_flags() {
+        assert!(SchedulingPolicy::Padc.is_adaptive());
+        assert!(!SchedulingPolicy::DemandFirst.is_adaptive());
+        assert!(!SchedulingPolicy::DemandPrefetchEqual.is_adaptive());
+    }
+}

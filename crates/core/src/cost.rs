@@ -1,0 +1,153 @@
+//! Hardware-cost accounting for PADC (paper Tables 1 and 2).
+//!
+//! The paper argues PADC is cheap: on the 4-core system it needs 34,720 bits
+//! (~4.25KB), 0.2% of L2 data storage, and only 1,824 bits if the processor
+//! already has prefetch bits in its caches. These functions reproduce that
+//! arithmetic for any system size.
+
+/// Storage cost of one PADC instance, in bits, broken down by bit field
+/// exactly as Table 1/2 do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostBreakdown {
+    /// Prefetch bit per cache line and per request-buffer entry.
+    pub p_bits: u64,
+    /// Prefetch Sent Counters (16 bits per core).
+    pub psc_bits: u64,
+    /// Prefetch Used Counters (16 bits per core).
+    pub puc_bits: u64,
+    /// Prefetch Accuracy Registers (8 bits per core).
+    pub par_bits: u64,
+    /// Urgent bit per request-buffer entry.
+    pub urgent_bits: u64,
+    /// Core-ID field per request-buffer entry (log2 cores).
+    pub id_bits: u64,
+    /// AGE field per request-buffer entry (10 bits).
+    pub age_bits: u64,
+}
+
+impl CostBreakdown {
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.p_bits
+            + self.psc_bits
+            + self.puc_bits
+            + self.par_bits
+            + self.urgent_bits
+            + self.id_bits
+            + self.age_bits
+    }
+
+    /// Total storage excluding the prefetch bits (for processors that
+    /// already track them; paper: 1,824 bits on the 4-core system).
+    pub fn total_bits_without_p(&self) -> u64 {
+        self.total_bits() - self.p_bits
+    }
+
+    /// Total storage in bytes, rounded up.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// Computes Table 1 for a system with `cores` cores, `cache_lines_per_core`
+/// L2 lines per core, and `request_buffer_entries` memory-request-buffer
+/// entries.
+///
+/// ```
+/// use padc_core::cost::padc_storage;
+/// // The paper's 4-core system: 512KB/64B = 8192 lines per core, 128-entry
+/// // request buffer.
+/// let cost = padc_storage(4, 8192, 128);
+/// assert_eq!(cost.total_bits(), 34_720);           // Table 2 total
+/// assert_eq!(cost.total_bits_without_p(), 1_824);  // §4.4
+/// ```
+pub fn padc_storage(
+    cores: u64,
+    cache_lines_per_core: u64,
+    request_buffer_entries: u64,
+) -> CostBreakdown {
+    let id_width = if cores <= 1 {
+        1
+    } else {
+        64 - (cores - 1).leading_zeros() as u64 // ceil(log2(cores))
+    };
+    CostBreakdown {
+        p_bits: cache_lines_per_core * cores + request_buffer_entries,
+        psc_bits: 16 * cores,
+        puc_bits: 16 * cores,
+        par_bits: 8 * cores,
+        urgent_bits: request_buffer_entries,
+        id_bits: request_buffer_entries * id_width,
+        age_bits: request_buffer_entries * 10,
+    }
+}
+
+/// Additional storage for the ranking extension (§6.5): a RANK field of
+/// log2(cores) bits per request-buffer entry plus a critical-request counter
+/// (16 bits) per core.
+pub fn ranking_extra_bits(cores: u64, request_buffer_entries: u64) -> u64 {
+    let rank_width = if cores <= 1 {
+        1
+    } else {
+        64 - (cores - 1).leading_zeros() as u64
+    };
+    request_buffer_entries * rank_width + 16 * cores
+}
+
+/// PADC storage as a fraction of L2 data capacity (the paper reports 0.2%
+/// on the 4-core system).
+pub fn fraction_of_l2(cost: &CostBreakdown, l2_bytes_total: u64) -> f64 {
+    cost.total_bits() as f64 / (l2_bytes_total as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper, field by field.
+    #[test]
+    fn four_core_system_matches_table2() {
+        let c = padc_storage(4, 8192, 128);
+        assert_eq!(c.p_bits, 32_896);
+        assert_eq!(c.psc_bits, 64);
+        assert_eq!(c.puc_bits, 64);
+        assert_eq!(c.par_bits, 32);
+        assert_eq!(c.urgent_bits, 128);
+        assert_eq!(c.id_bits, 256);
+        assert_eq!(c.age_bits, 1_280);
+        assert_eq!(c.total_bits(), 34_720);
+    }
+
+    #[test]
+    fn fraction_of_l2_is_point_two_percent_on_4_core() {
+        let c = padc_storage(4, 8192, 128);
+        let frac = fraction_of_l2(&c, 4 * 512 * 1024);
+        assert!((frac - 0.002).abs() < 0.0005, "got {frac}");
+    }
+
+    #[test]
+    fn single_core_uses_one_id_bit() {
+        let c = padc_storage(1, 16_384, 64);
+        assert_eq!(c.id_bits, 64);
+    }
+
+    #[test]
+    fn eight_core_id_field_is_three_bits() {
+        let c = padc_storage(8, 8192, 256);
+        assert_eq!(c.id_bits, 256 * 3);
+    }
+
+    #[test]
+    fn without_p_bits_cost_is_small() {
+        let c = padc_storage(4, 8192, 128);
+        assert_eq!(c.total_bits_without_p(), 1_824);
+        assert_eq!(c.total_bytes(), 4_340); // ~4.25KB
+    }
+
+    #[test]
+    fn ranking_extra_cost() {
+        // 4 cores, 128 entries: 128*2 + 64 = 320 bits.
+        assert_eq!(ranking_extra_bits(4, 128), 320);
+        assert_eq!(ranking_extra_bits(1, 64), 64 + 16);
+    }
+}

@@ -1,0 +1,54 @@
+//! Trace-driven processor-core model for the PADC simulation suite.
+//!
+//! Each [`Core`] retires up to `width` instructions per cycle from a
+//! fixed-size instruction window (the paper's 256-entry reorder buffer,
+//! Table 3). A load that misses the caches blocks retirement when it
+//! reaches the head of the window; younger loads still issue, so
+//! memory-level parallelism within the window is exposed to the memory
+//! system. Cycles in which the window head is a load waiting on memory are
+//! charged to the SPL metric (stall cycles per load, §5.2).
+//!
+//! The core optionally models runahead execution (§6.14): when the window
+//! is full behind a pending head load, the core pre-executes its future
+//! instruction stream (a forked trace), issuing *runahead* memory requests
+//! that the paper treats as demands with the "only-train" prefetcher policy.
+//!
+//! The memory hierarchy is abstracted behind [`MemorySystem`]; the `padc-sim`
+//! crate implements it over the caches and the DRAM controller.
+//!
+//! # Example
+//!
+//! ```
+//! use padc_cpu::{Core, CoreConfig, MemorySystem, MemAccess, AccessResponse, TraceOp, TraceSource};
+//! use padc_types::{Addr, CoreId, Cycle};
+//!
+//! /// A memory system where everything hits in 2 cycles.
+//! struct FlatMemory;
+//! impl MemorySystem for FlatMemory {
+//!     fn access(&mut self, _core: CoreId, _acc: &MemAccess, _now: Cycle) -> AccessResponse {
+//!         AccessResponse::Hit { latency: 2 }
+//!     }
+//! }
+//!
+//! #[derive(Clone)]
+//! struct ComputeOnly;
+//! impl TraceSource for ComputeOnly {
+//!     fn next_op(&mut self) -> TraceOp { TraceOp::Compute }
+//!     fn fork(&self) -> Box<dyn TraceSource> { Box::new(ComputeOnly) }
+//! }
+//!
+//! let mut core = Core::new(CoreId::new(0), CoreConfig::default());
+//! let mut trace = ComputeOnly;
+//! let mut mem = FlatMemory;
+//! for now in 0..1_000 {
+//!     core.tick(now, &mut trace, &mut mem);
+//! }
+//! // A pure-compute core retires at full width.
+//! assert!(core.stats().retired_instructions > 3_000);
+//! ```
+
+mod core_model;
+mod trace;
+
+pub use core_model::{AccessResponse, Core, CoreConfig, CoreStats, MemAccess, MemorySystem};
+pub use trace::{TraceOp, TraceSource};

@@ -1,0 +1,84 @@
+use padc_types::Addr;
+
+/// One instruction of a core's trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// A non-memory instruction (1-cycle execute).
+    Compute,
+    /// A load from `addr` by the static instruction at `pc`.
+    Load {
+        /// Byte address read.
+        addr: Addr,
+        /// Program counter (used by PC-indexed prefetchers).
+        pc: u64,
+        /// True if the load's address depends on earlier in-flight loads
+        /// (e.g. pointer chasing): it cannot issue while older loads are
+        /// still waiting on memory. This is what bounds a workload's
+        /// memory-level parallelism.
+        dep: bool,
+    },
+    /// A store to `addr` by the static instruction at `pc`.
+    Store {
+        /// Byte address written.
+        addr: Addr,
+        /// Program counter.
+        pc: u64,
+    },
+}
+
+impl TraceOp {
+    /// True for [`TraceOp::Load`].
+    pub const fn is_load(&self) -> bool {
+        matches!(self, TraceOp::Load { .. })
+    }
+
+    /// True for loads and stores.
+    pub const fn is_memory(&self) -> bool {
+        matches!(self, TraceOp::Load { .. } | TraceOp::Store { .. })
+    }
+}
+
+/// An infinite instruction stream driving one core.
+///
+/// `fork` produces an independent continuation of the stream from the
+/// current position — runahead execution pre-executes the fork while the
+/// architectural stream stays put, so the same instructions are re-executed
+/// after runahead exit (as in real runahead processors).
+pub trait TraceSource {
+    /// Produces the next instruction.
+    fn next_op(&mut self) -> TraceOp;
+
+    /// An independent copy continuing from the current position.
+    fn fork(&self) -> Box<dyn TraceSource>;
+}
+
+impl TraceSource for Box<dyn TraceSource> {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+
+    fn fork(&self) -> Box<dyn TraceSource> {
+        (**self).fork()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        let l = TraceOp::Load {
+            addr: Addr::new(0),
+            pc: 0,
+            dep: false,
+        };
+        let s = TraceOp::Store {
+            addr: Addr::new(0),
+            pc: 0,
+        };
+        assert!(l.is_load() && l.is_memory());
+        assert!(!s.is_load() && s.is_memory());
+        assert!(!TraceOp::Compute.is_memory());
+    }
+}

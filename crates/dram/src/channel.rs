@@ -1,0 +1,369 @@
+use std::collections::VecDeque;
+
+use padc_types::{Cycle, CPU_CYCLES_PER_DRAM_CYCLE};
+
+use crate::{Bank, ChannelStats, DramConfig, RowBufferOutcome};
+
+/// Extended timing converted to CPU cycles (see [`crate::ExtendedTiming`]).
+#[derive(Clone, Copy, Debug)]
+struct ExtCpu {
+    t_ras: Cycle,
+    t_wr: Cycle,
+    t_rtp: Cycle,
+    t_faw: Cycle,
+    t_refi: Cycle,
+    t_rfc: Cycle,
+}
+
+/// Result of issuing one command toward a request via [`Channel::advance`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// A precharge was issued (row-conflict path).
+    Precharged,
+    /// An activate was issued; the row is opening.
+    Activated,
+    /// The final CAS was issued; data (and the request) completes at
+    /// `completes_at` CPU cycles.
+    CasIssued { completes_at: Cycle },
+    /// No command could issue this cycle (bank or data bus busy).
+    Blocked,
+}
+
+/// One DRAM channel: a set of banks behind shared command and data buses.
+///
+/// The command bus accepts at most one command per DRAM bus cycle; the data
+/// bus carries one burst at a time. Both constraints are enforced here so
+/// that schedulers built on top automatically experience realistic
+/// contention.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    banks: Vec<Bank>,
+    /// CPU cycle at which the data bus becomes free.
+    data_bus_free_at: Cycle,
+    /// CPU cycle at which the command bus accepts another command.
+    cmd_bus_free_at: Cycle,
+    t_rp: Cycle,
+    t_rcd: Cycle,
+    cl: Cycle,
+    burst: Cycle,
+    stats: ChannelStats,
+    /// Extended constraints (None = the paper's three-latency model).
+    ext: Option<ExtCpu>,
+    /// Per-bank earliest legal precharge time (tRAS / tWR / tRTP).
+    min_precharge_at: Vec<Cycle>,
+    /// Times of the most recent ACTs (tFAW window).
+    act_history: VecDeque<Cycle>,
+    /// Refreshes applied so far (each closes every bank).
+    refreshes_applied: u64,
+}
+
+impl Channel {
+    /// Creates a channel with all banks closed.
+    pub fn new(cfg: &DramConfig) -> Self {
+        let ext = cfg.extended.map(|e| {
+            e.validate();
+            let k = CPU_CYCLES_PER_DRAM_CYCLE;
+            ExtCpu {
+                t_ras: e.t_ras * k,
+                t_wr: e.t_wr * k,
+                t_rtp: e.t_rtp * k,
+                t_faw: e.t_faw * k,
+                t_refi: e.t_refi * k,
+                t_rfc: e.t_rfc * k,
+            }
+        });
+        Channel {
+            banks: (0..cfg.banks).map(|_| Bank::new()).collect(),
+            data_bus_free_at: 0,
+            cmd_bus_free_at: 0,
+            t_rp: cfg.t_rp_cpu(),
+            t_rcd: cfg.t_rcd_cpu(),
+            cl: cfg.cl_cpu(),
+            burst: cfg.burst_cpu(),
+            stats: ChannelStats::default(),
+            ext,
+            min_precharge_at: vec![0; cfg.banks],
+            act_history: VecDeque::with_capacity(4),
+            refreshes_applied: 0,
+        }
+    }
+
+    /// True while a periodic refresh occupies the channel at `now`.
+    fn in_refresh(&self, now: Cycle) -> bool {
+        match self.ext {
+            Some(e) if e.t_refi > 0 => now % e.t_refi < e.t_rfc && now >= e.t_refi,
+            _ => false,
+        }
+    }
+
+    /// Applies any refresh boundaries passed since the last call: each
+    /// refresh closes every bank. Call once per DRAM scheduling cycle
+    /// (no-op without extended timing).
+    pub fn sync(&mut self, now: Cycle) {
+        let Some(e) = self.ext else { return };
+        if e.t_refi == 0 {
+            return;
+        }
+        let due = now / e.t_refi;
+        if due > self.refreshes_applied {
+            self.refreshes_applied = due;
+            self.stats.refreshes += 1;
+            for b in &mut self.banks {
+                *b = Bank::new();
+            }
+        }
+    }
+
+    /// tFAW check: may a new ACT issue at `now`?
+    fn faw_allows(&self, now: Cycle) -> bool {
+        match self.ext {
+            Some(e) => {
+                let recent = self
+                    .act_history
+                    .iter()
+                    .filter(|&&t| now.saturating_sub(t) < e.t_faw)
+                    .count();
+                recent < 4
+            }
+            None => true,
+        }
+    }
+
+    /// Number of banks on this channel.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Accumulated channel statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Row currently open (or opening) in `bank`, for row-hit prioritization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn effective_row(&self, bank: usize, now: Cycle) -> Option<u64> {
+        self.banks[bank].effective_row(now)
+    }
+
+    /// Classifies an access to `(bank, row)` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn classify(&self, bank: usize, row: u64, now: Cycle) -> RowBufferOutcome {
+        self.banks[bank].classify(row, now)
+    }
+
+    /// True if the access would be a row hit (used by FR-FCFS priority).
+    pub fn is_row_hit(&self, bank: usize, row: u64, now: Cycle) -> bool {
+        self.classify(bank, row, now) == RowBufferOutcome::Hit
+    }
+
+    /// True if the command bus is free at `now`.
+    pub fn command_bus_free(&self, now: Cycle) -> bool {
+        now >= self.cmd_bus_free_at
+    }
+
+    /// True if [`Channel::advance`] would issue a command for `(bank, row)`
+    /// at `now` — i.e. the command bus is free and the bank (plus, for a CAS,
+    /// the data bus) can accept the next command the request needs.
+    pub fn can_advance(&self, bank: usize, row: u64, now: Cycle) -> bool {
+        if !self.command_bus_free(now) {
+            return false;
+        }
+        if self.in_refresh(now) {
+            return false;
+        }
+        let b = &self.banks[bank];
+        match b.classify(row, now) {
+            RowBufferOutcome::Hit => b.can_cas(row, now) && now + self.cl >= self.data_bus_free_at,
+            RowBufferOutcome::Closed => b.can_activate(now) && self.faw_allows(now),
+            RowBufferOutcome::Conflict => {
+                b.can_precharge(now) && now >= self.min_precharge_at[bank]
+            }
+        }
+    }
+
+    /// Issues the next command needed to service `(bank, row)` at `now`.
+    ///
+    /// Returns [`StepOutcome::Blocked`] when nothing can issue. For the
+    /// paper's command latencies, a request is serviced by at most three
+    /// successive `advance` calls (PRE, ACT, CAS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn advance(&mut self, bank: usize, row: u64, is_write: bool, now: Cycle) -> StepOutcome {
+        if !self.can_advance(bank, row, now) {
+            return StepOutcome::Blocked;
+        }
+        self.cmd_bus_free_at = now + CPU_CYCLES_PER_DRAM_CYCLE;
+        let b = &mut self.banks[bank];
+        match b.classify(row, now) {
+            RowBufferOutcome::Conflict => {
+                b.precharge(now, self.t_rp);
+                self.stats.precharges += 1;
+                StepOutcome::Precharged
+            }
+            RowBufferOutcome::Closed => {
+                b.activate(row, now, self.t_rcd);
+                self.stats.activations += 1;
+                if let Some(e) = self.ext {
+                    self.min_precharge_at[bank] = now + e.t_ras;
+                    if self.act_history.len() == 4 {
+                        self.act_history.pop_front();
+                    }
+                    self.act_history.push_back(now);
+                }
+                StepOutcome::Activated
+            }
+            RowBufferOutcome::Hit => {
+                let data_start = now + self.cl;
+                let completes_at = data_start + self.burst;
+                self.data_bus_free_at = completes_at;
+                if is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                if let Some(e) = self.ext {
+                    let recovery = if is_write { e.t_wr } else { e.t_rtp };
+                    let earliest = completes_at + recovery;
+                    let slot = &mut self.min_precharge_at[bank];
+                    *slot = (*slot).max(earliest);
+                }
+                self.stats.data_bus_busy_cycles += self.burst;
+                StepOutcome::CasIssued { completes_at }
+            }
+        }
+    }
+
+    /// Issues an explicit precharge of `bank` (closed-row policy support).
+    ///
+    /// Returns true if the precharge was issued; false if the bank had no
+    /// open row or the command bus was busy.
+    pub fn precharge_bank(&mut self, bank: usize, now: Cycle) -> bool {
+        if !self.command_bus_free(now)
+            || !self.banks[bank].can_precharge(now)
+            || self.in_refresh(now)
+            || now < self.min_precharge_at[bank]
+        {
+            return false;
+        }
+        self.cmd_bus_free_at = now + CPU_CYCLES_PER_DRAM_CYCLE;
+        self.banks[bank].precharge(now, self.t_rp);
+        self.stats.precharges += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> (DramConfig, Channel) {
+        let cfg = DramConfig::default();
+        let c = Channel::new(&cfg);
+        (cfg, c)
+    }
+
+    #[test]
+    fn closed_bank_takes_act_then_cas() {
+        let (cfg, mut c) = ch();
+        assert_eq!(c.advance(0, 1, false, 0), StepOutcome::Activated);
+        // Bank busy during tRCD.
+        assert_eq!(c.advance(0, 1, false, 10), StepOutcome::Blocked);
+        let t = cfg.t_rcd_cpu();
+        match c.advance(0, 1, false, t) {
+            StepOutcome::CasIssued { completes_at } => {
+                assert_eq!(completes_at, t + cfg.cl_cpu() + cfg.burst_cpu());
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_takes_pre_act_cas() {
+        let (cfg, mut c) = ch();
+        c.advance(0, 1, false, 0);
+        let t1 = cfg.t_rcd_cpu();
+        c.advance(0, 1, false, t1); // CAS row 1; row stays open
+        let t2 = t1 + cfg.burst_cpu() + cfg.cl_cpu();
+        assert_eq!(c.advance(0, 2, false, t2), StepOutcome::Precharged);
+        let t3 = t2 + cfg.t_rp_cpu();
+        assert_eq!(c.advance(0, 2, false, t3), StepOutcome::Activated);
+        let t4 = t3 + cfg.t_rcd_cpu();
+        assert!(matches!(
+            c.advance(0, 2, false, t4),
+            StepOutcome::CasIssued { .. }
+        ));
+        assert_eq!(c.stats().precharges, 1);
+        assert_eq!(c.stats().activations, 2);
+        assert_eq!(c.stats().reads, 2);
+    }
+
+    #[test]
+    fn command_bus_allows_one_command_per_dram_cycle() {
+        let (_, mut c) = ch();
+        assert_eq!(c.advance(0, 1, false, 0), StepOutcome::Activated);
+        // Same CPU cycle, different bank: command bus busy.
+        assert_eq!(c.advance(1, 9, false, 0), StepOutcome::Blocked);
+        // Next CPU cycle is still within the same DRAM bus cycle.
+        assert_eq!(c.advance(1, 9, false, 1), StepOutcome::Blocked);
+        // One DRAM cycle later it goes through.
+        assert_eq!(
+            c.advance(1, 9, false, CPU_CYCLES_PER_DRAM_CYCLE),
+            StepOutcome::Activated
+        );
+    }
+
+    #[test]
+    fn data_bus_serializes_bursts() {
+        let (cfg, mut c) = ch();
+        // Open two banks.
+        c.advance(0, 1, false, 0);
+        c.advance(1, 2, false, CPU_CYCLES_PER_DRAM_CYCLE);
+        let t = cfg.t_rcd_cpu() + CPU_CYCLES_PER_DRAM_CYCLE;
+        let first = match c.advance(0, 1, false, t) {
+            StepOutcome::CasIssued { completes_at } => completes_at,
+            o => panic!("unexpected {o:?}"),
+        };
+        // A CAS whose data would start before the first burst ends is blocked.
+        let too_early = first - cfg.burst_cpu() - cfg.cl_cpu() + 1;
+        // (may also be blocked by the command bus; step past it)
+        let too_early = too_early.max(t + CPU_CYCLES_PER_DRAM_CYCLE);
+        if too_early + cfg.cl_cpu() < first {
+            assert_eq!(c.advance(1, 2, false, too_early), StepOutcome::Blocked);
+        }
+        // Once the data bus frees, the second CAS issues.
+        let ok = first - cfg.cl_cpu();
+        assert!(matches!(
+            c.advance(1, 2, false, ok.max(t + CPU_CYCLES_PER_DRAM_CYCLE)),
+            StepOutcome::CasIssued { .. }
+        ));
+    }
+
+    #[test]
+    fn explicit_precharge_for_closed_row_policy() {
+        let (cfg, mut c) = ch();
+        c.advance(0, 1, false, 0);
+        let t = cfg.t_rcd_cpu();
+        c.advance(0, 1, false, t);
+        let t2 = t + CPU_CYCLES_PER_DRAM_CYCLE;
+        assert!(c.precharge_bank(0, t2));
+        // Now the bank is precharging; a new row is row-closed, not conflict.
+        assert_eq!(
+            c.classify(0, 5, t2 + cfg.t_rp_cpu()),
+            RowBufferOutcome::Closed
+        );
+    }
+
+    #[test]
+    fn precharge_bank_refuses_when_closed() {
+        let (_, mut c) = ch();
+        assert!(!c.precharge_bank(0, 0));
+    }
+}

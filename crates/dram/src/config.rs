@@ -1,0 +1,155 @@
+use padc_types::{Cycle, CPU_CYCLES_PER_DRAM_CYCLE, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+use crate::ExtendedTiming;
+
+/// What the controller does with a row buffer after servicing an access
+/// (§2.1 and §6.8 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Keep the row open after an access (the paper's default).
+    #[default]
+    Open,
+    /// Precharge as soon as no outstanding request targets the open row.
+    Closed,
+}
+
+/// DRAM geometry and timing, defaulting to the paper's Table 4 system:
+/// DDR3-1333, 8 banks, 4KB rows, 15ns per command, BL=4 over a 16B bus.
+///
+/// Timing fields are expressed in DRAM bus cycles; the `_cpu()` accessors
+/// convert to CPU cycles using [`CPU_CYCLES_PER_DRAM_CYCLE`].
+///
+/// ```
+/// use padc_dram::DramConfig;
+/// let cfg = DramConfig::default();
+/// assert_eq!(cfg.banks, 8);
+/// assert_eq!(cfg.lines_per_row(), 64);
+/// assert_eq!(cfg.t_rp_cpu(), 100);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels, each with its own controller (§6.6 evaluates 2).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row buffer size in bytes per bank (§6.7 sweeps 2KB–128KB).
+    pub row_bytes: u64,
+    /// Precharge latency in DRAM bus cycles (15ns at 667MHz = 10).
+    pub t_rp: Cycle,
+    /// Activate (row open) latency in DRAM bus cycles.
+    pub t_rcd: Cycle,
+    /// CAS (read/write) latency in DRAM bus cycles.
+    pub cl: Cycle,
+    /// Data-bus occupancy of one burst in DRAM bus cycles. The paper's
+    /// BL=4 on a 16B bus nominally moves a 64B line in 2 bus clocks; we use
+    /// 4 to account for bus turnaround/rank overheads and to reproduce the
+    /// paper's degree of bandwidth-boundedness (its 8-core system saturates
+    /// the channel).
+    pub burst: Cycle,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Optional extended DDR3 constraints (tRAS/tWR/tRTP/tFAW/refresh).
+    /// `None` reproduces the paper's three-latency model exactly.
+    #[serde(default)]
+    pub extended: Option<ExtendedTiming>,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 1,
+            banks: 8,
+            row_bytes: 4096,
+            t_rp: 10,
+            t_rcd: 10,
+            cl: 10,
+            burst: 4,
+            row_policy: RowPolicy::Open,
+            extended: None,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Cache lines per row buffer.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes / LINE_BYTES
+    }
+
+    /// Precharge latency in CPU cycles.
+    pub fn t_rp_cpu(&self) -> Cycle {
+        self.t_rp * CPU_CYCLES_PER_DRAM_CYCLE
+    }
+
+    /// Activate latency in CPU cycles.
+    pub fn t_rcd_cpu(&self) -> Cycle {
+        self.t_rcd * CPU_CYCLES_PER_DRAM_CYCLE
+    }
+
+    /// CAS latency in CPU cycles.
+    pub fn cl_cpu(&self) -> Cycle {
+        self.cl * CPU_CYCLES_PER_DRAM_CYCLE
+    }
+
+    /// Burst data-bus occupancy in CPU cycles.
+    pub fn burst_cpu(&self) -> Cycle {
+        self.burst * CPU_CYCLES_PER_DRAM_CYCLE
+    }
+
+    /// Unloaded service latency of a row-hit access (CAS + burst), CPU cycles.
+    pub fn row_hit_latency(&self) -> Cycle {
+        self.cl_cpu() + self.burst_cpu()
+    }
+
+    /// Unloaded service latency of a row-closed access, CPU cycles.
+    pub fn row_closed_latency(&self) -> Cycle {
+        self.t_rcd_cpu() + self.row_hit_latency()
+    }
+
+    /// Unloaded service latency of a row-conflict access, CPU cycles.
+    pub fn row_conflict_latency(&self) -> Cycle {
+        self.t_rp_cpu() + self.row_closed_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table4() {
+        let c = DramConfig::default();
+        assert_eq!(c.channels, 1);
+        assert_eq!(c.banks, 8);
+        assert_eq!(c.row_bytes, 4096);
+        assert_eq!(c.row_policy, RowPolicy::Open);
+        // 15ns per command at a 667MHz bus clock.
+        assert_eq!(c.t_rp, c.t_rcd);
+        assert_eq!(c.t_rcd, c.cl);
+    }
+
+    #[test]
+    fn latency_ratio_is_one_to_three() {
+        // The paper quotes row-hit 12.5ns vs row-conflict 37.5ns (1:3).
+        let c = DramConfig::default();
+        let hit = c.cl_cpu();
+        let conflict = c.t_rp_cpu() + c.t_rcd_cpu() + c.cl_cpu();
+        assert_eq!(conflict, 3 * hit);
+    }
+
+    #[test]
+    fn loaded_latencies_are_ordered() {
+        let c = DramConfig::default();
+        assert!(c.row_hit_latency() < c.row_closed_latency());
+        assert!(c.row_closed_latency() < c.row_conflict_latency());
+    }
+
+    #[test]
+    fn lines_per_row_scales_with_row_bytes() {
+        let mut c = DramConfig::default();
+        assert_eq!(c.lines_per_row(), 64);
+        c.row_bytes = 128 * 1024;
+        assert_eq!(c.lines_per_row(), 2048);
+    }
+}

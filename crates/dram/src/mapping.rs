@@ -1,0 +1,192 @@
+use padc_types::{LineAddr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+use crate::DramConfig;
+
+/// How physical line addresses are scattered across channels, banks, and
+/// rows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// Row-interleaved: consecutive lines fill a row, consecutive rows rotate
+    /// across banks, then channels (the paper's baseline).
+    #[default]
+    Linear,
+    /// Permutation-based page interleaving (Zhang et al., ISCA-27; paper
+    /// §6.13): the bank index is XORed with low row bits so that rows that
+    /// would collide in a bank under `Linear` spread across banks.
+    Permutation,
+}
+
+/// Physical location of one cache line in the DRAM system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Target {
+    /// Channel (memory controller) index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Line index within the row (column group).
+    pub column: u64,
+}
+
+/// Translates line addresses into DRAM [`Target`]s.
+///
+/// ```
+/// use padc_dram::{AddressMapper, DramConfig, MappingScheme};
+/// use padc_types::LineAddr;
+///
+/// let cfg = DramConfig::default();
+/// let m = AddressMapper::new(&cfg, MappingScheme::Linear);
+/// let a = m.map(LineAddr::new(0));
+/// let b = m.map(LineAddr::new(1));
+/// // Consecutive lines land in the same row (row-interleaved layout).
+/// assert_eq!((a.channel, a.bank, a.row), (b.channel, b.bank, b.row));
+/// assert_eq!(b.column, a.column + 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressMapper {
+    scheme: MappingScheme,
+    channels: usize,
+    banks: usize,
+    lines_per_row: u64,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for the given DRAM geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured channel/bank counts are not powers of two or
+    /// the row holds fewer than one line.
+    pub fn new(cfg: &DramConfig, scheme: MappingScheme) -> Self {
+        assert!(cfg.channels.is_power_of_two(), "channels must be 2^k");
+        assert!(cfg.banks.is_power_of_two(), "banks must be 2^k");
+        assert!(cfg.row_bytes >= LINE_BYTES, "row smaller than a line");
+        AddressMapper {
+            scheme,
+            channels: cfg.channels,
+            banks: cfg.banks,
+            lines_per_row: cfg.lines_per_row(),
+        }
+    }
+
+    /// The mapping scheme in use.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Maps a line address to its channel/bank/row/column.
+    pub fn map(&self, line: LineAddr) -> Target {
+        let raw = line.raw();
+        let column = raw % self.lines_per_row;
+        let rest = raw / self.lines_per_row;
+        let channel = (rest as usize) & (self.channels - 1);
+        let rest = rest / self.channels as u64;
+        let bank_linear = (rest as usize) & (self.banks - 1);
+        let row = rest / self.banks as u64;
+        let bank = match self.scheme {
+            MappingScheme::Linear => bank_linear,
+            MappingScheme::Permutation => {
+                // XOR the bank index with the low bits of the row index.
+                bank_linear ^ ((row as usize) & (self.banks - 1))
+            }
+        };
+        Target {
+            channel,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper(scheme: MappingScheme) -> AddressMapper {
+        AddressMapper::new(&DramConfig::default(), scheme)
+    }
+
+    #[test]
+    fn sequential_lines_share_a_row() {
+        let m = mapper(MappingScheme::Linear);
+        let lines_per_row = DramConfig::default().lines_per_row();
+        let first = m.map(LineAddr::new(0));
+        for i in 1..lines_per_row {
+            let t = m.map(LineAddr::new(i));
+            assert_eq!(t.row, first.row);
+            assert_eq!(t.bank, first.bank);
+            assert_eq!(t.column, i);
+        }
+        // The next line starts a new bank (row-interleaved).
+        let next = m.map(LineAddr::new(lines_per_row));
+        assert_ne!(
+            (next.bank, next.row),
+            (first.bank, first.row),
+            "new row must not collide"
+        );
+    }
+
+    #[test]
+    fn consecutive_rows_rotate_across_banks() {
+        let m = mapper(MappingScheme::Linear);
+        let lpr = DramConfig::default().lines_per_row();
+        let banks: Vec<usize> = (0..8).map(|i| m.map(LineAddr::new(i * lpr)).bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn permutation_spreads_bank_conflicts() {
+        let m = mapper(MappingScheme::Permutation);
+        let lpr = DramConfig::default().lines_per_row();
+        // Addresses that map to the same bank under linear but different rows
+        // should spread across banks under permutation.
+        let stride = lpr * 8; // same linear bank, successive rows
+        let banks: Vec<usize> = (0..8)
+            .map(|i| m.map(LineAddr::new(i * stride)).bank)
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = banks.iter().collect();
+        assert_eq!(distinct.len(), 8, "permutation should use all banks");
+    }
+
+    #[test]
+    fn mapping_is_injective_over_a_region() {
+        use std::collections::BTreeSet;
+        for scheme in [MappingScheme::Linear, MappingScheme::Permutation] {
+            let m = mapper(scheme);
+            let mut seen = BTreeSet::new();
+            for i in 0..4096u64 {
+                let t = m.map(LineAddr::new(i));
+                assert!(
+                    seen.insert((t.channel, t.bank, t.row, t.column)),
+                    "collision at line {i} under {scheme:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_channel_mapping_alternates_channels() {
+        let cfg = DramConfig {
+            channels: 2,
+            ..DramConfig::default()
+        };
+        let m = AddressMapper::new(&cfg, MappingScheme::Linear);
+        let lpr = cfg.lines_per_row();
+        assert_eq!(m.map(LineAddr::new(0)).channel, 0);
+        assert_eq!(m.map(LineAddr::new(lpr)).channel, 1);
+        assert_eq!(m.map(LineAddr::new(2 * lpr)).channel, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "banks must be 2^k")]
+    fn rejects_non_power_of_two_banks() {
+        let cfg = DramConfig {
+            banks: 6,
+            ..DramConfig::default()
+        };
+        let _ = AddressMapper::new(&cfg, MappingScheme::Linear);
+    }
+}

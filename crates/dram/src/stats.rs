@@ -1,0 +1,81 @@
+use padc_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Command and bus utilization counters for one channel.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// ACT commands issued.
+    pub activations: u64,
+    /// Read CAS commands issued (one per line transferred to the CPU).
+    pub reads: u64,
+    /// Write CAS commands issued (one per line transferred to DRAM).
+    pub writes: u64,
+    /// Total CPU cycles the data bus carried a burst.
+    pub data_bus_busy_cycles: Cycle,
+    /// Periodic refreshes performed (0 without extended timing).
+    pub refreshes: u64,
+}
+
+impl ChannelStats {
+    /// Total CAS commands (lines moved over the data bus).
+    pub fn cas_total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate over all CAS accesses: a CAS that needed no ACT is
+    /// a row hit, so hits = CAS − ACT (every non-hit access performs exactly
+    /// one ACT before its CAS).
+    pub fn row_hit_rate(&self) -> f64 {
+        let cas = self.cas_total();
+        if cas == 0 {
+            return 0.0;
+        }
+        (cas.saturating_sub(self.activations)) as f64 / cas as f64
+    }
+
+    /// Fraction of `elapsed` cycles the data bus was busy.
+    pub fn bus_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.data_bus_busy_cycles as f64 / elapsed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_rate_counts_cas_without_act() {
+        let s = ChannelStats {
+            precharges: 2,
+            activations: 3,
+            reads: 9,
+            writes: 1,
+            data_bus_busy_cycles: 100,
+            refreshes: 0,
+        };
+        assert_eq!(s.cas_total(), 10);
+        assert!((s.row_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = ChannelStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bus_utilization(0), 0.0);
+        assert_eq!(s.bus_utilization(100), 0.0);
+    }
+
+    #[test]
+    fn bus_utilization_is_fractional() {
+        let s = ChannelStats {
+            data_bus_busy_cycles: 25,
+            ..ChannelStats::default()
+        };
+        assert!((s.bus_utilization(100) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the DRAM address mapper and bank state machine.
+
+use padc_dram::{AddressMapper, Bank, DramConfig, MappingScheme, RowBufferOutcome};
+use padc_types::LineAddr;
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = DramConfig> {
+    (0u32..2, 1u32..4, 6u32..12).prop_map(|(ch, banks, row_log)| DramConfig {
+        channels: 1 << ch,
+        banks: 1 << banks,
+        row_bytes: 1u64 << row_log,
+        ..DramConfig::default()
+    })
+}
+
+proptest! {
+    /// The mapping is injective over dense line ranges for arbitrary
+    /// power-of-two geometries and both schemes.
+    #[test]
+    fn mapping_is_injective(cfg in arb_geometry(), base in 0u64..1_000_000,
+                            perm in any::<bool>()) {
+        let scheme = if perm { MappingScheme::Permutation } else { MappingScheme::Linear };
+        let m = AddressMapper::new(&cfg, scheme);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..512u64 {
+            let t = m.map(LineAddr::new(base + i));
+            prop_assert!(t.channel < cfg.channels);
+            prop_assert!(t.bank < cfg.banks);
+            prop_assert!(t.column < cfg.lines_per_row());
+            prop_assert!(seen.insert((t.channel, t.bank, t.row, t.column)));
+        }
+    }
+
+    /// Consecutive lines within one row share channel/bank/row.
+    #[test]
+    fn rows_are_contiguous(cfg in arb_geometry(), row_index in 0u64..10_000) {
+        let m = AddressMapper::new(&cfg, MappingScheme::Linear);
+        let lpr = cfg.lines_per_row();
+        let first = m.map(LineAddr::new(row_index * lpr));
+        for i in 1..lpr {
+            let t = m.map(LineAddr::new(row_index * lpr + i));
+            prop_assert_eq!((t.channel, t.bank, t.row), (first.channel, first.bank, first.row));
+            prop_assert_eq!(t.column, i);
+        }
+    }
+
+    /// The bank FSM, driven by its own classification, services any request
+    /// sequence without panicking and always reaches CAS within three
+    /// commands.
+    #[test]
+    fn bank_services_any_row_sequence(rows in prop::collection::vec(0u64..64, 1..40)) {
+        let mut bank = Bank::new();
+        let mut now = 0u64;
+        for row in rows {
+            let mut commands = 0;
+            loop {
+                match bank.classify(row, now) {
+                    RowBufferOutcome::Hit => {
+                        prop_assert!(bank.can_cas(row, now));
+                        break;
+                    }
+                    RowBufferOutcome::Closed => {
+                        prop_assert!(bank.can_activate(now));
+                        bank.activate(row, now, 50);
+                        now += 50;
+                    }
+                    RowBufferOutcome::Conflict => {
+                        // May need to wait for an in-flight activation.
+                        if bank.can_precharge(now) {
+                            bank.precharge(now, 50);
+                            now += 50;
+                        } else {
+                            now += 1;
+                            continue;
+                        }
+                    }
+                }
+                commands += 1;
+                prop_assert!(commands <= 3, "must converge to a row hit");
+            }
+            now += 60; // CAS + burst
+        }
+    }
+}

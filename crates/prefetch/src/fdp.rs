@@ -1,0 +1,286 @@
+use padc_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// One aggressiveness level of Feedback-Directed Prefetching: a
+/// (degree, distance) pair for the stream prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FdpLevel {
+    /// Prefetch degree (N).
+    pub degree: u32,
+    /// Prefetch distance (D) in lines.
+    pub distance: u32,
+}
+
+/// Parameters of Feedback-Directed Prefetching (Srinath et al., HPCA-13),
+/// with the thresholds the paper tuned for this system (§6.12): accuracy
+/// 90%/40%, lateness 1%, pollution 0.5%, 4K-bit pollution filter.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FdpConfig {
+    /// Aggressiveness ladder, least to most aggressive.
+    pub levels: Vec<FdpLevel>,
+    /// Starting rung (index into `levels`).
+    pub initial_level: usize,
+    /// Accuracy above which the prefetcher is "accurate".
+    pub accuracy_high: f64,
+    /// Accuracy below which the prefetcher is "inaccurate".
+    pub accuracy_low: f64,
+    /// Late-prefetch fraction above which prefetches are "late".
+    pub lateness_threshold: f64,
+    /// Pollution fraction above which prefetches are "polluting".
+    pub pollution_threshold: f64,
+}
+
+impl Default for FdpConfig {
+    fn default() -> Self {
+        FdpConfig {
+            levels: vec![
+                FdpLevel {
+                    degree: 1,
+                    distance: 4,
+                },
+                FdpLevel {
+                    degree: 1,
+                    distance: 8,
+                },
+                FdpLevel {
+                    degree: 2,
+                    distance: 16,
+                },
+                FdpLevel {
+                    degree: 4,
+                    distance: 32,
+                },
+                FdpLevel {
+                    degree: 4,
+                    distance: 64,
+                },
+            ],
+            initial_level: 2,
+            accuracy_high: 0.90,
+            accuracy_low: 0.40,
+            lateness_threshold: 0.01,
+            pollution_threshold: 0.005,
+        }
+    }
+}
+
+/// Per-interval feedback counters the simulator supplies to [`Fdp`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FdpFeedback {
+    /// Prefetches sent this interval.
+    pub sent: u64,
+    /// Prefetches consumed by demands this interval.
+    pub used: u64,
+    /// Useful prefetches that arrived late (demand matched them in flight).
+    pub late: u64,
+    /// Demand misses caused by prefetch-induced evictions.
+    pub pollution: u64,
+    /// Total demand accesses this interval (pollution denominator).
+    pub demands: u64,
+}
+
+/// Feedback-Directed Prefetching: moves the stream prefetcher up and down an
+/// aggressiveness ladder based on measured accuracy, lateness, and cache
+/// pollution.
+///
+/// ```
+/// use padc_prefetch::{Fdp, FdpConfig};
+/// use padc_prefetch::fdp_feedback;
+///
+/// let mut fdp = Fdp::new(FdpConfig::default());
+/// // Accurate and late -> ramp up.
+/// let lvl = fdp.end_interval(fdp_feedback(100, 95, 40, 0, 1_000));
+/// assert!(lvl.degree >= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fdp {
+    cfg: FdpConfig,
+    level: usize,
+}
+
+/// Convenience constructor for [`FdpFeedback`].
+pub fn fdp_feedback(sent: u64, used: u64, late: u64, pollution: u64, demands: u64) -> FdpFeedback {
+    FdpFeedback {
+        sent,
+        used,
+        late,
+        pollution,
+        demands,
+    }
+}
+
+impl Fdp {
+    /// Creates an FDP controller at the configured initial level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty or the initial level is out of range.
+    pub fn new(cfg: FdpConfig) -> Self {
+        assert!(!cfg.levels.is_empty(), "need at least one level");
+        assert!(cfg.initial_level < cfg.levels.len(), "initial out of range");
+        Fdp {
+            level: cfg.initial_level,
+            cfg,
+        }
+    }
+
+    /// Current (degree, distance).
+    pub fn level(&self) -> FdpLevel {
+        self.cfg.levels[self.level]
+    }
+
+    /// Digests one interval of feedback and returns the new level.
+    ///
+    /// Decision table (simplified from the FDP paper): accurate+late ⇒ up;
+    /// mid-accuracy ⇒ up if late, down if polluting; inaccurate ⇒ down if
+    /// polluting or late, else hold.
+    pub fn end_interval(&mut self, fb: FdpFeedback) -> FdpLevel {
+        let accuracy = if fb.sent == 0 {
+            1.0
+        } else {
+            fb.used as f64 / fb.sent as f64
+        };
+        let lateness = if fb.used == 0 {
+            0.0
+        } else {
+            fb.late as f64 / fb.used as f64
+        };
+        let pollution = if fb.demands == 0 {
+            0.0
+        } else {
+            fb.pollution as f64 / fb.demands as f64
+        };
+        let late = lateness > self.cfg.lateness_threshold;
+        let polluting = pollution > self.cfg.pollution_threshold;
+        let max = self.cfg.levels.len() - 1;
+        if accuracy >= self.cfg.accuracy_high {
+            if late {
+                self.level = (self.level + 1).min(max);
+            }
+        } else if accuracy >= self.cfg.accuracy_low {
+            if polluting {
+                self.level = self.level.saturating_sub(1);
+            } else if late {
+                self.level = (self.level + 1).min(max);
+            }
+        } else if polluting || late {
+            self.level = self.level.saturating_sub(1);
+        }
+        self.level()
+    }
+}
+
+/// Bit-vector pollution filter (the FDP paper's 4K-bit structure): remembers
+/// demand lines evicted by prefetch fills; a subsequent demand miss to a
+/// remembered line is counted as pollution.
+///
+/// ```
+/// use padc_prefetch::PollutionFilter;
+/// use padc_types::LineAddr;
+///
+/// let mut f = PollutionFilter::new(4096);
+/// f.record_eviction(LineAddr::new(10));
+/// assert!(f.check_and_clear(LineAddr::new(10)));
+/// assert!(!f.check_and_clear(LineAddr::new(10)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PollutionFilter {
+    bits: Vec<bool>,
+}
+
+impl PollutionFilter {
+    /// Creates a filter with at least `bits` entries (rounded up to a power
+    /// of two).
+    pub fn new(bits: usize) -> Self {
+        PollutionFilter {
+            bits: vec![false; bits.next_power_of_two().max(2)],
+        }
+    }
+
+    fn index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.bits.len() - 1)
+    }
+
+    /// Records that a demand-owned line was evicted by a prefetch fill.
+    pub fn record_eviction(&mut self, line: LineAddr) {
+        let i = self.index(line);
+        self.bits[i] = true;
+    }
+
+    /// On a demand miss: was this line recently evicted by a prefetch?
+    /// Clears the bit.
+    pub fn check_and_clear(&mut self, line: LineAddr) -> bool {
+        let i = self.index(line);
+        std::mem::replace(&mut self.bits[i], false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_and_late_ramps_up() {
+        let mut f = Fdp::new(FdpConfig::default());
+        let start = f.level();
+        let next = f.end_interval(fdp_feedback(100, 95, 50, 0, 1000));
+        assert!(next.distance > start.distance);
+    }
+
+    #[test]
+    fn inaccurate_and_polluting_ramps_down() {
+        let mut f = Fdp::new(FdpConfig::default());
+        let start = f.level();
+        let next = f.end_interval(fdp_feedback(100, 10, 0, 50, 1000));
+        assert!(next.distance < start.distance);
+    }
+
+    #[test]
+    fn accurate_and_timely_holds() {
+        let mut f = Fdp::new(FdpConfig::default());
+        let start = f.level();
+        let next = f.end_interval(fdp_feedback(100, 95, 0, 0, 1000));
+        assert_eq!(next, start);
+    }
+
+    #[test]
+    fn level_saturates_at_both_ends() {
+        let mut f = Fdp::new(FdpConfig::default());
+        for _ in 0..10 {
+            f.end_interval(fdp_feedback(100, 95, 95, 0, 1000));
+        }
+        let top = f.level();
+        assert_eq!(top, *FdpConfig::default().levels.last().unwrap());
+        for _ in 0..10 {
+            f.end_interval(fdp_feedback(100, 0, 0, 500, 1000));
+        }
+        let bottom = f.level();
+        assert_eq!(bottom, FdpConfig::default().levels[0]);
+    }
+
+    #[test]
+    fn empty_interval_holds_level() {
+        let mut f = Fdp::new(FdpConfig::default());
+        let start = f.level();
+        let next = f.end_interval(FdpFeedback::default());
+        assert_eq!(next, start);
+    }
+
+    #[test]
+    fn pollution_filter_round_trips() {
+        let mut f = PollutionFilter::new(16);
+        f.record_eviction(LineAddr::new(3));
+        assert!(!f.check_and_clear(LineAddr::new(4)));
+        assert!(f.check_and_clear(LineAddr::new(3)));
+        assert!(!f.check_and_clear(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn mid_accuracy_reacts_to_pollution_before_lateness() {
+        let mut f = Fdp::new(FdpConfig::default());
+        let start = f.level();
+        // 60% accuracy, late AND polluting: pollution wins, ramp down.
+        let next = f.end_interval(fdp_feedback(100, 60, 30, 50, 1000));
+        assert!(next.distance < start.distance);
+    }
+}

@@ -1,0 +1,197 @@
+use padc_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessEvent, Prefetcher};
+
+/// Parameters of the Markov (miss-correlation) prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MarkovConfig {
+    /// Entries in the (direct-mapped) correlation table.
+    pub table_entries: usize,
+    /// Successor addresses remembered per entry.
+    pub successors: usize,
+    /// Successors prefetched per miss.
+    pub degree: u32,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig {
+            table_entries: 4096,
+            successors: 4,
+            degree: 2,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MarkovEntry {
+    tag: u64,
+    /// MRU-first successor list.
+    successors: Vec<LineAddr>,
+}
+
+/// Markov prefetcher (Joseph & Grunwald, §2.2): records, for each miss
+/// address, the miss addresses that followed it, and prefetches the recorded
+/// successors when the miss recurs. Exploits temporal rather than spatial
+/// correlation.
+#[derive(Clone, Debug)]
+pub struct MarkovPrefetcher {
+    cfg: MarkovConfig,
+    table: Vec<Option<MarkovEntry>>,
+    last_miss: Option<LineAddr>,
+}
+
+impl MarkovPrefetcher {
+    /// Creates a Markov prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a power of two.
+    pub fn new(cfg: MarkovConfig) -> Self {
+        assert!(
+            cfg.table_entries.is_power_of_two(),
+            "table entries must be 2^k"
+        );
+        MarkovPrefetcher {
+            table: vec![None; cfg.table_entries],
+            cfg,
+            last_miss: None,
+        }
+    }
+
+    fn index(&self, line: LineAddr) -> usize {
+        // Simple multiplicative hash keeps neighbouring lines apart.
+        let h = line.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 16) as usize & (self.cfg.table_entries - 1)
+    }
+
+    fn record_transition(&mut self, from: LineAddr, to: LineAddr) {
+        let idx = self.index(from);
+        let max = self.cfg.successors;
+        match &mut self.table[idx] {
+            Some(e) if e.tag == from.raw() => {
+                if let Some(pos) = e.successors.iter().position(|&s| s == to) {
+                    e.successors.remove(pos);
+                }
+                e.successors.insert(0, to);
+                e.successors.truncate(max);
+            }
+            slot => {
+                *slot = Some(MarkovEntry {
+                    tag: from.raw(),
+                    successors: vec![to],
+                });
+            }
+        }
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<LineAddr>) {
+        // The Markov prefetcher observes only the miss stream.
+        if ev.hit {
+            return;
+        }
+        if let Some(prev) = self.last_miss {
+            if prev != ev.line && !ev.runahead {
+                self.record_transition(prev, ev.line);
+            }
+        }
+        if !ev.runahead {
+            self.last_miss = Some(ev.line);
+        }
+        let idx = self.index(ev.line);
+        if let Some(e) = &self.table[idx] {
+            if e.tag == ev.line.raw() {
+                out.extend(e.successors.iter().take(self.cfg.degree as usize).copied());
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use padc_types::CoreId;
+
+    use super::*;
+
+    fn miss(line: u64) -> AccessEvent {
+        AccessEvent {
+            core: CoreId::new(0),
+            line: LineAddr::new(line),
+            pc: 0,
+            hit: false,
+            runahead: false,
+        }
+    }
+
+    #[test]
+    fn repeated_miss_sequence_prefetches_successor() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        let mut out = Vec::new();
+        // First pass records A -> B -> C.
+        for l in [100u64, 200, 300] {
+            p.on_access(&miss(l), &mut out);
+        }
+        assert!(out.is_empty(), "nothing learned yet");
+        // Second pass: hitting A predicts B.
+        p.on_access(&miss(100), &mut out);
+        assert_eq!(out, vec![LineAddr::new(200)]);
+    }
+
+    #[test]
+    fn successors_are_mru_ordered_and_bounded() {
+        let cfg = MarkovConfig {
+            successors: 2,
+            degree: 2,
+            ..MarkovConfig::default()
+        };
+        let mut p = MarkovPrefetcher::new(cfg);
+        let mut out = Vec::new();
+        // A -> B, A -> C, A -> D; only the two most recent survive.
+        for next in [200u64, 300, 400] {
+            p.on_access(&miss(100), &mut out);
+            p.on_access(&miss(next), &mut out);
+        }
+        out.clear();
+        p.on_access(&miss(100), &mut out);
+        assert_eq!(out, vec![LineAddr::new(400), LineAddr::new(300)]);
+    }
+
+    #[test]
+    fn hits_are_ignored() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        let mut out = Vec::new();
+        p.on_access(&miss(100), &mut out);
+        p.on_access(
+            &AccessEvent {
+                hit: true,
+                ..miss(200)
+            },
+            &mut out,
+        );
+        p.on_access(&miss(100), &mut out);
+        assert!(out.is_empty(), "hit must not create a transition");
+    }
+
+    #[test]
+    fn runahead_misses_do_not_train() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        let mut out = Vec::new();
+        p.on_access(&miss(100), &mut out);
+        p.on_access(
+            &AccessEvent {
+                runahead: true,
+                ..miss(200)
+            },
+            &mut out,
+        );
+        p.on_access(&miss(100), &mut out);
+        assert!(out.is_empty());
+    }
+}

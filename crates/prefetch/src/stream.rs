@@ -1,0 +1,338 @@
+use padc_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessEvent, Prefetcher};
+
+/// Parameters of the stream prefetcher (paper Table 3: 32 streams, degree 4,
+/// distance 64).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of concurrently tracked streams.
+    pub streams: usize,
+    /// Prefetches issued per trigger (N in §2.3).
+    pub degree: u32,
+    /// Monitoring-region length in lines (D in §2.3).
+    pub distance: u32,
+    /// Window around the start pointer within which accesses train a newly
+    /// allocated stream.
+    pub train_window: i64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            streams: 32,
+            degree: 4,
+            distance: 64,
+            train_window: 16,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum StreamState {
+    /// Allocated on a miss at `start`; waiting for a nearby access to reveal
+    /// the direction.
+    Allocated { start: LineAddr },
+    /// Direction known; monitoring region is `[start, start + dir*distance]`
+    /// and `last_issued` is the furthest line already prefetched.
+    Monitoring {
+        start: LineAddr,
+        dir: i64,
+        last_issued: LineAddr,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StreamEntry {
+    state: StreamState,
+    lru: u64,
+}
+
+/// IBM POWER4/5-style stream prefetcher (§2.3 of the paper).
+///
+/// Each stream entry begins at a miss address `S`; subsequent accesses
+/// within `train_window` of `S` set the stream's direction and establish a
+/// monitoring region `[S, S+D]`. An access inside the region triggers `N`
+/// prefetches beyond the region, which then shifts forward by `N`.
+#[derive(Clone, Debug)]
+pub struct StreamPrefetcher {
+    cfg: StreamConfig,
+    entries: Vec<Option<StreamEntry>>,
+    clock: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a stream prefetcher with the given parameters.
+    pub fn new(cfg: StreamConfig) -> Self {
+        StreamPrefetcher {
+            entries: vec![None; cfg.streams],
+            cfg,
+            clock: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    fn find_matching(&self, line: LineAddr) -> Option<usize> {
+        // Prefer a monitoring stream whose region contains the access; fall
+        // back to an allocated stream the access can train.
+        let mut training_match = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            match e.state {
+                StreamState::Monitoring { start, dir, .. } => {
+                    let delta = line.distance_from(start) * dir;
+                    // Accesses slightly *behind* the region (the region
+                    // shifts ahead of the access pointer) still belong to
+                    // this stream; matching them prevents duplicate stream
+                    // allocation, but only in-region accesses trigger.
+                    if (-self.cfg.train_window..=self.cfg.distance as i64).contains(&delta) {
+                        return Some(i);
+                    }
+                }
+                StreamState::Allocated { start } => {
+                    let delta = line.distance_from(start);
+                    if delta != 0 && delta.abs() <= self.cfg.train_window {
+                        training_match.get_or_insert(i);
+                    }
+                }
+            }
+        }
+        training_match
+    }
+
+    fn allocate(&mut self, line: LineAddr) {
+        let slot = self
+            .entries
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                // Evict the LRU stream.
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
+                    .map(|(i, _)| i)
+                    .expect("stream table is non-empty")
+            });
+        self.entries[slot] = Some(StreamEntry {
+            state: StreamState::Allocated { start: line },
+            lru: self.clock,
+        });
+    }
+}
+
+impl Prefetcher for StreamPrefetcher {
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<LineAddr>) {
+        self.clock += 1;
+        let line = ev.line;
+        match self.find_matching(line) {
+            Some(i) => {
+                let cfg = self.cfg;
+                let clock = self.clock;
+                let entry = self.entries[i].as_mut().expect("matched entry exists");
+                entry.lru = clock;
+                match entry.state {
+                    StreamState::Allocated { start } => {
+                        // Direction revealed; set up the monitoring region.
+                        let dir = if line.distance_from(start) > 0 { 1 } else { -1 };
+                        entry.state = StreamState::Monitoring {
+                            start,
+                            dir,
+                            last_issued: start.offset(dir * cfg.distance as i64),
+                        };
+                    }
+                    StreamState::Monitoring {
+                        start,
+                        dir,
+                        last_issued,
+                    } => {
+                        // Only accesses inside the region trigger; matched
+                        // accesses behind the shifted region just keep the
+                        // stream alive.
+                        let delta = line.distance_from(start) * dir;
+                        if delta >= 0 {
+                            // Prefetch N lines beyond `last_issued` and
+                            // shift the region forward by N.
+                            for k in 1..=cfg.degree as i64 {
+                                out.push(last_issued.offset(dir * k));
+                            }
+                            entry.state = StreamState::Monitoring {
+                                start: start.offset(dir * cfg.degree as i64),
+                                dir,
+                                last_issued: last_issued.offset(dir * cfg.degree as i64),
+                            };
+                        }
+                    }
+                }
+            }
+            None => {
+                // A miss that belongs to no stream allocates a new one
+                // (unless we are in runahead "only-train" mode).
+                if !ev.hit && !ev.runahead {
+                    self.allocate(line);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn set_aggressiveness(&mut self, degree: u32, distance: u32) {
+        self.cfg.degree = degree.max(1);
+        self.cfg.distance = distance.max(1);
+    }
+
+    fn aggressiveness(&self) -> Option<(u32, u32)> {
+        Some((self.cfg.degree, self.cfg.distance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use padc_types::CoreId;
+
+    use super::*;
+
+    fn ev(line: u64, hit: bool) -> AccessEvent {
+        AccessEvent {
+            core: CoreId::new(0),
+            line: LineAddr::new(line),
+            pc: 0,
+            hit,
+            runahead: false,
+        }
+    }
+
+    fn pf() -> StreamPrefetcher {
+        StreamPrefetcher::new(StreamConfig::default())
+    }
+
+    #[test]
+    fn sequential_stream_prefetches_ahead() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.on_access(&ev(1000, false), &mut out); // allocate
+        assert!(out.is_empty());
+        p.on_access(&ev(1001, false), &mut out); // train ascending
+        assert!(out.is_empty());
+        p.on_access(&ev(1002, true), &mut out); // inside region -> prefetch
+        assert_eq!(
+            out,
+            vec![
+                LineAddr::new(1065),
+                LineAddr::new(1066),
+                LineAddr::new(1067),
+                LineAddr::new(1068)
+            ]
+        );
+    }
+
+    #[test]
+    fn descending_stream_is_detected() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.on_access(&ev(1000, false), &mut out);
+        p.on_access(&ev(999, false), &mut out);
+        p.on_access(&ev(998, true), &mut out);
+        assert_eq!(out[0], LineAddr::new(1000 - 65));
+    }
+
+    #[test]
+    fn region_shifts_after_issue() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.on_access(&ev(1000, false), &mut out);
+        p.on_access(&ev(1001, false), &mut out);
+        p.on_access(&ev(1002, true), &mut out);
+        out.clear();
+        // The region shifted to [1004, 1068]: an access just behind the new
+        // start no longer triggers (the prefetcher self-paces)...
+        p.on_access(&ev(1003, true), &mut out);
+        assert!(out.is_empty());
+        // ...but the next access inside the region continues the stream.
+        p.on_access(&ev(1004, true), &mut out);
+        assert_eq!(out[0], LineAddr::new(1069));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn far_away_miss_allocates_new_stream() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.on_access(&ev(1000, false), &mut out);
+        p.on_access(&ev(500_000, false), &mut out); // new stream
+        p.on_access(&ev(1001, false), &mut out); // still trains stream 1
+        p.on_access(&ev(1002, true), &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn lru_stream_evicted_when_table_full() {
+        let mut p = StreamPrefetcher::new(StreamConfig {
+            streams: 2,
+            ..StreamConfig::default()
+        });
+        let mut out = Vec::new();
+        p.on_access(&ev(1_000, false), &mut out);
+        p.on_access(&ev(100_000, false), &mut out);
+        p.on_access(&ev(200_000, false), &mut out); // evicts stream at 1_000
+        p.on_access(&ev(1_001, false), &mut out); // allocates anew (trains nothing)
+        p.on_access(&ev(1_002, true), &mut out); // trains the new stream
+        assert!(out.is_empty(), "old stream must be gone");
+    }
+
+    #[test]
+    fn runahead_access_does_not_allocate_but_trains() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        // Runahead miss: no allocation.
+        p.on_access(
+            &AccessEvent {
+                runahead: true,
+                ..ev(1000, false)
+            },
+            &mut out,
+        );
+        p.on_access(&ev(1001, false), &mut out);
+        p.on_access(&ev(1002, true), &mut out);
+        assert!(out.is_empty(), "no stream should exist");
+
+        // But an existing stream trains during runahead.
+        p.on_access(&ev(2000, false), &mut out);
+        p.on_access(
+            &AccessEvent {
+                runahead: true,
+                ..ev(2001, false)
+            },
+            &mut out,
+        );
+        p.on_access(
+            &AccessEvent {
+                runahead: true,
+                ..ev(2002, true)
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn fdp_hooks_adjust_degree_and_distance() {
+        let mut p = pf();
+        p.set_aggressiveness(2, 16);
+        assert_eq!(p.aggressiveness(), Some((2, 16)));
+        let mut out = Vec::new();
+        p.on_access(&ev(1000, false), &mut out);
+        p.on_access(&ev(1001, false), &mut out);
+        p.on_access(&ev(1002, true), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], LineAddr::new(1017));
+    }
+}

@@ -1,0 +1,202 @@
+use padc_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessEvent, Prefetcher};
+
+/// Parameters of the PC-based stride prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StrideConfig {
+    /// Entries in the (direct-mapped, PC-indexed) reference prediction
+    /// table.
+    pub table_entries: usize,
+    /// Prefetches issued per confident trigger.
+    pub degree: u32,
+    /// How many consecutive identical strides are needed before prefetching.
+    pub confidence_threshold: u8,
+    /// Lookahead multiple: the first prefetch targets
+    /// `line + stride * lookahead`.
+    pub lookahead: u32,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        StrideConfig {
+            table_entries: 256,
+            degree: 4,
+            confidence_threshold: 2,
+            lookahead: 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StrideEntry {
+    tag: u64,
+    last_line: LineAddr,
+    stride: i64,
+    confidence: u8,
+}
+
+/// PC-based stride prefetcher (Baer & Chen): detects loads whose successive
+/// line addresses differ by a constant stride and prefetches down the
+/// pattern.
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    cfg: StrideConfig,
+    table: Vec<Option<StrideEntry>>,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a power of two.
+    pub fn new(cfg: StrideConfig) -> Self {
+        assert!(
+            cfg.table_entries.is_power_of_two(),
+            "table entries must be 2^k"
+        );
+        StridePrefetcher {
+            table: vec![None; cfg.table_entries],
+            cfg,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.table_entries - 1)
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<LineAddr>) {
+        let idx = self.index(ev.pc);
+        let cfg = self.cfg;
+        match &mut self.table[idx] {
+            Some(e) if e.tag == ev.pc => {
+                let delta = ev.line.distance_from(e.last_line);
+                if delta == 0 {
+                    return; // same line; no training signal
+                }
+                if delta == e.stride {
+                    e.confidence = e.confidence.saturating_add(1);
+                } else {
+                    e.stride = delta;
+                    e.confidence = 0;
+                }
+                e.last_line = ev.line;
+                if e.confidence >= cfg.confidence_threshold && e.stride != 0 {
+                    for k in 0..cfg.degree as i64 {
+                        out.push(ev.line.offset(e.stride * (cfg.lookahead as i64 + k)));
+                    }
+                }
+            }
+            slot => {
+                if !ev.runahead {
+                    *slot = Some(StrideEntry {
+                        tag: ev.pc,
+                        last_line: ev.line,
+                        stride: 0,
+                        confidence: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn set_aggressiveness(&mut self, degree: u32, _distance: u32) {
+        self.cfg.degree = degree.max(1);
+    }
+
+    fn aggressiveness(&self) -> Option<(u32, u32)> {
+        Some((self.cfg.degree, self.cfg.degree * self.cfg.lookahead))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use padc_types::CoreId;
+
+    use super::*;
+
+    fn ev(pc: u64, line: u64) -> AccessEvent {
+        AccessEvent {
+            core: CoreId::new(0),
+            line: LineAddr::new(line),
+            pc,
+            hit: false,
+            runahead: false,
+        }
+    }
+
+    #[test]
+    fn constant_stride_triggers_prefetch() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            p.on_access(&ev(0x400, 100 + 3 * i), &mut out);
+        }
+        assert!(!out.is_empty());
+        // First prefetch is lookahead strides ahead of the last access.
+        assert_eq!(out[0], LineAddr::new(109 + 3 * 4));
+    }
+
+    #[test]
+    fn irregular_pattern_stays_quiet() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for line in [100u64, 250, 103, 777, 12, 399] {
+            p.on_access(&ev(0x400, line), &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streams_from_different_pcs_do_not_interfere() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        // PCs chosen to land in different table slots.
+        for i in 0..4u64 {
+            p.on_access(&ev(0x400, 100 + i), &mut out);
+            p.on_access(&ev(0x404, 9000 + 7 * i), &mut out);
+        }
+        assert!(out.len() >= 8, "both strides should trigger");
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            p.on_access(&ev(0x400, 100 + i), &mut out);
+        }
+        out.clear();
+        p.on_access(&ev(0x400, 500), &mut out); // break stride
+        assert!(out.is_empty());
+        p.on_access(&ev(0x400, 505), &mut out); // new stride, conf 0
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for _ in 0..8 {
+            p.on_access(&ev(0x400, 100), &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "table entries must be 2^k")]
+    fn rejects_bad_table_size() {
+        let _ = StridePrefetcher::new(StrideConfig {
+            table_entries: 100,
+            ..StrideConfig::default()
+        });
+    }
+}

@@ -1,0 +1,68 @@
+use padc_types::{CoreId, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// An L2 access observed by a prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessEvent {
+    /// Core performing the access.
+    pub core: CoreId,
+    /// Line being accessed.
+    pub line: LineAddr,
+    /// Program counter of the triggering load/store (used by PC-indexed
+    /// prefetchers).
+    pub pc: u64,
+    /// True if the access hit in the L2.
+    pub hit: bool,
+    /// True while the core is in runahead mode. Per the paper's "only-train"
+    /// policy (§6.14), prefetchers train existing state but must not
+    /// allocate new entries for runahead accesses.
+    pub runahead: bool,
+}
+
+/// Which prefetcher drives the evaluation (Fig. 28 compares all four).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// Stream prefetcher (paper's default).
+    #[default]
+    Stream,
+    /// PC-based stride prefetcher.
+    Stride,
+    /// Markov (miss-correlation) prefetcher.
+    Markov,
+    /// CZone/Delta-Correlation prefetcher.
+    Cdc,
+}
+
+impl PrefetcherKind {
+    /// All kinds, in the order Fig. 28 presents them.
+    pub const ALL: [PrefetcherKind; 4] = [
+        PrefetcherKind::Stream,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Cdc,
+        PrefetcherKind::Markov,
+    ];
+}
+
+/// A hardware prefetcher observing the L2 access stream.
+///
+/// Implementations push candidate prefetch line addresses into `out`; the
+/// memory system decides whether each candidate actually enters the memory
+/// request buffer (it may be filtered by DDPF, dropped for lack of MSHR or
+/// buffer space, or already be resident).
+pub trait Prefetcher {
+    /// Observes one L2 access and emits zero or more prefetch candidates.
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<LineAddr>);
+
+    /// Short stable name for reports ("stream", "stride", ...).
+    fn name(&self) -> &'static str;
+
+    /// Adjusts aggressiveness (prefetch degree and distance, in lines).
+    /// Used by Feedback-Directed Prefetching; prefetchers without a
+    /// degree/distance notion may ignore it.
+    fn set_aggressiveness(&mut self, _degree: u32, _distance: u32) {}
+
+    /// Current (degree, distance), if the prefetcher has that notion.
+    fn aggressiveness(&self) -> Option<(u32, u32)> {
+        None
+    }
+}

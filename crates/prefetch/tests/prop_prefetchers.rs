@@ -1,0 +1,120 @@
+//! Property tests for the prefetchers.
+
+use padc_prefetch::{
+    AccessEvent, CdcConfig, CdcPrefetcher, Ddpf, DdpfConfig, MarkovConfig, MarkovPrefetcher,
+    Prefetcher, StreamConfig, StreamPrefetcher, StrideConfig, StridePrefetcher,
+};
+use padc_types::{CoreId, LineAddr};
+use proptest::prelude::*;
+
+fn ev(line: u64, hit: bool) -> AccessEvent {
+    AccessEvent {
+        core: CoreId::new(0),
+        line: LineAddr::new(line),
+        pc: 0x400 + (line % 8) * 4,
+        hit,
+        runahead: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On a pure ascending stream, every stream-prefetcher candidate is
+    /// strictly ahead of the access pointer and within distance + degree.
+    #[test]
+    fn stream_prefetches_stay_ahead_and_bounded(start in 0u64..1_000_000, len in 10usize..300) {
+        let cfg = StreamConfig::default();
+        let mut p = StreamPrefetcher::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..len as u64 {
+            out.clear();
+            p.on_access(&ev(start + i, i > 0), &mut out);
+            for cand in &out {
+                let dist = cand.distance_from(LineAddr::new(start + i));
+                prop_assert!(dist > 0, "prefetch {cand} behind access at {}", start + i);
+                prop_assert!(
+                    dist <= (cfg.distance + cfg.degree) as i64 + 1,
+                    "prefetch {dist} lines ahead exceeds bound"
+                );
+            }
+        }
+    }
+
+    /// The stream prefetcher never emits the same line twice for one
+    /// monotone stream (no duplicate prefetches to waste bandwidth).
+    #[test]
+    fn stream_has_no_duplicates_on_monotone_streams(start in 0u64..1_000_000, len in 10usize..300) {
+        let mut p = StreamPrefetcher::new(StreamConfig::default());
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for i in 0..len as u64 {
+            out.clear();
+            p.on_access(&ev(start + i, i > 0), &mut out);
+            for cand in &out {
+                prop_assert!(seen.insert(cand.raw()), "duplicate prefetch {cand}");
+            }
+        }
+    }
+
+    /// Arbitrary access sequences never panic any prefetcher and produce
+    /// bounded candidate lists.
+    #[test]
+    fn all_prefetchers_are_total(lines in prop::collection::vec((0u64..100_000, any::<bool>()), 1..300)) {
+        let mut prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+            Box::new(StridePrefetcher::new(StrideConfig::default())),
+            Box::new(MarkovPrefetcher::new(MarkovConfig::default())),
+            Box::new(CdcPrefetcher::new(CdcConfig::default())),
+        ];
+        let mut out = Vec::new();
+        for (line, hit) in &lines {
+            for p in &mut prefetchers {
+                out.clear();
+                p.on_access(&ev(*line, *hit), &mut out);
+                prop_assert!(out.len() <= 16, "{} emitted {}", p.name(), out.len());
+            }
+        }
+    }
+
+    /// The stride prefetcher's predictions continue the trained stride.
+    #[test]
+    fn stride_predictions_follow_the_stride(start in 0u64..1_000_000, stride in 1i64..32) {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        let mut line = start;
+        for _ in 0..8 {
+            out.clear();
+            p.on_access(
+                &AccessEvent {
+                    core: CoreId::new(0),
+                    line: LineAddr::new(line),
+                    pc: 0x400,
+                    hit: false,
+                    runahead: false,
+                },
+                &mut out,
+            );
+            for cand in &out {
+                let delta = cand.distance_from(LineAddr::new(line));
+                prop_assert_eq!(delta % stride, 0, "prediction off-stride");
+                prop_assert!(delta > 0);
+            }
+            line = line.wrapping_add(stride as u64);
+        }
+    }
+
+    /// DDPF filtering is sound: counters only saturate within [0, 3] and a
+    /// fully-useful history never filters.
+    #[test]
+    fn ddpf_never_filters_always_useful_lines(lines in prop::collection::vec(0u64..512, 1..200)) {
+        let mut d = Ddpf::new(DdpfConfig::default());
+        for l in &lines {
+            d.train(LineAddr::new(*l), true);
+        }
+        for l in &lines {
+            prop_assert!(d.should_issue(LineAddr::new(*l)));
+        }
+        prop_assert_eq!(d.filtered(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! `padcsim` — run one simulation from the command line.
+//!
+//! ```text
+//! padcsim --cores 4 --policy padc --instructions 300000 \
+//!         --bench omnetpp_06 --bench libquantum_06 --bench galgel_00 --bench GemsFDTD_06
+//! padcsim --config system.json --bench milc_06           # full SimConfig from JSON
+//! padcsim --print-config --cores 2 --policy demand-first # dump the config as JSON
+//! padcsim --trace trace.txt --policy padc                # replay a recorded trace
+//! ```
+
+use padc_core::SchedulingPolicy;
+use padc_cpu::TraceSource;
+use padc_sim::{SimConfig, System};
+use padc_workloads::{profiles, TraceFileSource};
+
+fn parse_policy(s: &str) -> Result<SchedulingPolicy, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "demand-first" | "demandfirst" | "df" => SchedulingPolicy::DemandFirst,
+        "demand-pref-equal" | "equal" | "frfcfs" => SchedulingPolicy::DemandPrefetchEqual,
+        "prefetch-first" | "pf" => SchedulingPolicy::PrefetchFirst,
+        "aps" | "aps-only" => SchedulingPolicy::ApsOnly,
+        "padc" | "aps-apd" => SchedulingPolicy::Padc,
+        "padc-rank" | "rank" => SchedulingPolicy::PadcRank,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+struct Args {
+    cores: usize,
+    policy: SchedulingPolicy,
+    instructions: u64,
+    benches: Vec<String>,
+    traces: Vec<String>,
+    config_path: Option<String>,
+    print_config: bool,
+    no_prefetch: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cores: 1,
+        policy: SchedulingPolicy::Padc,
+        instructions: 200_000,
+        benches: Vec::new(),
+        traces: Vec::new(),
+        config_path: None,
+        print_config: false,
+        no_prefetch: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--policy" => args.policy = parse_policy(&value("--policy")?)?,
+            "--instructions" => {
+                args.instructions = value("--instructions")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--bench" => args.benches.push(value("--bench")?),
+            "--trace" => args.traces.push(value("--trace")?),
+            "--config" => args.config_path = Some(value("--config")?),
+            "--print-config" => args.print_config = true,
+            "--no-prefetch" => args.no_prefetch = true,
+            "--json" => args.json = true,
+            "--list-benchmarks" => {
+                for p in profiles::all() {
+                    println!("{:<22} class {}", p.name, p.class.code());
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: padcsim [--config FILE.json] [--cores N] [--policy P] \
+                     [--instructions N] [--no-prefetch] [--json] \
+                     (--bench NAME ... | --trace FILE ...) | --print-config | --list-benchmarks"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let cores = if !args.traces.is_empty() {
+        args.traces.len()
+    } else if !args.benches.is_empty() {
+        args.benches.len()
+    } else {
+        args.cores
+    };
+    let mut cfg = match &args.config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str::<SimConfig>(&text).unwrap_or_else(|e| {
+                eprintln!("error: invalid config {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => SimConfig::new(cores, args.policy),
+    };
+    if args.config_path.is_none() {
+        cfg.max_instructions = args.instructions;
+        if args.no_prefetch {
+            cfg = cfg.without_prefetching();
+        }
+    }
+    if args.print_config {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cfg).expect("config serializes")
+        );
+        return;
+    }
+
+    let report = if !args.traces.is_empty() {
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
+        for t in &args.traces {
+            match TraceFileSource::from_path(std::path::Path::new(t)) {
+                Ok(src) => traces.push(Box::new(src)),
+                Err(e) => {
+                    eprintln!("error: trace {t}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        System::with_traces(cfg, traces, args.traces.clone()).run()
+    } else {
+        if args.benches.is_empty() {
+            eprintln!("error: provide --bench or --trace (or --help)");
+            std::process::exit(2);
+        }
+        let benches: Vec<_> = args
+            .benches
+            .iter()
+            .map(|n| {
+                profiles::by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: unknown benchmark {n} (try --list-benchmarks)");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        System::new(cfg, benches).run()
+    };
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return;
+    }
+    println!("cycles: {}", report.total_cycles);
+    for c in &report.per_core {
+        println!(
+            "{:<22} IPC={:.3} MPKI={:.1} SPL={:.1} ACC={:.0}% COV={:.0}% sent={} dropped={} traffic={}",
+            c.benchmark,
+            c.ipc(),
+            c.mpki(),
+            c.spl(),
+            c.acc() * 100.0,
+            c.cov() * 100.0,
+            c.prefetches_sent,
+            c.prefetches_dropped,
+            c.traffic.total(),
+        );
+    }
+    let t = report.traffic();
+    println!(
+        "traffic: {} lines (demand {}, useful pf {}, useless pf {}); DRAM row-hit {:.0}%",
+        t.total(),
+        t.demand,
+        t.pref_useful,
+        t.pref_useless,
+        report
+            .channels
+            .first()
+            .map(|c| c.row_hit_rate() * 100.0)
+            .unwrap_or(0.0),
+    );
+}

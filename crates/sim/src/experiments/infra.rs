@@ -1,0 +1,461 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use padc_core::SchedulingPolicy;
+use padc_workloads::{BenchProfile, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::{metrics, Report, SimConfig, System};
+
+/// Scale knobs shared by all experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Instructions each core retires before its stats freeze
+    /// (multi-core runs).
+    pub instructions: u64,
+    /// Instructions for single-core runs (cheaper, so they run longer —
+    /// long enough for the larger single-core L2 to wrap and exercise
+    /// pollution/writeback effects).
+    pub instructions_single: u64,
+    /// Multiprogrammed workloads per multi-core aggregate (the paper uses
+    /// 54 / 32 / 21 for 2 / 4 / 8 cores).
+    pub workloads_2core: usize,
+    /// 4-core workload count.
+    pub workloads_4core: usize,
+    /// 8-core workload count.
+    pub workloads_8core: usize,
+    /// Workload count for parameter sweeps (each sweep point re-runs the
+    /// whole set, so sweeps use a smaller sample).
+    pub workloads_sweep: usize,
+    /// Workload-selection and trace seed.
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// Paper-scale workload counts at a laptop-friendly instruction budget.
+    pub fn full() -> Self {
+        ExpConfig {
+            instructions: 400_000,
+            instructions_single: 800_000,
+            workloads_2core: 32,
+            workloads_4core: 24,
+            workloads_8core: 12,
+            workloads_sweep: 8,
+            seed: 1,
+        }
+    }
+
+    /// Reduced scale for quick looks.
+    pub fn quick() -> Self {
+        ExpConfig {
+            instructions: 120_000,
+            instructions_single: 250_000,
+            workloads_2core: 10,
+            workloads_4core: 8,
+            workloads_8core: 5,
+            workloads_sweep: 4,
+            seed: 1,
+        }
+    }
+
+    /// Tiny scale for the test suite.
+    pub fn smoke() -> Self {
+        ExpConfig {
+            instructions: 25_000,
+            instructions_single: 30_000,
+            workloads_2core: 2,
+            workloads_4core: 2,
+            workloads_8core: 1,
+            workloads_sweep: 1,
+            seed: 1,
+        }
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// One result table: the rows/series of one paper figure or table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpTable {
+    /// Experiment id (e.g. `"fig6"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers (after the row label).
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        ExpTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .map(|(_, vals)| vals[col])
+    }
+}
+
+impl ExpTable {
+    /// Renders the table as RFC-4180-style CSV (label column first).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&field(&self.id));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&field(c));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&field(label));
+            for v in vals {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders one column as a labelled ASCII bar chart (the paper's bar
+    /// figures, in a terminal).
+    ///
+    /// Returns `None` if the column does not exist or holds no positive
+    /// values.
+    pub fn to_bars(&self, column: &str, width: usize) -> Option<String> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let max = self
+            .rows
+            .iter()
+            .map(|(_, v)| v[col])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return None;
+        }
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max()?.max(4);
+        let mut out = format!("{} — {} [{}]\n", self.id, self.title, column);
+        for (label, vals) in &self.rows {
+            let v = vals[col];
+            let n = ((v / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{label:<label_w$} {:<width$} {v:.3}\n",
+                "#".repeat(n)
+            ));
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        write!(f, "{:<label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {:>14}", c)?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for v in vals {
+                if v.abs() >= 1000.0 {
+                    write!(f, " {:>14.0}", v)?;
+                } else {
+                    write!(f, " {:>14.3}", v)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named system variant evaluated in a figure: a label plus a
+/// configuration recipe.
+#[derive(Clone)]
+pub struct PolicyArm {
+    /// Bar label, matching the paper's legends.
+    pub label: &'static str,
+    /// Builds the `SimConfig` for this arm given a core count.
+    pub build: fn(usize) -> SimConfig,
+}
+
+impl fmt::Debug for PolicyArm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PolicyArm({})", self.label)
+    }
+}
+
+/// The paper's standard five-arm comparison (Figs. 6–17).
+pub(crate) fn standard_arms() -> Vec<PolicyArm> {
+    vec![
+        PolicyArm {
+            label: "no-pref",
+            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching(),
+        },
+        PolicyArm {
+            label: "demand-first",
+            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
+        },
+        PolicyArm {
+            label: "demand-pref-equal",
+            build: |n| SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual),
+        },
+        PolicyArm {
+            label: "aps-only",
+            build: |n| SimConfig::new(n, SchedulingPolicy::ApsOnly),
+        },
+        PolicyArm {
+            label: "aps-apd (PADC)",
+            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
+        },
+    ]
+}
+
+/// Process-wide memo of single-core runs: the same (arm, benchmark,
+/// scale) tuple recurs across many experiments (the per-benchmark grids
+/// of Figs. 6-8 / Tables 5 and 7, and every `IPC_alone` normalization),
+/// and runs are deterministic, so each is computed once.
+type MemoKey = (String, String, u64, u64);
+
+fn single_run_memo() -> &'static Mutex<HashMap<MemoKey, Report>> {
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, Report>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs one benchmark alone on a single-core system under the arm's
+/// configuration, returning its (memoized) report.
+pub(crate) fn run_single(arm: &PolicyArm, bench: &BenchProfile, exp: &ExpConfig) -> Report {
+    let key = (
+        arm.label.to_string(),
+        bench.name.clone(),
+        exp.instructions_single,
+        exp.seed,
+    );
+    if let Some(r) = single_run_memo().lock().expect("memo poisoned").get(&key) {
+        return r.clone();
+    }
+    let mut cfg = (arm.build)(1);
+    cfg.max_instructions = exp.instructions_single;
+    cfg.seed = exp.seed;
+    let r = System::new(cfg, vec![bench.clone()]).run();
+    single_run_memo()
+        .lock()
+        .expect("memo poisoned")
+        .insert(key, r.clone());
+    r
+}
+
+/// Runs a multiprogrammed workload under the arm's configuration.
+pub(crate) fn run_workload(arm: &PolicyArm, w: &Workload, exp: &ExpConfig) -> Report {
+    let mut cfg = (arm.build)(w.cores());
+    cfg.max_instructions = exp.instructions;
+    cfg.seed = exp.seed;
+    System::new(cfg, w.benchmarks.clone()).run()
+}
+
+/// `IPC_alone` for each benchmark of a workload — measured on a single-core
+/// system with the demand-first policy, as §5.2 specifies.
+pub(crate) fn alone_ipcs(w: &Workload, exp: &ExpConfig) -> Vec<f64> {
+    // Labelled "demand-first" so the memo shares entries with the
+    // demand-first arm of the single-core grids (identical configuration).
+    let arm = PolicyArm {
+        label: "demand-first",
+        build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
+    };
+    w.benchmarks
+        .iter()
+        .map(|b| run_single(&arm, b, exp).per_core[0].ipc())
+        .collect()
+}
+
+/// Aggregate outcome of one workload under one arm.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WorkloadOutcome {
+    pub ws: f64,
+    pub hs: f64,
+    pub uf: f64,
+    pub traffic_total: f64,
+}
+
+/// Runs `workloads` under `arm` (in parallel across workloads) and averages
+/// WS/HS/UF and total traffic.
+pub(crate) fn average_over_workloads(
+    arm: &PolicyArm,
+    workloads: &[Workload],
+    alone: &[Vec<f64>],
+    exp: &ExpConfig,
+) -> WorkloadOutcome {
+    let results: Vec<WorkloadOutcome> = parallel_map(workloads.len(), |i| {
+        let w = &workloads[i];
+        let r = run_workload(arm, w, exp);
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+        WorkloadOutcome {
+            ws: metrics::weighted_speedup(&ipcs, &alone[i]),
+            hs: metrics::harmonic_speedup(&ipcs, &alone[i]),
+            uf: metrics::unfairness(&ipcs, &alone[i]),
+            traffic_total: r.traffic().total() as f64,
+        }
+    });
+    let n = results.len().max(1) as f64;
+    let mut acc = WorkloadOutcome::default();
+    for r in &results {
+        acc.ws += r.ws / n;
+        acc.hs += r.hs / n;
+        // UF can be infinite if a core starves completely; clamp for
+        // averaging.
+        acc.uf += r.uf.min(100.0) / n;
+        acc.traffic_total += r.traffic_total / n;
+    }
+    acc
+}
+
+/// Simple deterministic fork-join map over `0..n` using scoped threads.
+pub(crate) fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *results[i].lock().expect("poisoned") = Some(v);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_and_prints() {
+        let mut t = ExpTable::new("figX", "demo", &["WS", "HS"]);
+        t.push("demand-first", vec![1.0, 0.5]);
+        t.push("PADC", vec![1.1, 0.6]);
+        assert_eq!(t.get("PADC", "WS"), Some(1.1));
+        assert_eq!(t.get("PADC", "missing"), None);
+        assert_eq!(t.get("missing", "WS"), None);
+        let s = t.to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("demand-first"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes_and_lists_rows() {
+        let mut t = ExpTable::new("figX", "demo", &["WS", "notes,weird"]);
+        t.push("a,b", vec![1.5, 2.0]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("figX,WS,\"notes,weird\"\n"));
+        assert!(csv.contains("\"a,b\",1.5,2"));
+    }
+
+    #[test]
+    fn bar_rendering_scales_to_max() {
+        let mut t = ExpTable::new("figX", "demo", &["WS"]);
+        t.push("small", vec![1.0]);
+        t.push("big", vec![2.0]);
+        let bars = t.to_bars("WS", 10).expect("column exists");
+        assert!(bars.contains("big"));
+        let big_line = bars.lines().find(|l| l.starts_with("big")).unwrap();
+        let small_line = bars.lines().find(|l| l.starts_with("small")).unwrap();
+        let hashes = |l: &str| l.chars().filter(|c| *c == '#').count();
+        assert_eq!(hashes(big_line), 10);
+        assert_eq!(hashes(small_line), 5);
+        assert!(t.to_bars("missing", 10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = ExpTable::new("x", "x", &["a", "b"]);
+        t.push("r", vec![1.0]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn standard_arms_match_paper_legend() {
+        let arms = standard_arms();
+        let labels: Vec<_> = arms.iter().map(|a| a.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "no-pref",
+                "demand-first",
+                "demand-pref-equal",
+                "aps-only",
+                "aps-apd (PADC)"
+            ]
+        );
+    }
+
+    #[test]
+    fn exp_config_scales_are_ordered() {
+        assert!(ExpConfig::smoke().instructions < ExpConfig::quick().instructions);
+        assert!(ExpConfig::quick().instructions <= ExpConfig::full().instructions);
+        assert!(ExpConfig::full().workloads_4core >= 24);
+        assert!(ExpConfig::full().instructions_single >= ExpConfig::full().instructions);
+    }
+}

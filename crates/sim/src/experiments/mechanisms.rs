@@ -1,0 +1,467 @@
+//! Interactions with other mechanisms: alternative prefetchers (Fig. 28),
+//! DDPF and FDP (Figs. 29, 30), permutation-based interleaving (Fig. 31),
+//! runahead execution (Fig. 32), and the hardware-cost tables (1, 2, 6).
+
+use padc_core::{cost, DropThresholds, SchedulingPolicy};
+use padc_dram::MappingScheme;
+use padc_prefetch::PrefetcherKind;
+use padc_workloads::random_workloads;
+
+use crate::SimConfig;
+
+use super::infra::{alone_ipcs, parallel_map, ExpConfig, ExpTable};
+
+/// One arm of a mechanism comparison: label, base policy, prefetching
+/// on/off, and a configuration mutation.
+type MechanismArm = (String, SchedulingPolicy, bool, fn(&mut SimConfig));
+
+/// Builds an arm list with a shared mutation applied on top of base
+/// policies.
+fn arms_with(
+    labels_policies: &[(&'static str, SchedulingPolicy, bool)],
+    mutate: fn(&mut SimConfig),
+) -> Vec<MechanismArm> {
+    labels_policies
+        .iter()
+        .map(|(l, p, pf)| (l.to_string(), *p, *pf, mutate))
+        .collect()
+}
+
+fn run_arm_set(
+    id: &str,
+    title: &str,
+    cores: usize,
+    count: usize,
+    arms: Vec<MechanismArm>,
+    exp: &ExpConfig,
+) -> ExpTable {
+    let workloads = random_workloads(count, cores, exp.seed);
+    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
+    let mut t = ExpTable::new(id, title, &["WS", "HS", "UF", "traffic(lines)"]);
+    for (label, policy, prefetch, mutate) in arms {
+        let results: Vec<(f64, f64, f64, f64)> = parallel_map(workloads.len(), |i| {
+            let w = &workloads[i];
+            let mut cfg = SimConfig::new(w.cores(), policy);
+            if !prefetch {
+                cfg = cfg.without_prefetching();
+            }
+            cfg.max_instructions = exp.instructions;
+            cfg.seed = exp.seed;
+            mutate(&mut cfg);
+            let r = crate::System::new(cfg, w.benchmarks.clone()).run();
+            let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+            (
+                crate::metrics::weighted_speedup(&ipcs, &alone[i]),
+                crate::metrics::harmonic_speedup(&ipcs, &alone[i]),
+                crate::metrics::unfairness(&ipcs, &alone[i]).min(100.0),
+                r.traffic().total() as f64,
+            )
+        });
+        let n = results.len().max(1) as f64;
+        t.push(
+            label,
+            vec![
+                results.iter().map(|r| r.0).sum::<f64>() / n,
+                results.iter().map(|r| r.1).sum::<f64>() / n,
+                results.iter().map(|r| r.2).sum::<f64>() / n,
+                results.iter().map(|r| r.3).sum::<f64>() / n,
+            ],
+        );
+    }
+    t
+}
+
+/// Fig. 28: PADC under the stride, C/DC, and Markov prefetchers (plus the
+/// stream default), 4-core averages.
+pub fn fig28_prefetchers(exp: &ExpConfig) -> Vec<ExpTable> {
+    fn set_stride(cfg: &mut SimConfig) {
+        cfg.prefetcher = cfg.prefetcher.map(|_| PrefetcherKind::Stride);
+    }
+    fn set_cdc(cfg: &mut SimConfig) {
+        cfg.prefetcher = cfg.prefetcher.map(|_| PrefetcherKind::Cdc);
+    }
+    fn set_markov(cfg: &mut SimConfig) {
+        cfg.prefetcher = cfg.prefetcher.map(|_| PrefetcherKind::Markov);
+    }
+    let base: [(&'static str, SchedulingPolicy, bool); 4] = [
+        ("no-pref", SchedulingPolicy::DemandFirst, false),
+        ("demand-first", SchedulingPolicy::DemandFirst, true),
+        (
+            "demand-pref-equal",
+            SchedulingPolicy::DemandPrefetchEqual,
+            true,
+        ),
+        ("PADC", SchedulingPolicy::Padc, true),
+    ];
+    let mut out = Vec::new();
+    for (name, mutate) in [
+        ("stride", set_stride as fn(&mut SimConfig)),
+        ("cdc", set_cdc),
+        ("markov", set_markov),
+    ] {
+        out.push(run_arm_set(
+            &format!("fig28-{name}"),
+            &format!("PADC under the {name} prefetcher, 4-core"),
+            4,
+            exp.workloads_sweep,
+            arms_with(&base, mutate),
+            exp,
+        ));
+    }
+    out
+}
+
+/// Fig. 29: DDPF and FDP combined with demand-first scheduling and with
+/// APS; APD for comparison.
+pub fn fig29_ddpf_fdp_demand_first(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn ddpf(cfg: &mut SimConfig) {
+        cfg.ddpf = true;
+    }
+    fn fdp(cfg: &mut SimConfig) {
+        cfg.fdp = true;
+    }
+    fn apd(cfg: &mut SimConfig) {
+        cfg.controller.apd = true;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-first-ddpf".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            ddpf,
+        ),
+        (
+            "demand-first-fdp".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            fdp,
+        ),
+        (
+            "demand-first-apd".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            apd,
+        ),
+        ("aps-ddpf".into(), SchedulingPolicy::ApsOnly, true, ddpf),
+        ("aps-fdp".into(), SchedulingPolicy::ApsOnly, true, fdp),
+        ("aps-apd (PADC)".into(), SchedulingPolicy::Padc, true, none),
+    ];
+    run_arm_set(
+        "fig29",
+        "DDPF / FDP / APD with demand-first and APS, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Fig. 30: DDPF and FDP combined with demand-prefetch-equal scheduling.
+pub fn fig30_ddpf_fdp_equal(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn ddpf(cfg: &mut SimConfig) {
+        cfg.ddpf = true;
+    }
+    fn fdp(cfg: &mut SimConfig) {
+        cfg.fdp = true;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-pref-equal".into(),
+            SchedulingPolicy::DemandPrefetchEqual,
+            true,
+            none,
+        ),
+        (
+            "demand-pref-equal-ddpf".into(),
+            SchedulingPolicy::DemandPrefetchEqual,
+            true,
+            ddpf,
+        ),
+        (
+            "demand-pref-equal-fdp".into(),
+            SchedulingPolicy::DemandPrefetchEqual,
+            true,
+            fdp,
+        ),
+        ("aps".into(), SchedulingPolicy::ApsOnly, true, none),
+        ("aps-apd (PADC)".into(), SchedulingPolicy::Padc, true, none),
+    ];
+    run_arm_set(
+        "fig30",
+        "DDPF / FDP with demand-prefetch-equal, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Fig. 31: permutation-based page interleaving with and without PADC.
+pub fn fig31_permutation(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn perm(cfg: &mut SimConfig) {
+        cfg.mapping = MappingScheme::Permutation;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        ("no-pref".into(), SchedulingPolicy::DemandFirst, false, none),
+        (
+            "no-pref-perm".into(),
+            SchedulingPolicy::DemandFirst,
+            false,
+            perm,
+        ),
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-first-perm".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            perm,
+        ),
+        (
+            "aps-only-perm".into(),
+            SchedulingPolicy::ApsOnly,
+            true,
+            perm,
+        ),
+        ("PADC".into(), SchedulingPolicy::Padc, true, none),
+        ("PADC-perm".into(), SchedulingPolicy::Padc, true, perm),
+    ];
+    run_arm_set(
+        "fig31",
+        "Permutation-based page interleaving, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Fig. 32: runahead execution with and without PADC.
+pub fn fig32_runahead(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn ra(cfg: &mut SimConfig) {
+        cfg.core.runahead = true;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        ("no-pref".into(), SchedulingPolicy::DemandFirst, false, none),
+        (
+            "no-pref-ra".into(),
+            SchedulingPolicy::DemandFirst,
+            false,
+            ra,
+        ),
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-first-ra".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            ra,
+        ),
+        ("aps-only-ra".into(), SchedulingPolicy::ApsOnly, true, ra),
+        ("PADC".into(), SchedulingPolicy::Padc, true, none),
+        ("PADC-ra".into(), SchedulingPolicy::Padc, true, ra),
+    ];
+    run_arm_set(
+        "fig32",
+        "Runahead execution, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Extension (beyond the paper): PAR-BS-style request batching layered on
+/// PADC, compared against plain PADC and PADC-rank on the 4-core system.
+pub fn ext_batching(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn batch(cfg: &mut SimConfig) {
+        cfg.controller.batching = true;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        ("PADC".into(), SchedulingPolicy::Padc, true, none),
+        ("PADC-rank".into(), SchedulingPolicy::PadcRank, true, none),
+        ("PADC-batch".into(), SchedulingPolicy::Padc, true, batch),
+        (
+            "PADC-rank-batch".into(),
+            SchedulingPolicy::PadcRank,
+            true,
+            batch,
+        ),
+    ];
+    run_arm_set(
+        "ext-batch",
+        "Extension: PAR-BS batching on top of PADC, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Extension (beyond the paper): the full DDR3 constraint set
+/// (tRAS/tWR/tRTP/tFAW/refresh) versus the paper's three-latency model.
+pub fn ext_timing(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn ext(cfg: &mut SimConfig) {
+        cfg.dram.extended = Some(padc_dram::ExtendedTiming::default());
+    }
+    let arms: Vec<MechanismArm> = vec![
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-first-ext".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            ext,
+        ),
+        ("PADC".into(), SchedulingPolicy::Padc, true, none),
+        ("PADC-ext".into(), SchedulingPolicy::Padc, true, ext),
+    ];
+    run_arm_set(
+        "ext-timing",
+        "Extension: full DDR3 timing constraints vs the paper's model, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Extension (beyond the paper): watermark-based write-drain scheduling
+/// versus the paper's writebacks-as-demands treatment.
+pub fn ext_write_drain(exp: &ExpConfig) -> ExpTable {
+    fn none(_: &mut SimConfig) {}
+    fn wd(cfg: &mut SimConfig) {
+        cfg.controller.write_drain = true;
+    }
+    let arms: Vec<MechanismArm> = vec![
+        (
+            "demand-first".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            none,
+        ),
+        (
+            "demand-first-wdrain".into(),
+            SchedulingPolicy::DemandFirst,
+            true,
+            wd,
+        ),
+        ("PADC".into(), SchedulingPolicy::Padc, true, none),
+        ("PADC-wdrain".into(), SchedulingPolicy::Padc, true, wd),
+    ];
+    run_arm_set(
+        "ext-wdrain",
+        "Extension: watermark write-drain vs writebacks-as-demands, 4-core",
+        4,
+        exp.workloads_sweep,
+        arms,
+        exp,
+    )
+}
+
+/// Tables 1 and 2: the hardware-cost model, evaluated for the paper's
+/// 1/2/4/8-core systems.
+pub fn tab1_2_cost(_exp: &ExpConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        "cost",
+        "PADC storage cost in bits (Tables 1-2); last column = % of L2 capacity",
+        &["P", "PSC+PUC+PAR", "U", "ID", "AGE", "total", "%L2"],
+    );
+    for (cores, lines_per_core, req) in [
+        (1u64, 16_384u64, 64u64), // 1MB single-core L2
+        (2, 8_192, 64),
+        (4, 8_192, 128),
+        (8, 8_192, 256),
+    ] {
+        let c = cost::padc_storage(cores, lines_per_core, req);
+        let l2_bytes = lines_per_core * cores * 64;
+        t.push(
+            format!("{cores}-core"),
+            vec![
+                c.p_bits as f64,
+                (c.psc_bits + c.puc_bits + c.par_bits) as f64,
+                c.urgent_bits as f64,
+                c.id_bits as f64,
+                c.age_bits as f64,
+                c.total_bits() as f64,
+                cost::fraction_of_l2(&c, l2_bytes) * 100.0,
+            ],
+        );
+    }
+    t
+}
+
+/// Table 6: the dynamic drop-threshold schedule.
+pub fn tab6_thresholds(_exp: &ExpConfig) -> ExpTable {
+    let d = DropThresholds::default();
+    let mut t = ExpTable::new(
+        "tab6",
+        "Dynamic APD drop thresholds (cycles) by measured prefetch accuracy",
+        &["drop_threshold"],
+    );
+    for (label, acc) in [
+        ("0-10%", 0.05),
+        ("10-30%", 0.20),
+        ("30-70%", 0.50),
+        ("70-100%", 0.85),
+    ] {
+        t.push(label, vec![d.threshold_for(acc) as f64]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_table_matches_paper_totals() {
+        let t = tab1_2_cost(&ExpConfig::smoke());
+        assert_eq!(t.get("4-core", "total"), Some(34_720.0));
+        let pct = t.get("4-core", "%L2").unwrap();
+        assert!((pct - 0.2).abs() < 0.05, "{pct}");
+    }
+
+    #[test]
+    fn threshold_table_matches_table6() {
+        let t = tab6_thresholds(&ExpConfig::smoke());
+        assert_eq!(t.get("0-10%", "drop_threshold"), Some(100.0));
+        assert_eq!(t.get("70-100%", "drop_threshold"), Some(100_000.0));
+    }
+}

@@ -1,0 +1,428 @@
+//! Multi-core experiments: case studies (§6.3.1–6.3.5), system-size
+//! aggregates (Figs. 9, 16, 17), ranking (Figs. 19, 20), dual controllers
+//! (Figs. 21, 22), and shared last-level caches (Figs. 26, 27).
+
+use padc_core::SchedulingPolicy;
+use padc_workloads::{random_workloads, Workload};
+
+use crate::{metrics, SimConfig};
+
+use super::infra::{
+    alone_ipcs, average_over_workloads, parallel_map, run_workload, standard_arms, ExpConfig,
+    ExpTable, PolicyArm,
+};
+
+/// The paper's three 4-core case studies (§6.3.1–6.3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CaseStudy {
+    /// Case I: four prefetch-friendly applications.
+    AllFriendly,
+    /// Case II: four prefetch-unfriendly applications.
+    AllUnfriendly,
+    /// Case III: two friendly + two unfriendly.
+    Mixed,
+}
+
+impl CaseStudy {
+    /// The benchmark mix (matching the paper's figures).
+    pub fn benchmarks(self) -> [&'static str; 4] {
+        match self {
+            CaseStudy::AllFriendly => ["swim_00", "bwaves_06", "leslie3d_06", "soplex_06"],
+            CaseStudy::AllUnfriendly => ["art_00", "galgel_00", "ammp_00", "milc_06"],
+            CaseStudy::Mixed => ["omnetpp_06", "libquantum_06", "galgel_00", "GemsFDTD_06"],
+        }
+    }
+
+    /// Experiment id used by the repro harness.
+    pub fn id(self) -> &'static str {
+        match self {
+            CaseStudy::AllFriendly => "case1",
+            CaseStudy::AllUnfriendly => "case2",
+            CaseStudy::Mixed => "case3",
+        }
+    }
+}
+
+/// Runs one case study: returns (individual speedups, system metrics,
+/// per-application traffic breakdown) — the paper's paired figures (10–15).
+pub fn case_study(case: CaseStudy, exp: &ExpConfig) -> Vec<ExpTable> {
+    let w = Workload::from_names(&case.benchmarks());
+    let alone = alone_ipcs(&w, exp);
+    let arms = standard_arms();
+    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
+
+    let mut speedups = ExpTable::new(
+        &format!("{}-is", case.id()),
+        "Individual speedup over running alone",
+        &case.benchmarks(),
+    );
+    let mut system = ExpTable::new(
+        &format!("{}-sys", case.id()),
+        "System performance and total traffic",
+        &["WS", "HS", "UF", "traffic(lines)"],
+    );
+    let mut traffic = ExpTable::new(
+        &format!("{}-traffic", case.id()),
+        "Per-arm traffic breakdown (lines)",
+        &["demand", "pref-useful", "pref-useless"],
+    );
+    for (a, arm) in arms.iter().enumerate() {
+        let r = &reports[a];
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+        let is = metrics::individual_speedups(&ipcs, &alone);
+        speedups.push(arm.label, is);
+        system.push(
+            arm.label,
+            vec![
+                metrics::weighted_speedup(&ipcs, &alone),
+                metrics::harmonic_speedup(&ipcs, &alone),
+                metrics::unfairness(&ipcs, &alone),
+                r.traffic().total() as f64,
+            ],
+        );
+        let tr = r.traffic();
+        traffic.push(
+            arm.label,
+            vec![
+                tr.demand as f64,
+                tr.pref_useful as f64,
+                tr.pref_useless as f64,
+            ],
+        );
+    }
+    vec![speedups, system, traffic]
+}
+
+/// Shared implementation for the N-core aggregate figures.
+fn aggregate(
+    id: &str,
+    title: &str,
+    cores: usize,
+    count: usize,
+    arms: &[PolicyArm],
+    exp: &ExpConfig,
+) -> ExpTable {
+    let workloads = random_workloads(count, cores, exp.seed);
+    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
+    let mut t = ExpTable::new(id, title, &["WS", "HS", "UF", "traffic(lines)"]);
+    for arm in arms {
+        let o = average_over_workloads(arm, &workloads, &alone, exp);
+        t.push(arm.label, vec![o.ws, o.hs, o.uf, o.traffic_total]);
+    }
+    t
+}
+
+/// Fig. 9: 2-core averages over the workload set.
+pub fn fig9_2core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig9",
+        "2-core average system performance and traffic",
+        2,
+        exp.workloads_2core,
+        &standard_arms(),
+        exp,
+    )
+}
+
+/// Fig. 16: 4-core averages.
+pub fn fig16_4core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig16",
+        "4-core average system performance and traffic",
+        4,
+        exp.workloads_4core,
+        &standard_arms(),
+        exp,
+    )
+}
+
+/// Fig. 17: 8-core averages.
+pub fn fig17_8core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig17",
+        "8-core average system performance and traffic",
+        8,
+        exp.workloads_8core,
+        &standard_arms(),
+        exp,
+    )
+}
+
+fn ranking_arms() -> Vec<PolicyArm> {
+    vec![
+        PolicyArm {
+            label: "demand-first",
+            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
+        },
+        PolicyArm {
+            label: "PADC",
+            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
+        },
+        PolicyArm {
+            label: "PADC-rank",
+            build: |n| SimConfig::new(n, SchedulingPolicy::PadcRank),
+        },
+    ]
+}
+
+/// Fig. 19: PADC with shortest-job-first ranking, 4-core.
+pub fn fig19_ranking_4core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig19",
+        "PADC with request ranking, 4-core (WS/HS/UF/traffic)",
+        4,
+        exp.workloads_4core,
+        &ranking_arms(),
+        exp,
+    )
+}
+
+/// Fig. 20: PADC with ranking, 8-core.
+pub fn fig20_ranking_8core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig20",
+        "PADC with request ranking, 8-core (WS/HS/UF/traffic)",
+        8,
+        exp.workloads_8core,
+        &ranking_arms(),
+        exp,
+    )
+}
+
+fn dual_controller_arms() -> Vec<PolicyArm> {
+    fn with_two_channels(mut cfg: SimConfig) -> SimConfig {
+        cfg.dram.channels = 2;
+        cfg
+    }
+    vec![
+        PolicyArm {
+            label: "no-pref",
+            build: |n| {
+                with_two_channels(
+                    SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching(),
+                )
+            },
+        },
+        PolicyArm {
+            label: "demand-first",
+            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::DemandFirst)),
+        },
+        PolicyArm {
+            label: "demand-pref-equal",
+            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual)),
+        },
+        PolicyArm {
+            label: "aps-only",
+            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
+        },
+        PolicyArm {
+            label: "aps-apd (PADC)",
+            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::Padc)),
+        },
+    ]
+}
+
+/// Fig. 21: dual memory controllers, 4-core.
+pub fn fig21_dual_controller_4core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig21",
+        "Dual memory controllers, 4-core",
+        4,
+        exp.workloads_4core,
+        &dual_controller_arms(),
+        exp,
+    )
+}
+
+/// Fig. 22: dual memory controllers, 8-core.
+pub fn fig22_dual_controller_8core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig22",
+        "Dual memory controllers, 8-core",
+        8,
+        exp.workloads_8core,
+        &dual_controller_arms(),
+        exp,
+    )
+}
+
+fn shared_l2_arms() -> Vec<PolicyArm> {
+    fn shared(mut cfg: SimConfig) -> SimConfig {
+        cfg.shared_l2 = true;
+        cfg
+    }
+    vec![
+        PolicyArm {
+            label: "no-pref",
+            build: |n| {
+                shared(SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching())
+            },
+        },
+        PolicyArm {
+            label: "demand-first",
+            build: |n| shared(SimConfig::new(n, SchedulingPolicy::DemandFirst)),
+        },
+        PolicyArm {
+            label: "demand-pref-equal",
+            build: |n| shared(SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual)),
+        },
+        PolicyArm {
+            label: "aps-only",
+            build: |n| shared(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
+        },
+        PolicyArm {
+            label: "aps-apd (PADC)",
+            build: |n| shared(SimConfig::new(n, SchedulingPolicy::Padc)),
+        },
+    ]
+}
+
+/// Fig. 26: shared last-level cache, 4-core.
+pub fn fig26_shared_l2_4core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig26",
+        "Shared L2 (2MB/16-way), 4-core",
+        4,
+        exp.workloads_4core,
+        &shared_l2_arms(),
+        exp,
+    )
+}
+
+/// Fig. 27: shared last-level cache, 8-core.
+pub fn fig27_shared_l2_8core(exp: &ExpConfig) -> ExpTable {
+    aggregate(
+        "fig27",
+        "Shared L2 (4MB/32-way), 8-core",
+        8,
+        exp.workloads_8core,
+        &shared_l2_arms(),
+        exp,
+    )
+}
+
+/// Table 8: effect of urgent-request prioritization on the mixed case
+/// study — individual speedups, UF, WS, HS for APS/PADC with and without
+/// urgency.
+pub fn tab8_urgency(exp: &ExpConfig) -> ExpTable {
+    fn no_urgency(mut cfg: SimConfig) -> SimConfig {
+        cfg.controller.urgency = false;
+        cfg
+    }
+    let arms = [
+        PolicyArm {
+            label: "demand-first",
+            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
+        },
+        PolicyArm {
+            label: "aps-no-urgent",
+            build: |n| no_urgency(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
+        },
+        PolicyArm {
+            label: "aps",
+            build: |n| SimConfig::new(n, SchedulingPolicy::ApsOnly),
+        },
+        PolicyArm {
+            label: "aps-apd-no-urgent",
+            build: |n| no_urgency(SimConfig::new(n, SchedulingPolicy::Padc)),
+        },
+        PolicyArm {
+            label: "aps-apd (PADC)",
+            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
+        },
+    ];
+    let case = CaseStudy::Mixed;
+    let w = Workload::from_names(&case.benchmarks());
+    let alone = alone_ipcs(&w, exp);
+    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
+    let mut t = ExpTable::new(
+        "tab8",
+        "Effect of prioritizing urgent requests (mixed 4-core workload)",
+        &[
+            "IS(omnetpp)",
+            "IS(libquantum)",
+            "IS(galgel)",
+            "IS(GemsFDTD)",
+            "UF",
+            "WS",
+            "HS",
+        ],
+    );
+    for (a, arm) in arms.iter().enumerate() {
+        let ipcs: Vec<f64> = reports[a].per_core.iter().map(|c| c.ipc()).collect();
+        let mut row = metrics::individual_speedups(&ipcs, &alone);
+        row.push(metrics::unfairness(&ipcs, &alone));
+        row.push(metrics::weighted_speedup(&ipcs, &alone));
+        row.push(metrics::harmonic_speedup(&ipcs, &alone));
+        t.push(arm.label, row);
+    }
+    t
+}
+
+fn identical_apps(id: &str, title: &str, bench: &str, exp: &ExpConfig) -> ExpTable {
+    let w = Workload::from_names(&[bench; 4]);
+    let alone = alone_ipcs(&w, exp);
+    let arms = standard_arms();
+    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
+    let mut t = ExpTable::new(id, title, &["IS0", "IS1", "IS2", "IS3", "WS", "HS", "UF"]);
+    for (a, arm) in arms.iter().enumerate() {
+        let ipcs: Vec<f64> = reports[a].per_core.iter().map(|c| c.ipc()).collect();
+        let mut row = metrics::individual_speedups(&ipcs, &alone);
+        row.push(metrics::weighted_speedup(&ipcs, &alone));
+        row.push(metrics::harmonic_speedup(&ipcs, &alone));
+        row.push(metrics::unfairness(&ipcs, &alone));
+        t.push(arm.label, row);
+    }
+    t
+}
+
+/// Table 9: four copies of libquantum on the 4-core system.
+pub fn tab9_identical_libquantum(exp: &ExpConfig) -> ExpTable {
+    identical_apps(
+        "tab9",
+        "Four identical prefetch-friendly applications (libquantum x4)",
+        "libquantum_06",
+        exp,
+    )
+}
+
+/// Table 10: four copies of milc on the 4-core system.
+pub fn tab10_identical_milc(exp: &ExpConfig) -> ExpTable {
+    identical_apps(
+        "tab10",
+        "Four identical prefetch-unfriendly applications (milc x4)",
+        "milc_06",
+        exp,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_produces_three_tables() {
+        let tables = case_study(CaseStudy::Mixed, &ExpConfig::smoke());
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 5);
+        assert!(tables[1].get("aps-apd (PADC)", "WS").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn identical_apps_have_similar_speedups_under_padc() {
+        let t = tab9_identical_libquantum(&ExpConfig::smoke());
+        let padc: Vec<f64> = (0..4)
+            .map(|i| t.get("aps-apd (PADC)", &format!("IS{i}")).unwrap())
+            .collect();
+        let max = padc.iter().cloned().fold(f64::MIN, f64::max);
+        let min = padc.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.6, "identical apps should progress evenly");
+    }
+
+    #[test]
+    fn two_core_aggregate_runs_at_smoke_scale() {
+        let t = fig9_2core(&ExpConfig::smoke());
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.get("demand-first", "WS").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Parameter sweeps: row-buffer size (Fig. 23), closed-row policy
+//! (Fig. 24), and last-level cache size (Fig. 25).
+
+use padc_dram::RowPolicy;
+use padc_workloads::random_workloads;
+
+use crate::SimConfig;
+
+use super::infra::{alone_ipcs, parallel_map, standard_arms, ExpConfig, ExpTable, PolicyArm};
+
+/// Runs the standard arms over the 4-core workload set with a config
+/// mutation applied to every arm, returning average WS per arm.
+fn mutated_ws(
+    mutate: &(dyn Fn(&mut SimConfig) + Sync),
+    exp: &ExpConfig,
+) -> Vec<(String, f64, f64)> {
+    let workloads = random_workloads(exp.workloads_sweep, 4, exp.seed);
+    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
+    standard_arms()
+        .iter()
+        .map(|arm| {
+            // Wrap the arm with the mutation.
+            let wrapped = PolicyArm {
+                label: arm.label,
+                build: arm.build,
+            };
+            let outcome = average_over_workloads_mutated(&wrapped, mutate, &workloads, &alone, exp);
+            (arm.label.to_string(), outcome.0, outcome.1)
+        })
+        .collect()
+}
+
+fn average_over_workloads_mutated(
+    arm: &PolicyArm,
+    mutate: &(dyn Fn(&mut SimConfig) + Sync),
+    workloads: &[padc_workloads::Workload],
+    alone: &[Vec<f64>],
+    exp: &ExpConfig,
+) -> (f64, f64) {
+    let results: Vec<(f64, f64)> = parallel_map(workloads.len(), |i| {
+        let w = &workloads[i];
+        let mut cfg = (arm.build)(w.cores());
+        cfg.max_instructions = exp.instructions;
+        cfg.seed = exp.seed;
+        mutate(&mut cfg);
+        let r = crate::System::new(cfg, w.benchmarks.clone()).run();
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+        (
+            crate::metrics::weighted_speedup(&ipcs, &alone[i]),
+            r.traffic().total() as f64,
+        )
+    });
+    let n = results.len().max(1) as f64;
+    (
+        results.iter().map(|r| r.0).sum::<f64>() / n,
+        results.iter().map(|r| r.1).sum::<f64>() / n,
+    )
+}
+
+/// Fig. 23: weighted speedup across DRAM row-buffer sizes (2KB–128KB) on
+/// the 4-core system. Columns are the arms, rows the row sizes.
+pub fn fig23_row_buffer_sweep(exp: &ExpConfig) -> ExpTable {
+    let sizes: [u64; 7] = [
+        2 * 1024,
+        4 * 1024,
+        8 * 1024,
+        16 * 1024,
+        32 * 1024,
+        64 * 1024,
+        128 * 1024,
+    ];
+    let mut t = ExpTable::new(
+        "fig23",
+        "Average 4-core WS vs DRAM row-buffer size",
+        &[
+            "no-pref",
+            "demand-first",
+            "demand-pref-equal",
+            "aps-only",
+            "aps-apd (PADC)",
+        ],
+    );
+    for size in sizes {
+        let results = mutated_ws(&move |cfg: &mut SimConfig| cfg.dram.row_bytes = size, exp);
+        t.push(
+            format!("{}KB", size / 1024),
+            results.iter().map(|r| r.1).collect(),
+        );
+    }
+    t
+}
+
+/// Fig. 24: the closed-row policy vs the open-row baseline.
+pub fn fig24_closed_row(exp: &ExpConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig24",
+        "Average 4-core WS and traffic under open- vs closed-row policies",
+        &["WS", "traffic(lines)"],
+    );
+    // Open-row baseline (demand-first and PADC).
+    let open = mutated_ws(&|_: &mut SimConfig| {}, exp);
+    let closed = mutated_ws(
+        &|cfg: &mut SimConfig| cfg.dram.row_policy = RowPolicy::Closed,
+        exp,
+    );
+    for (label, ws, tr) in &open {
+        if label == "demand-first" || label == "aps-apd (PADC)" {
+            t.push(format!("{label} (open-row)"), vec![*ws, *tr]);
+        }
+    }
+    for (label, ws, tr) in &closed {
+        t.push(format!("{label} (closed-row)"), vec![*ws, *tr]);
+    }
+    t
+}
+
+/// Fig. 25: weighted speedup across per-core L2 sizes (512KB–8MB) on the
+/// 4-core system.
+pub fn fig25_cache_sweep(exp: &ExpConfig) -> ExpTable {
+    let sizes: [u64; 5] = [512, 1024, 2048, 4096, 8192];
+    let mut t = ExpTable::new(
+        "fig25",
+        "Average 4-core WS vs per-core L2 capacity",
+        &[
+            "no-pref",
+            "demand-first",
+            "demand-pref-equal",
+            "aps-only",
+            "aps-apd (PADC)",
+        ],
+    );
+    for kb in sizes {
+        let results = mutated_ws(
+            &move |cfg: &mut SimConfig| cfg.l2.size_bytes = kb * 1024,
+            exp,
+        );
+        t.push(format!("{kb}KB"), results.iter().map(|r| r.1).collect());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_row_table_has_both_policies() {
+        let t = fig24_closed_row(&ExpConfig::smoke());
+        assert!(t.rows.len() >= 7);
+        assert!(t
+            .rows
+            .iter()
+            .any(|(l, _)| l.contains("closed-row") && l.contains("PADC")));
+    }
+}

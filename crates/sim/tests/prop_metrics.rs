@@ -1,0 +1,69 @@
+//! Property tests for the §5.2 metric definitions.
+
+use padc_sim::metrics::{
+    gmean, harmonic_speedup, individual_speedups, unfairness, weighted_speedup,
+};
+use proptest::prelude::*;
+
+fn arb_ipcs(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(0.01f64..4.0, n..=n),
+        prop::collection::vec(0.01f64..4.0, n..=n),
+    )
+}
+
+proptest! {
+    /// WS is the sum of individual speedups; bounded by N * max(IS).
+    #[test]
+    fn ws_bounds((together, alone) in arb_ipcs(4)) {
+        let is = individual_speedups(&together, &alone);
+        let ws = weighted_speedup(&together, &alone);
+        let sum: f64 = is.iter().sum();
+        prop_assert!((ws - sum).abs() < 1e-9);
+        let max = is.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(ws <= 4.0 * max + 1e-9);
+    }
+
+    /// HS is a mean: it lies between the min and max individual speedup,
+    /// and never exceeds the arithmetic mean.
+    #[test]
+    fn hs_is_a_mean((together, alone) in arb_ipcs(4)) {
+        let is = individual_speedups(&together, &alone);
+        let hs = harmonic_speedup(&together, &alone);
+        let min = is.iter().cloned().fold(f64::MAX, f64::min);
+        let max = is.iter().cloned().fold(f64::MIN, f64::max);
+        let amean: f64 = is.iter().sum::<f64>() / is.len() as f64;
+        prop_assert!(hs >= min - 1e-9, "hs {hs} < min {min}");
+        prop_assert!(hs <= max + 1e-9, "hs {hs} > max {max}");
+        prop_assert!(hs <= amean + 1e-9, "hs {hs} > amean {amean}");
+    }
+
+    /// UF is at least 1 and scale-invariant.
+    #[test]
+    fn uf_properties((together, alone) in arb_ipcs(4), k in 0.1f64..10.0) {
+        let uf = unfairness(&together, &alone);
+        prop_assert!(uf >= 1.0 - 1e-9);
+        let scaled: Vec<f64> = together.iter().map(|x| x * k).collect();
+        let uf_scaled = unfairness(&scaled, &alone);
+        prop_assert!((uf - uf_scaled).abs() < 1e-6 * uf.max(1.0));
+    }
+
+    /// The geometric mean lies between min and max and is multiplicative.
+    #[test]
+    fn gmean_properties(xs in prop::collection::vec(0.01f64..100.0, 1..20), k in 0.1f64..10.0) {
+        let g = gmean(&xs);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        prop_assert!((gmean(&scaled) - g * k).abs() < 1e-6 * (g * k).max(1.0));
+    }
+
+    /// Identical together/alone vectors give neutral metrics.
+    #[test]
+    fn identical_runs_are_neutral(xs in prop::collection::vec(0.01f64..4.0, 2..8)) {
+        prop_assert!((weighted_speedup(&xs, &xs) - xs.len() as f64).abs() < 1e-9);
+        prop_assert!((harmonic_speedup(&xs, &xs) - 1.0).abs() < 1e-9);
+        prop_assert!((unfairness(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size in bytes (fixed at 64B, matching the paper's Table 3).
+pub const LINE_BYTES: u64 = 64;
+
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A physical byte address.
+///
+/// ```
+/// use padc_types::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.raw(), 0x1234);
+/// assert_eq!(a.line().base_addr(), Addr::new(0x1200));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset within the containing cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address advanced by `bytes` (wrapping on overflow).
+    #[must_use]
+    pub const fn offset(self, bytes: i64) -> Self {
+        Addr(self.0.wrapping_add(bytes as u64))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granular address (byte address shifted right by
+/// [`LINE_SHIFT`]).
+///
+/// All memory-system traffic in the suite is line granular; `LineAddr` makes
+/// it impossible to accidentally mix byte and line numbering.
+///
+/// ```
+/// use padc_types::{Addr, LineAddr};
+/// let l = LineAddr::new(3);
+/// assert_eq!(l.base_addr(), Addr::new(192));
+/// assert_eq!(l.next(), LineAddr::new(4));
+/// assert_eq!(LineAddr::from(Addr::new(200)), l); // 200 / 64 == 3
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    pub const fn base_addr(self) -> Addr {
+        Addr::new(self.0 << LINE_SHIFT)
+    }
+
+    /// The immediately following line.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        LineAddr(self.0.wrapping_add(1))
+    }
+
+    /// The line `n` lines away in the given direction (`n` may be negative).
+    #[must_use]
+    pub const fn offset(self, n: i64) -> Self {
+        LineAddr(self.0.wrapping_add(n as u64))
+    }
+
+    /// Signed distance in lines from `other` to `self`.
+    pub const fn distance_from(self, other: LineAddr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(addr: Addr) -> Self {
+        addr.line()
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_addr_truncates_offset() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(65).line(), LineAddr::new(1));
+    }
+
+    #[test]
+    fn line_offset_is_within_line() {
+        assert_eq!(Addr::new(0x1234).line_offset(), 0x34);
+        assert_eq!(Addr::new(0x1240).line_offset(), 0);
+    }
+
+    #[test]
+    fn line_base_addr_round_trips() {
+        let l = LineAddr::new(1234);
+        assert_eq!(l.base_addr().line(), l);
+    }
+
+    #[test]
+    fn line_distance_is_signed() {
+        let a = LineAddr::new(10);
+        let b = LineAddr::new(14);
+        assert_eq!(b.distance_from(a), 4);
+        assert_eq!(a.distance_from(b), -4);
+    }
+
+    #[test]
+    fn offset_moves_in_both_directions() {
+        let l = LineAddr::new(100);
+        assert_eq!(l.offset(5), LineAddr::new(105));
+        assert_eq!(l.offset(-5), LineAddr::new(95));
+        let a = Addr::new(1000);
+        assert_eq!(a.offset(-1000), Addr::new(0));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{}", LineAddr::new(1)), "L0x1");
+        assert!(!format!("{:?}", Addr::default()).is_empty());
+        assert!(!format!("{:?}", LineAddr::default()).is_empty());
+    }
+}

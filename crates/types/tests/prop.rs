@@ -1,0 +1,36 @@
+//! Property tests for the address vocabulary.
+
+use padc_types::{Addr, LineAddr, LINE_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any byte address maps into its line, and the line's base address is
+    /// at or below it by less than a line.
+    #[test]
+    fn addr_line_roundtrip(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        let line = a.line();
+        let base = line.base_addr();
+        prop_assert!(base.raw() <= raw || line.raw() > raw >> 6, "wrap case");
+        if let Some(delta) = raw.checked_sub(base.raw()) {
+            prop_assert!(delta < LINE_BYTES);
+        }
+        prop_assert_eq!(base.line(), line);
+        prop_assert_eq!(a.line_offset(), raw % LINE_BYTES);
+    }
+
+    /// Line offsets are inverse operations.
+    #[test]
+    fn line_offset_inverse(raw in any::<u64>(), n in -1_000_000i64..1_000_000) {
+        let l = LineAddr::new(raw);
+        prop_assert_eq!(l.offset(n).offset(-n), l);
+        prop_assert_eq!(l.offset(n).distance_from(l), n);
+    }
+
+    /// `next` advances exactly one line.
+    #[test]
+    fn next_is_offset_one(raw in any::<u64>()) {
+        let l = LineAddr::new(raw);
+        prop_assert_eq!(l.next(), l.offset(1));
+    }
+}

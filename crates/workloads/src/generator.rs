@@ -1,0 +1,367 @@
+use padc_cpu::{TraceOp, TraceSource};
+use padc_types::{Addr, LineAddr, LINE_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BenchProfile, Pattern};
+
+/// Address-space span reserved per core so that multiprogrammed workloads
+/// never share lines (private working sets, as in the paper's
+/// multiprogrammed SPEC mixes).
+pub const CORE_ADDRESS_SPAN_LINES: u64 = 1 << 32;
+
+#[derive(Clone, Debug)]
+struct Cursor {
+    line: u64,
+    pc: u64,
+}
+
+/// Deterministic trace generator for one core running one benchmark
+/// profile. Implements [`TraceSource`]; `fork` clones the full generator
+/// state, which is what runahead pre-execution needs.
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    profile: BenchProfile,
+    rng: SmallRng,
+    base_line: u64,
+    instr_index: u64,
+    phase_cycle: u64,
+    /// Stream/stride cursors for the current phase (reset on phase change).
+    cursors: Vec<Cursor>,
+    current_phase: usize,
+    /// Remaining accesses to the current line (spatial reuse).
+    line_reuse_left: u32,
+    current_line: u64,
+    current_pc: u64,
+    /// Remaining lines in the current short run.
+    run_left: u32,
+}
+
+impl TraceGen {
+    /// Creates a generator for `profile` on core `core_index`, seeded
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BenchProfile::validate`].
+    pub fn new(profile: &BenchProfile, core_index: usize, seed: u64) -> Self {
+        profile.validate();
+        let mut hash = seed ^ 0x5851_F42D_4C95_7F2D;
+        for b in profile.name.bytes() {
+            hash = hash.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        hash = hash.wrapping_add((core_index as u64) << 40);
+        let mut gen = TraceGen {
+            profile: profile.clone(),
+            rng: SmallRng::seed_from_u64(hash),
+            base_line: core_index as u64 * CORE_ADDRESS_SPAN_LINES,
+            instr_index: 0,
+            phase_cycle: profile.phase_cycle_len(),
+            cursors: Vec::new(),
+            current_phase: usize::MAX,
+            line_reuse_left: 0,
+            current_line: 0,
+            current_pc: 0x1000,
+            run_left: 0,
+        };
+        gen.enter_phase(0);
+        gen
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    fn phase_at(&self, instr: u64) -> usize {
+        let mut pos = instr % self.phase_cycle;
+        for (i, p) in self.profile.phases.iter().enumerate() {
+            if pos < p.instructions {
+                return i;
+            }
+            pos -= p.instructions;
+        }
+        unreachable!("phase_cycle covers the whole cycle")
+    }
+
+    fn enter_phase(&mut self, phase: usize) {
+        self.current_phase = phase;
+        let ws = self.profile.working_set_lines;
+        let n_cursors = match self.profile.phases[phase].pattern {
+            Pattern::Stream { streams } | Pattern::Strided { streams, .. } => streams.max(1),
+            Pattern::ShortRuns { .. } | Pattern::Random => 1,
+        };
+        self.cursors = (0..n_cursors)
+            .map(|i| Cursor {
+                line: self.rng.gen_range(0..ws),
+                pc: 0x1000 + (i as u64) * 8,
+            })
+            .collect();
+        self.run_left = 0;
+        self.line_reuse_left = 0;
+    }
+
+    /// Picks the next (line, pc) according to the phase pattern.
+    fn next_pattern_line(&mut self) -> (u64, u64) {
+        let ws = self.profile.working_set_lines;
+        // Residual irregular accesses: a random line that the stream
+        // prefetcher will not have covered (and whose row usually conflicts
+        // with the streamed rows).
+        if self.profile.irregular_fraction > 0.0
+            && self.rng.gen_bool(self.profile.irregular_fraction)
+        {
+            let line = self.rng.gen_range(0..ws);
+            let pc = 0x4000 + self.rng.gen_range(0..8u64) * 8;
+            return (line, pc);
+        }
+        let phase = self.current_phase;
+        match self.profile.phases[phase].pattern {
+            Pattern::Stream { .. } => {
+                let i = self.rng.gen_range(0..self.cursors.len());
+                let c = &mut self.cursors[i];
+                c.line = (c.line + 1) % ws;
+                (c.line, c.pc)
+            }
+            Pattern::Strided { stride, .. } => {
+                let i = self.rng.gen_range(0..self.cursors.len());
+                let c = &mut self.cursors[i];
+                c.line = c.line.wrapping_add_signed(stride) % ws;
+                (c.line, c.pc)
+            }
+            Pattern::ShortRuns { run_len } => {
+                let c = &mut self.cursors[0];
+                if self.run_left == 0 {
+                    c.line = self.rng.gen_range(0..ws);
+                    self.run_left = run_len.max(1);
+                } else {
+                    c.line = (c.line + 1) % ws;
+                }
+                self.run_left -= 1;
+                (c.line, c.pc)
+            }
+            Pattern::Random => {
+                let line = self.rng.gen_range(0..ws);
+                let pc = 0x2000 + (self.rng.gen_range(0..16u64)) * 8;
+                (line, pc)
+            }
+        }
+    }
+
+    fn next_mem_line(&mut self) -> (u64, u64) {
+        // Spatial reuse: repeat the current line `accesses_per_line` times.
+        if self.line_reuse_left == 0 {
+            if self.rng.gen_bool(self.profile.hot_fraction) {
+                // Hot-set access: hits in the caches, one touch.
+                let line = self.rng.gen_range(0..self.profile.hot_lines);
+                let pc = 0x3000 + (line % 8) * 8;
+                // Hot lines live just above the working set.
+                return (self.profile.working_set_lines + line, pc);
+            }
+            let (line, pc) = self.next_pattern_line();
+            self.current_line = line;
+            self.current_pc = pc;
+            self.line_reuse_left = self.profile.accesses_per_line;
+        }
+        self.line_reuse_left -= 1;
+        (self.current_line, self.current_pc)
+    }
+}
+
+impl TraceSource for TraceGen {
+    fn next_op(&mut self) -> TraceOp {
+        let phase = self.phase_at(self.instr_index);
+        if phase != self.current_phase {
+            self.enter_phase(phase);
+        }
+        self.instr_index += 1;
+        if !self.rng.gen_bool(self.profile.mem_ratio) {
+            return TraceOp::Compute;
+        }
+        let (rel_line, pc) = self.next_mem_line();
+        let line = LineAddr::new(self.base_line + rel_line);
+        // Touch a pseudo-random byte in the line for realism; the memory
+        // system is line-granular anyway.
+        let addr = Addr::new(line.base_addr().raw() + self.rng.gen_range(0..LINE_BYTES / 8) * 8);
+        if self.rng.gen_bool(self.profile.store_fraction) {
+            TraceOp::Store { addr, pc }
+        } else {
+            let dep = self.rng.gen_bool(self.profile.dependent_fraction);
+            TraceOp::Load { addr, pc, dep }
+        }
+    }
+
+    fn fork(&self) -> Box<dyn TraceSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{PhaseSpec, PrefetchClass};
+
+    use super::*;
+
+    fn profile(pattern: Pattern) -> BenchProfile {
+        BenchProfile {
+            name: "test".into(),
+            class: PrefetchClass::Friendly,
+            mem_ratio: 1.0,
+            store_fraction: 0.0,
+            hot_fraction: 0.0,
+            hot_lines: 16,
+            working_set_lines: 1 << 24,
+            accesses_per_line: 1,
+            dependent_fraction: 0.0,
+            irregular_fraction: 0.0,
+            phases: vec![PhaseSpec {
+                pattern,
+                instructions: 10_000,
+            }],
+        }
+    }
+
+    fn lines(gen: &mut TraceGen, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| match gen.next_op() {
+                TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } => addr.line().raw(),
+                TraceOp::Compute => panic!("mem_ratio is 1.0"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let p = profile(Pattern::Stream { streams: 4 });
+        let mut a = TraceGen::new(&p, 0, 42);
+        let mut b = TraceGen::new(&p, 0, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile(Pattern::Random);
+        let mut a = TraceGen::new(&p, 0, 1);
+        let mut b = TraceGen::new(&p, 0, 2);
+        let same = (0..100).filter(|_| a.next_op() == b.next_op()).count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn cores_use_disjoint_address_spaces() {
+        let p = profile(Pattern::Random);
+        let mut a = TraceGen::new(&p, 0, 1);
+        let mut b = TraceGen::new(&p, 1, 1);
+        let la = lines(&mut a, 200);
+        let lb = lines(&mut b, 200);
+        assert!(la.iter().all(|l| *l < CORE_ADDRESS_SPAN_LINES));
+        assert!(lb.iter().all(|l| *l >= CORE_ADDRESS_SPAN_LINES));
+    }
+
+    #[test]
+    fn stream_pattern_is_sequential_per_stream() {
+        let p = profile(Pattern::Stream { streams: 1 });
+        let mut g = TraceGen::new(&p, 0, 7);
+        let ls = lines(&mut g, 100);
+        for w in ls.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "single stream must be sequential");
+        }
+    }
+
+    #[test]
+    fn strided_pattern_steps_by_stride() {
+        let p = profile(Pattern::Strided {
+            stride: 5,
+            streams: 1,
+        });
+        let mut g = TraceGen::new(&p, 0, 7);
+        let ls = lines(&mut g, 50);
+        for w in ls.windows(2) {
+            assert_eq!(w[1], w[0] + 5);
+        }
+    }
+
+    #[test]
+    fn short_runs_jump_after_run_len() {
+        let p = profile(Pattern::ShortRuns { run_len: 4 });
+        let mut g = TraceGen::new(&p, 0, 7);
+        let ls = lines(&mut g, 40);
+        // Within a run of 4, deltas are +1; at run boundaries they jump.
+        let mut jumps = 0;
+        for w in ls.windows(2) {
+            if w[1] != w[0] + 1 {
+                jumps += 1;
+            }
+        }
+        assert!(jumps >= 8, "expected ~10 jumps, saw {jumps}");
+    }
+
+    #[test]
+    fn fork_produces_identical_continuation() {
+        let p = profile(Pattern::Stream { streams: 4 });
+        let mut g = TraceGen::new(&p, 0, 7);
+        for _ in 0..100 {
+            g.next_op();
+        }
+        let mut f = g.fork();
+        let expected: Vec<_> = (0..50).map(|_| f.next_op()).collect();
+        let actual: Vec<_> = (0..50).map(|_| g.next_op()).collect();
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn phases_change_pattern() {
+        let mut p = profile(Pattern::Stream { streams: 1 });
+        p.phases = vec![
+            PhaseSpec {
+                pattern: Pattern::Stream { streams: 1 },
+                instructions: 100,
+            },
+            PhaseSpec {
+                pattern: Pattern::Random,
+                instructions: 100,
+            },
+        ];
+        let mut g = TraceGen::new(&p, 0, 7);
+        let first = lines(&mut g, 100);
+        let second = lines(&mut g, 100);
+        let seq = |v: &[u64]| v.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(seq(&first) > 90);
+        assert!(seq(&second) < 20);
+    }
+
+    #[test]
+    fn accesses_per_line_creates_reuse() {
+        let mut p = profile(Pattern::Stream { streams: 1 });
+        p.accesses_per_line = 4;
+        let mut g = TraceGen::new(&p, 0, 7);
+        let ls = lines(&mut g, 40);
+        let distinct: std::collections::BTreeSet<_> = ls.iter().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_accesses() {
+        let mut p = profile(Pattern::Random);
+        p.hot_fraction = 0.9;
+        p.hot_lines = 4;
+        let mut g = TraceGen::new(&p, 0, 7);
+        let ls = lines(&mut g, 1000);
+        let hot_base = p.working_set_lines;
+        let hot = ls
+            .iter()
+            .filter(|l| **l >= hot_base && **l < hot_base + 4)
+            .count();
+        assert!(hot > 800, "hot accesses: {hot}");
+    }
+
+    #[test]
+    fn mem_ratio_controls_memory_op_density() {
+        let mut p = profile(Pattern::Random);
+        p.mem_ratio = 0.25;
+        let mut g = TraceGen::new(&p, 0, 7);
+        let mem = (0..10_000).filter(|_| g.next_op().is_memory()).count();
+        assert!((2000..3000).contains(&mem), "mem ops: {mem}");
+    }
+}

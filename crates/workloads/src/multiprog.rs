@@ -1,0 +1,109 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{profiles, BenchProfile};
+
+/// A multiprogrammed workload: one benchmark per core.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Workload {
+    /// Benchmarks, index = core index.
+    pub benchmarks: Vec<BenchProfile>,
+}
+
+impl Workload {
+    /// Builds a workload from profiles (one per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty.
+    pub fn new(benchmarks: Vec<BenchProfile>) -> Self {
+        assert!(!benchmarks.is_empty(), "workload needs at least one core");
+        Workload { benchmarks }
+    }
+
+    /// Builds a workload by paper benchmark names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn from_names(names: &[&str]) -> Self {
+        Workload::new(
+            names
+                .iter()
+                .map(|n| profiles::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+                .collect(),
+        )
+    }
+
+    /// Number of cores the workload occupies.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// A short display name, e.g. `"swim_00+bwaves_06"`.
+    pub fn label(&self) -> String {
+        self.benchmarks
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Generates `count` pseudo-random multiprogrammed workloads of `cores`
+/// benchmarks each, drawn from the 55-benchmark suite — the paper's
+/// methodology for its 54 2-core / 32 4-core / 21 8-core workload sets.
+/// Deterministic in `seed`.
+///
+/// ```
+/// use padc_workloads::random_workloads;
+/// let w = random_workloads(32, 4, 1);
+/// assert_eq!(w.len(), 32);
+/// assert!(w.iter().all(|wl| wl.cores() == 4));
+/// // Same seed, same workloads.
+/// assert_eq!(w, random_workloads(32, 4, 1));
+/// ```
+pub fn random_workloads(count: usize, cores: usize, seed: u64) -> Vec<Workload> {
+    let suite = profiles::all();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5);
+    (0..count)
+        .map(|_| {
+            Workload::new(
+                (0..cores)
+                    .map(|_| suite[rng.gen_range(0..suite.len())].clone())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_names_builds_case_study_mixes() {
+        let w = Workload::from_names(&["swim_00", "bwaves_06", "leslie3d_06", "soplex_06"]);
+        assert_eq!(w.cores(), 4);
+        assert_eq!(w.label(), "swim_00+bwaves_06+leslie3d_06+soplex_06");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = Workload::from_names(&["not_a_benchmark"]);
+    }
+
+    #[test]
+    fn random_workloads_are_deterministic_and_sized() {
+        let a = random_workloads(21, 8, 7);
+        let b = random_workloads(21, 8, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|w| w.cores() == 8));
+    }
+
+    #[test]
+    fn different_seeds_give_different_sets() {
+        assert_ne!(random_workloads(10, 4, 1), random_workloads(10, 4, 2));
+    }
+}

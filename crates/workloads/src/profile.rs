@@ -1,0 +1,207 @@
+use serde::{Deserialize, Serialize};
+
+/// The paper's three-way benchmark classification (§5.1): prefetching has
+/// little effect (0), helps (1), or hurts (2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PrefetchClass {
+    /// Class 0 — prefetch-insensitive.
+    Insensitive,
+    /// Class 1 — prefetch-friendly.
+    Friendly,
+    /// Class 2 — prefetch-unfriendly.
+    Unfriendly,
+}
+
+impl PrefetchClass {
+    /// The paper's numeric class code.
+    pub fn code(self) -> u8 {
+        match self {
+            PrefetchClass::Insensitive => 0,
+            PrefetchClass::Friendly => 1,
+            PrefetchClass::Unfriendly => 2,
+        }
+    }
+}
+
+/// The address-generation pattern of one phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Long sequential streams over `streams` concurrent regions —
+    /// prefetch-friendly, high row-buffer locality.
+    Stream {
+        /// Concurrent stream cursors.
+        streams: usize,
+    },
+    /// Sequential runs of `run_len` lines followed by a random jump. Short
+    /// runs train the stream prefetcher and then strand its prefetches
+    /// (useless); runs moderately longer than the prefetch distance yield
+    /// intermediate accuracy.
+    ShortRuns {
+        /// Lines per sequential run before jumping.
+        run_len: u32,
+    },
+    /// Uniform random lines over the working set — low row-buffer locality,
+    /// never triggers the stream prefetcher.
+    Random,
+    /// Constant-stride walks over `streams` regions (trains PC-stride
+    /// prefetchers; strides > 1 defeat simple next-line prefetching).
+    Strided {
+        /// Stride in lines.
+        stride: i64,
+        /// Concurrent strided cursors.
+        streams: usize,
+    },
+}
+
+/// One phase of a benchmark: a pattern active for a number of instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Address pattern during the phase.
+    pub pattern: Pattern,
+    /// Phase length in instructions; the phase list cycles.
+    pub instructions: u64,
+}
+
+/// A named synthetic benchmark, standing in for one SPEC benchmark of the
+/// paper's Table 5.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// Benchmark name (paper's naming, e.g. `"libquantum_06"`).
+    pub name: String,
+    /// Prefetch-friendliness class the profile is tuned to reproduce.
+    pub class: PrefetchClass,
+    /// Memory operations per instruction.
+    pub mem_ratio: f64,
+    /// Fraction of memory ops that are stores.
+    pub store_fraction: f64,
+    /// Fraction of memory ops that go to a small hot set (cache hits).
+    pub hot_fraction: f64,
+    /// Hot-set size in lines (should fit in L1/L2).
+    pub hot_lines: u64,
+    /// Working-set size in lines for the pattern accesses.
+    pub working_set_lines: u64,
+    /// Consecutive accesses to each line before moving on (spatial reuse;
+    /// raises L1 hit rate, lowers MPKI).
+    pub accesses_per_line: u32,
+    /// Fraction of loads whose address depends on in-flight loads (bounds
+    /// memory-level parallelism: MLP ≈ 1/dependent_fraction). Pointer-chase
+    /// codes approach 1.0; vectorizable streaming codes sit near 0.2.
+    pub dependent_fraction: f64,
+    /// Fraction of pattern accesses that go to a random line instead of
+    /// following the pattern — the residual irregular (index/pointer)
+    /// misses every real streaming code has. These are not covered by the
+    /// stream prefetcher and usually conflict with the streamed rows, which
+    /// is what makes rigid demand-first scheduling destroy row locality
+    /// (paper §3).
+    pub irregular_fraction: f64,
+    /// Cyclic phase list.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl BenchProfile {
+    /// Total instructions in one cycle of the phase list.
+    pub fn phase_cycle_len(&self) -> u64 {
+        self.phases.iter().map(|p| p.instructions).sum()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ratios are out of range, the phase list is empty, or sizes
+    /// are zero.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "profile must be named");
+        assert!(
+            (0.0..=1.0).contains(&self.mem_ratio),
+            "{}: mem_ratio out of range",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.store_fraction),
+            "{}: store_fraction out of range",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hot_fraction),
+            "{}: hot_fraction out of range",
+            self.name
+        );
+        assert!(self.hot_lines > 0, "{}: hot set empty", self.name);
+        assert!(
+            self.working_set_lines > 0,
+            "{}: working set empty",
+            self.name
+        );
+        assert!(self.accesses_per_line > 0, "{}: zero reuse", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.dependent_fraction),
+            "{}: dependent_fraction out of range",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.irregular_fraction),
+            "{}: irregular_fraction out of range",
+            self.name
+        );
+        assert!(!self.phases.is_empty(), "{}: no phases", self.name);
+        assert!(
+            self.phases.iter().all(|p| p.instructions > 0),
+            "{}: empty phase",
+            self.name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> BenchProfile {
+        BenchProfile {
+            name: "t".into(),
+            class: PrefetchClass::Friendly,
+            mem_ratio: 0.3,
+            store_fraction: 0.3,
+            hot_fraction: 0.5,
+            hot_lines: 64,
+            working_set_lines: 1 << 20,
+            accesses_per_line: 4,
+            dependent_fraction: 0.5,
+            irregular_fraction: 0.0,
+            phases: vec![PhaseSpec {
+                pattern: Pattern::Stream { streams: 2 },
+                instructions: 1000,
+            }],
+        }
+    }
+
+    #[test]
+    fn minimal_profile_validates() {
+        minimal().validate();
+        assert_eq!(minimal().phase_cycle_len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_ratio out of range")]
+    fn bad_mem_ratio_rejected() {
+        let mut p = minimal();
+        p.mem_ratio = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_phases_rejected() {
+        let mut p = minimal();
+        p.phases.clear();
+        p.validate();
+    }
+
+    #[test]
+    fn class_codes_match_paper() {
+        assert_eq!(PrefetchClass::Insensitive.code(), 0);
+        assert_eq!(PrefetchClass::Friendly.code(), 1);
+        assert_eq!(PrefetchClass::Unfriendly.code(), 2);
+    }
+}

@@ -1,0 +1,659 @@
+//! The benchmark catalog: one synthetic profile per SPEC benchmark the
+//! paper evaluates (Table 5 plus the remaining SPEC 2000/2006 programs that
+//! round out the 55-benchmark suite).
+//!
+//! Tuning rationale (see crate docs): memory intensity is set by
+//! `mem_ratio`, spatial reuse, and the hot fraction; prefetch-friendliness
+//! by the sequential run length relative to the stream prefetcher's
+//! 64-line distance (long runs ⇒ accurate, ~100-line runs ⇒ ~35% accurate,
+//! short runs ⇒ useless prefetches); `milc`'s accuracy phases alternate
+//! friendly and hostile patterns (Fig. 4(b)).
+
+use crate::{BenchProfile, Pattern, PhaseSpec, PrefetchClass};
+
+/// Builds a profile. `mpki` is the approximate L2 MPKI target used to
+/// derive the hot-set fraction: `hot = 1 - mpki*apl/(1000*mem_ratio)`.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    name: &str,
+    class: PrefetchClass,
+    mem_ratio: f64,
+    accesses_per_line: u32,
+    mpki: f64,
+    working_set_lines: u64,
+    dependent_fraction: f64,
+    phases: Vec<PhaseSpec>,
+) -> BenchProfile {
+    build_irr(
+        name,
+        class,
+        mem_ratio,
+        accesses_per_line,
+        mpki,
+        working_set_lines,
+        dependent_fraction,
+        0.0,
+        phases,
+    )
+}
+
+/// [`build`] with an explicit irregular-access fraction.
+#[allow(clippy::too_many_arguments)]
+fn build_irr(
+    name: &str,
+    class: PrefetchClass,
+    mem_ratio: f64,
+    accesses_per_line: u32,
+    mpki: f64,
+    working_set_lines: u64,
+    dependent_fraction: f64,
+    irregular_fraction: f64,
+    phases: Vec<PhaseSpec>,
+) -> BenchProfile {
+    let hot = 1.0 - (mpki * accesses_per_line as f64) / (1000.0 * mem_ratio);
+    let p = BenchProfile {
+        name: name.to_string(),
+        class,
+        mem_ratio,
+        store_fraction: 0.3,
+        hot_fraction: hot.clamp(0.0, 0.995),
+        hot_lines: 256,
+        working_set_lines,
+        accesses_per_line,
+        dependent_fraction,
+        irregular_fraction,
+        phases,
+    };
+    p.validate();
+    p
+}
+
+fn stream_phase(streams: usize, instructions: u64) -> PhaseSpec {
+    PhaseSpec {
+        pattern: Pattern::Stream { streams },
+        instructions,
+    }
+}
+
+fn runs_phase(run_len: u32, instructions: u64) -> PhaseSpec {
+    PhaseSpec {
+        pattern: Pattern::ShortRuns { run_len },
+        instructions,
+    }
+}
+
+fn random_phase(instructions: u64) -> PhaseSpec {
+    PhaseSpec {
+        pattern: Pattern::Random,
+        instructions,
+    }
+}
+
+const WS_LARGE: u64 = 1 << 22; // 256MB: streaming working sets
+const WS_MED: u64 = 1 << 19; // 32MB: larger than any L2 we sweep
+const WS_SMALL: u64 = 1 << 14; // 1MB
+
+// ---- Prefetch-friendly, highly streaming (ACC ≈ 100%) ----
+
+/// `libquantum_06` — the paper's canonical prefetch-friendly benchmark:
+/// one long sequential stream, ~100% prefetch accuracy, MPKI ≈ 13.5.
+pub fn libquantum() -> BenchProfile {
+    build(
+        "libquantum_06",
+        PrefetchClass::Friendly,
+        0.30,
+        16,
+        13.5,
+        WS_LARGE,
+        0.25,
+        vec![stream_phase(1, 1_000_000)],
+    )
+}
+
+/// `swim_00` — multi-array streaming, MPKI ≈ 27.6, ACC ≈ 100%.
+pub fn swim() -> BenchProfile {
+    build(
+        "swim_00",
+        PrefetchClass::Friendly,
+        0.35,
+        8,
+        27.6,
+        WS_LARGE,
+        0.25,
+        vec![stream_phase(4, 1_000_000)],
+    )
+}
+
+/// `bwaves_06` — streaming, MPKI ≈ 18.7, ACC ≈ 100%.
+pub fn bwaves() -> BenchProfile {
+    build(
+        "bwaves_06",
+        PrefetchClass::Friendly,
+        0.32,
+        10,
+        18.7,
+        WS_LARGE,
+        0.25,
+        vec![stream_phase(3, 1_000_000)],
+    )
+}
+
+/// `leslie3d_06` — streaming with a little irregularity, ACC ≈ 90%.
+pub fn leslie3d() -> BenchProfile {
+    build(
+        "leslie3d_06",
+        PrefetchClass::Friendly,
+        0.33,
+        8,
+        20.9,
+        WS_LARGE,
+        0.3,
+        vec![stream_phase(4, 900_000), runs_phase(80, 100_000)],
+    )
+}
+
+/// `lbm_06` — streaming stencil, ACC ≈ 94%.
+pub fn lbm() -> BenchProfile {
+    build(
+        "lbm_06",
+        PrefetchClass::Friendly,
+        0.34,
+        10,
+        20.2,
+        WS_LARGE,
+        0.25,
+        vec![stream_phase(2, 950_000), runs_phase(100, 50_000)],
+    )
+}
+
+/// `GemsFDTD_06` — streaming stencil, ACC ≈ 91%.
+pub fn gems_fdtd() -> BenchProfile {
+    build(
+        "GemsFDTD_06",
+        PrefetchClass::Friendly,
+        0.33,
+        10,
+        15.6,
+        WS_LARGE,
+        0.3,
+        vec![stream_phase(6, 900_000), runs_phase(90, 100_000)],
+    )
+}
+
+/// `equake_00` — streaming sparse solve, ACC ≈ 96%.
+pub fn equake() -> BenchProfile {
+    build(
+        "equake_00",
+        PrefetchClass::Friendly,
+        0.33,
+        8,
+        19.9,
+        WS_LARGE,
+        0.3,
+        vec![stream_phase(3, 950_000), runs_phase(100, 50_000)],
+    )
+}
+
+/// `soplex_06` — mixed streaming/irregular, ACC ≈ 80%.
+pub fn soplex() -> BenchProfile {
+    build(
+        "soplex_06",
+        PrefetchClass::Friendly,
+        0.33,
+        8,
+        21.3,
+        WS_LARGE,
+        0.35,
+        vec![stream_phase(3, 750_000), runs_phase(90, 250_000)],
+    )
+}
+
+/// `sphinx3_06` — streaming with random lookups, ACC ≈ 55%.
+pub fn sphinx3() -> BenchProfile {
+    build(
+        "sphinx3_06",
+        PrefetchClass::Friendly,
+        0.31,
+        8,
+        12.9,
+        WS_MED,
+        0.4,
+        vec![stream_phase(2, 600_000), runs_phase(90, 400_000)],
+    )
+}
+
+/// `lucas_00` — strided FFT-like access, ACC ≈ 87%.
+pub fn lucas() -> BenchProfile {
+    build(
+        "lucas_00",
+        PrefetchClass::Friendly,
+        0.30,
+        8,
+        10.6,
+        WS_LARGE,
+        0.3,
+        vec![stream_phase(2, 850_000), runs_phase(100, 150_000)],
+    )
+}
+
+/// `mgrid_00` — multigrid streaming, ACC ≈ 97%.
+pub fn mgrid() -> BenchProfile {
+    build(
+        "mgrid_00",
+        PrefetchClass::Friendly,
+        0.32,
+        10,
+        6.5,
+        WS_LARGE,
+        0.25,
+        vec![stream_phase(4, 1_000_000)],
+    )
+}
+
+/// `wrf_06` — streaming weather model, ACC ≈ 95%.
+pub fn wrf() -> BenchProfile {
+    build(
+        "wrf_06",
+        PrefetchClass::Friendly,
+        0.31,
+        10,
+        8.1,
+        WS_LARGE,
+        0.3,
+        vec![stream_phase(5, 1_000_000)],
+    )
+}
+
+/// `cactusADM_06` — moderate-accuracy streaming, ACC ≈ 45%.
+pub fn cactus_adm() -> BenchProfile {
+    build(
+        "cactusADM_06",
+        PrefetchClass::Friendly,
+        0.30,
+        8,
+        4.5,
+        WS_MED,
+        0.4,
+        vec![stream_phase(2, 400_000), runs_phase(100, 600_000)],
+    )
+}
+
+/// `mcf_06` — pointer-heavy but prefetching still helps a little
+/// (class 1, ACC ≈ 31%): runs just beyond the prefetch distance.
+pub fn mcf() -> BenchProfile {
+    build(
+        "mcf_06",
+        PrefetchClass::Friendly,
+        0.40,
+        3,
+        33.7,
+        WS_LARGE,
+        0.9,
+        vec![runs_phase(96, 1_000_000)],
+    )
+}
+
+/// `gcc_06` — mixed, ACC ≈ 33%.
+pub fn gcc() -> BenchProfile {
+    build(
+        "gcc_06",
+        PrefetchClass::Friendly,
+        0.30,
+        6,
+        6.3,
+        WS_MED,
+        0.5,
+        vec![
+            runs_phase(100, 700_000),
+            stream_phase(1, 100_000),
+            random_phase(200_000),
+        ],
+    )
+}
+
+/// `astar_06` — weakly friendly graph search, ACC ≈ 18%.
+pub fn astar() -> BenchProfile {
+    build(
+        "astar_06",
+        PrefetchClass::Friendly,
+        0.33,
+        4,
+        10.2,
+        WS_MED,
+        0.7,
+        vec![runs_phase(78, 900_000), random_phase(100_000)],
+    )
+}
+
+/// `facerec_00` — streaming with reuse, ACC ≈ 55%.
+pub fn facerec() -> BenchProfile {
+    build(
+        "facerec_00",
+        PrefetchClass::Friendly,
+        0.30,
+        10,
+        3.5,
+        WS_MED,
+        0.4,
+        vec![stream_phase(2, 500_000), runs_phase(90, 500_000)],
+    )
+}
+
+/// `zeusmp_06` — streaming physics, ACC ≈ 56%.
+pub fn zeusmp() -> BenchProfile {
+    build(
+        "zeusmp_06",
+        PrefetchClass::Friendly,
+        0.30,
+        8,
+        4.6,
+        WS_MED,
+        0.4,
+        vec![stream_phase(3, 500_000), runs_phase(85, 500_000)],
+    )
+}
+
+// ---- Prefetch-unfriendly (class 2) ----
+
+/// `art_00` — extremely memory-intensive with ~36% prefetch accuracy:
+/// 100-line runs over a big working set, MPKI ≈ 89.
+pub fn art() -> BenchProfile {
+    build(
+        "art_00",
+        PrefetchClass::Unfriendly,
+        0.45,
+        4,
+        89.4,
+        WS_LARGE,
+        0.55,
+        vec![runs_phase(100, 1_000_000)],
+    )
+}
+
+/// `galgel_00` — short runs, ACC ≈ 31%, moderate MPKI.
+pub fn galgel() -> BenchProfile {
+    build(
+        "galgel_00",
+        PrefetchClass::Unfriendly,
+        0.30,
+        6,
+        4.3,
+        WS_MED,
+        0.6,
+        vec![runs_phase(94, 800_000), random_phase(200_000)],
+    )
+}
+
+/// `ammp_00` — almost all prefetches useless (ACC ≈ 6%): very short runs.
+pub fn ammp() -> BenchProfile {
+    build(
+        "ammp_00",
+        PrefetchClass::Unfriendly,
+        0.30,
+        6,
+        0.8,
+        WS_MED,
+        0.85,
+        vec![runs_phase(8, 1_000_000)],
+    )
+}
+
+/// `milc_06` — strong accuracy *phases* (Fig. 4(b)): long useful-prefetch
+/// stretches alternating with stretches of useless prefetches. Lifetime
+/// ACC ≈ 19%, MPKI ≈ 29.
+pub fn milc() -> BenchProfile {
+    build(
+        "milc_06",
+        PrefetchClass::Unfriendly,
+        0.38,
+        6,
+        29.3,
+        WS_LARGE,
+        0.5,
+        vec![
+            stream_phase(2, 200_000),
+            runs_phase(8, 500_000),
+            random_phase(300_000),
+        ],
+    )
+}
+
+/// `omnetpp_06` — discrete-event simulator, ACC ≈ 10%.
+pub fn omnetpp() -> BenchProfile {
+    build(
+        "omnetpp_06",
+        PrefetchClass::Unfriendly,
+        0.33,
+        4,
+        10.2,
+        WS_MED,
+        0.85,
+        vec![runs_phase(8, 700_000), random_phase(300_000)],
+    )
+}
+
+/// `xalancbmk_06` — XML processing, ACC ≈ 9%.
+pub fn xalancbmk() -> BenchProfile {
+    build(
+        "xalancbmk_06",
+        PrefetchClass::Unfriendly,
+        0.30,
+        6,
+        1.7,
+        WS_MED,
+        0.8,
+        vec![runs_phase(7, 800_000), random_phase(200_000)],
+    )
+}
+
+// ---- Prefetch-insensitive (class 0) ----
+
+fn insensitive(name: &str, mpki: f64) -> BenchProfile {
+    build(
+        name,
+        PrefetchClass::Insensitive,
+        0.25,
+        4,
+        mpki.max(0.01),
+        WS_SMALL,
+        0.5,
+        vec![random_phase(900_000), runs_phase(60, 100_000)],
+    )
+}
+
+/// `eon_00` — compute-bound, MPKI ≈ 0.01.
+pub fn eon() -> BenchProfile {
+    insensitive("eon_00", 0.01)
+}
+
+/// `sjeng_06` — compute-bound chess engine, MPKI ≈ 0.4.
+pub fn sjeng() -> BenchProfile {
+    insensitive("sjeng_06", 0.4)
+}
+
+/// `gamess_06` — compute-bound chemistry, MPKI ≈ 0.04.
+pub fn gamess() -> BenchProfile {
+    insensitive("gamess_06", 0.04)
+}
+
+/// `hmmer_06` — compute-bound with accurate but rare prefetches.
+pub fn hmmer() -> BenchProfile {
+    build(
+        "hmmer_06",
+        PrefetchClass::Insensitive,
+        0.28,
+        8,
+        1.8,
+        WS_SMALL,
+        0.3,
+        vec![stream_phase(1, 1_000_000)],
+    )
+}
+
+/// The full 55-benchmark suite (Table 5's 28 named profiles plus the
+/// remaining SPEC 2000/2006 programs, which are predominantly
+/// prefetch-insensitive).
+pub fn all() -> Vec<BenchProfile> {
+    let mut v = vec![
+        // Table 5, in paper order.
+        eon(),
+        mgrid(),
+        art(),
+        facerec(),
+        lucas(),
+        mcf(),
+        sjeng(),
+        libquantum(),
+        xalancbmk(),
+        gamess(),
+        zeusmp(),
+        leslie3d(),
+        gems_fdtd(),
+        wrf(),
+        swim(),
+        galgel(),
+        equake(),
+        ammp(),
+        gcc(),
+        hmmer(),
+        omnetpp(),
+        astar(),
+        bwaves(),
+        milc(),
+        cactus_adm(),
+        soplex(),
+        lbm(),
+        sphinx3(),
+    ];
+    // The rest of the 55-benchmark suite. Mostly compute-bound (class 0),
+    // with a few mildly memory-intensive entries.
+    for (name, mpki) in [
+        ("gzip_00", 0.3),
+        ("vpr_00", 1.2),
+        ("crafty_00", 0.2),
+        ("parser_00", 1.0),
+        ("perlbmk_00", 0.1),
+        ("gap_00", 0.8),
+        ("vortex_00", 0.6),
+        ("bzip2_00", 1.5),
+        ("twolf_00", 0.9),
+        ("mesa_00", 0.3),
+        ("fma3d_00", 1.1),
+        ("sixtrack_00", 0.2),
+        ("perlbench_06", 0.4),
+        ("bzip2_06", 1.8),
+        ("gobmk_06", 0.3),
+        ("h264ref_06", 0.5),
+        ("tonto_06", 0.3),
+        ("namd_06", 0.2),
+        ("dealII_06", 0.8),
+        ("povray_06", 0.05),
+        ("calculix_06", 0.3),
+        ("gromacs_06", 0.4),
+    ] {
+        v.push(insensitive(name, mpki));
+    }
+    // A few remaining memory-sensitive FP 2000 codes, streaming-friendly.
+    for (name, mpki, streams) in [
+        ("wupwise_00", 2.0, 2usize),
+        ("applu_00", 5.0, 3),
+        ("apsi_00", 3.0, 2),
+        ("mesa_06_like_sweep", 2.5, 2),
+        ("fortran_stream_06", 6.0, 4),
+    ] {
+        v.push(build(
+            name,
+            PrefetchClass::Friendly,
+            0.30,
+            10,
+            mpki,
+            WS_MED,
+            0.3,
+            vec![stream_phase(streams, 1_000_000)],
+        ));
+    }
+    assert_eq!(v.len(), 55, "suite must contain 55 benchmarks");
+    v
+}
+
+/// Looks a profile up by its paper name.
+///
+/// ```
+/// use padc_workloads::profiles;
+/// assert!(profiles::by_name("milc_06").is_some());
+/// assert!(profiles::by_name("nonesuch").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<BenchProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_55_valid_unique_profiles() {
+        let v = all();
+        assert_eq!(v.len(), 55);
+        for p in &v {
+            p.validate();
+        }
+        let names: std::collections::BTreeSet<_> = v.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names.len(), 55, "names must be unique");
+    }
+
+    #[test]
+    fn class_mix_matches_paper_shape() {
+        // The paper says 29 of 55 are class 1; we aim for a similar split
+        // with a class-1 plurality and a healthy class-2 set.
+        let v = all();
+        let count = |c: PrefetchClass| v.iter().filter(|p| p.class == c).count();
+        assert!(count(PrefetchClass::Friendly) >= 20);
+        assert!(count(PrefetchClass::Unfriendly) >= 6);
+        assert!(count(PrefetchClass::Insensitive) >= 20);
+    }
+
+    #[test]
+    fn friendly_profiles_are_stream_dominated() {
+        for p in [libquantum(), swim(), bwaves()] {
+            let stream_instr: u64 = p
+                .phases
+                .iter()
+                .filter(|ph| matches!(ph.pattern, Pattern::Stream { .. }))
+                .map(|ph| ph.instructions)
+                .sum();
+            assert!(stream_instr * 2 > p.phase_cycle_len(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn unfriendly_profiles_avoid_long_streams() {
+        for p in [ammp(), omnetpp(), xalancbmk()] {
+            let stream_instr: u64 = p
+                .phases
+                .iter()
+                .filter(|ph| matches!(ph.pattern, Pattern::Stream { .. }))
+                .map(|ph| ph.instructions)
+                .sum();
+            assert_eq!(stream_instr, 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn milc_has_phases() {
+        assert!(milc().phases.len() >= 2);
+    }
+
+    #[test]
+    fn memory_intensive_profiles_have_low_hot_fraction() {
+        assert!(art().hot_fraction < 0.6);
+        assert!(eon().hot_fraction > 0.9);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in all() {
+            assert_eq!(by_name(&p.name).unwrap().name, p.name);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the synthetic trace generators.
+
+use padc_cpu::{TraceOp, TraceSource};
+use padc_types::LINE_BYTES;
+use padc_workloads::{BenchProfile, Pattern, PhaseSpec, PrefetchClass, TraceGen};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1usize..8).prop_map(|streams| Pattern::Stream { streams }),
+        (1u32..128).prop_map(|run_len| Pattern::ShortRuns { run_len }),
+        Just(Pattern::Random),
+        ((1i64..32), (1usize..4))
+            .prop_map(|(stride, streams)| Pattern::Strided { stride, streams }),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = BenchProfile> {
+    (
+        arb_pattern(),
+        0.05f64..0.9,
+        0.0f64..0.5,
+        0.0f64..0.9,
+        1u32..16,
+        0.0f64..1.0,
+        12u32..22,
+    )
+        .prop_map(
+            |(pattern, mem_ratio, store_fraction, hot_fraction, apl, dep, ws_log)| BenchProfile {
+                name: "prop".into(),
+                class: PrefetchClass::Friendly,
+                mem_ratio,
+                store_fraction,
+                hot_fraction,
+                hot_lines: 64,
+                working_set_lines: 1 << ws_log,
+                accesses_per_line: apl,
+                dependent_fraction: dep,
+                irregular_fraction: 0.0,
+                phases: vec![PhaseSpec {
+                    pattern,
+                    instructions: 10_000,
+                }],
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generators are deterministic and fork-consistent for arbitrary
+    /// profiles.
+    #[test]
+    fn generator_is_deterministic(profile in arb_profile(), seed in any::<u64>()) {
+        let mut a = TraceGen::new(&profile, 0, seed);
+        let mut b = TraceGen::new(&profile, 0, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut f = a.fork();
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_op(), f.next_op());
+        }
+    }
+
+    /// All generated addresses stay within the core's address span and the
+    /// profile's working set + hot set.
+    #[test]
+    fn addresses_stay_in_bounds(profile in arb_profile(), core in 0usize..8) {
+        let span = padc_workloads::TraceGen::new(&profile, core, 1);
+        let mut g = span;
+        let base = core as u64 * (1 << 32);
+        let limit = profile.working_set_lines + profile.hot_lines;
+        for _ in 0..500 {
+            if let TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } = g.next_op() {
+                let line = addr.raw() / LINE_BYTES;
+                prop_assert!(line >= base, "line below core base");
+                prop_assert!(line < base + limit, "line beyond working+hot set");
+            }
+        }
+    }
+
+    /// The memory-op density approximately matches `mem_ratio`.
+    #[test]
+    fn mem_ratio_is_respected(profile in arb_profile()) {
+        let mut g = TraceGen::new(&profile, 0, 7);
+        let n = 4000;
+        let mem = (0..n).filter(|_| g.next_op().is_memory()).count();
+        let observed = mem as f64 / n as f64;
+        prop_assert!((observed - profile.mem_ratio).abs() < 0.12,
+            "mem ratio {observed:.2} vs configured {:.2}", profile.mem_ratio);
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces the paper's core motivation (Fig. 1 / Fig. 6) interactively:
+//! run a prefetch-friendly and a prefetch-unfriendly benchmark under every
+//! DRAM scheduling policy and watch the rigid policies each lose somewhere
+//! while PADC adapts.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison
+//! ```
+
+use padc::core::SchedulingPolicy;
+use padc::sim::{SimConfig, System};
+use padc::workloads::profiles;
+
+fn main() {
+    let policies = [
+        SchedulingPolicy::DemandFirst,
+        SchedulingPolicy::DemandPrefetchEqual,
+        SchedulingPolicy::PrefetchFirst,
+        SchedulingPolicy::ApsOnly,
+        SchedulingPolicy::Padc,
+    ];
+    for bench in [
+        profiles::libquantum(),
+        profiles::milc(),
+        profiles::omnetpp(),
+    ] {
+        // The no-prefetching baseline all bars are normalized to.
+        let mut base_cfg =
+            SimConfig::single_core(SchedulingPolicy::DemandFirst).without_prefetching();
+        base_cfg.max_instructions = 300_000;
+        let base = System::new(base_cfg, vec![bench.clone()]).run().per_core[0].ipc();
+
+        println!("{} (class {}):", bench.name, bench.class.code());
+        println!("  {:<20} {:>6.3}  (1.00x)", "no prefetching", base);
+        for policy in policies {
+            let mut cfg = SimConfig::single_core(policy);
+            cfg.max_instructions = 300_000;
+            let r = System::new(cfg, vec![bench.clone()]).run();
+            let c = &r.per_core[0];
+            println!(
+                "  {:<20} {:>6.3}  ({:.2}x)  acc={:>4.0}% dropped={}",
+                policy.label(),
+                c.ipc(),
+                c.ipc() / base,
+                c.acc() * 100.0,
+                c.prefetches_dropped,
+            );
+        }
+        println!();
+    }
+}

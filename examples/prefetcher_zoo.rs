@@ -1,0 +1,44 @@
+//! Runs the same benchmark under all four hardware prefetchers the paper
+//! evaluates (stream, PC-stride, CZone/Delta-Correlation, Markov) with and
+//! without PADC — the interactive version of Fig. 28.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_zoo
+//! ```
+
+use padc::core::SchedulingPolicy;
+use padc::prefetch::PrefetcherKind;
+use padc::sim::{SimConfig, System};
+use padc::workloads::profiles;
+
+fn main() {
+    let bench = profiles::soplex();
+    println!("benchmark: {} (mixed streaming/irregular)\n", bench.name);
+
+    // No-prefetching baseline.
+    let mut cfg = SimConfig::single_core(SchedulingPolicy::DemandFirst).without_prefetching();
+    cfg.max_instructions = 250_000;
+    let base = System::new(cfg, vec![bench.clone()]).run().per_core[0].ipc();
+    println!("{:<8} {:<18} ipc={base:.3} (baseline)\n", "none", "-");
+
+    for kind in PrefetcherKind::ALL {
+        for policy in [SchedulingPolicy::DemandFirst, SchedulingPolicy::Padc] {
+            let mut cfg = SimConfig::single_core(policy);
+            cfg.prefetcher = Some(kind);
+            cfg.max_instructions = 250_000;
+            let r = System::new(cfg, vec![bench.clone()]).run();
+            let c = &r.per_core[0];
+            println!(
+                "{:<8} {:<18} ipc={:.3} ({:+5.1}%) acc={:>3.0}% cov={:>3.0}% traffic={}",
+                format!("{kind:?}"),
+                policy.label(),
+                c.ipc(),
+                (c.ipc() / base - 1.0) * 100.0,
+                c.acc() * 100.0,
+                c.cov() * 100.0,
+                c.traffic.total(),
+            );
+        }
+        println!();
+    }
+}

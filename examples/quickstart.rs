@@ -1,0 +1,45 @@
+//! Quickstart: simulate one core running a streaming workload under the
+//! Prefetch-Aware DRAM Controller and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use padc::core::SchedulingPolicy;
+use padc::sim::{SimConfig, System};
+use padc::workloads::profiles;
+
+fn main() {
+    // The paper's single-core baseline system (Tables 3-4), with the full
+    // PADC (adaptive scheduling + adaptive dropping).
+    let mut cfg = SimConfig::single_core(SchedulingPolicy::Padc);
+    cfg.max_instructions = 300_000;
+
+    // libquantum: the canonical prefetch-friendly SPEC benchmark.
+    let mut system = System::new(cfg, vec![profiles::libquantum()]);
+    let report = system.run();
+
+    let core = &report.per_core[0];
+    println!("benchmark        : {}", core.benchmark);
+    println!("instructions     : {}", core.instructions);
+    println!("cycles           : {}", core.cycles);
+    println!("IPC              : {:.3}", core.ipc());
+    println!("L2 MPKI          : {:.2}", core.mpki());
+    println!("stall/load (SPL) : {:.2}", core.spl());
+    println!("prefetch ACC     : {:.1}%", core.acc() * 100.0);
+    println!("prefetch COV     : {:.1}%", core.cov() * 100.0);
+    println!("prefetches sent  : {}", core.prefetches_sent);
+    println!("prefetches drop  : {}", core.prefetches_dropped);
+    let t = report.traffic();
+    println!(
+        "bus traffic      : {} lines (demand {}, useful pf {}, useless pf {})",
+        t.total(),
+        t.demand,
+        t.pref_useful,
+        t.pref_useless
+    );
+    println!(
+        "DRAM row-hit rate: {:.1}%",
+        report.channels[0].row_hit_rate() * 100.0
+    );
+}

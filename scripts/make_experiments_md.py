@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from repro_full.txt plus per-experiment
+paper-vs-measured commentary.
+
+Usage: python3 scripts/make_experiments_md.py repro_full.txt > EXPERIMENTS.md
+"""
+import sys
+
+COMMENTARY = {
+    "fig1": """**Paper**: with a stream prefetcher, neither rigid policy wins everywhere:
+demand-first is better for the five prefetch-unfriendly benchmarks (for
+art/milc it is what keeps prefetching from hurting), demand-prefetch-equal is
+better for the five friendly ones (libquantum +169% vs +60%).
+**Measured**: the crossover reproduces — the unfriendly five (galgel, ammp,
+xalancbmk, art) favor demand-first, and milc/swim/bwaves/lbm favor equal.
+libquantum favors demand-first in our substrate (see DESIGN.md §7). ⚠️""",
+    "fig2": """**Paper**: the worked example — with useful prefetches, servicing the
+row-hit prefetches X/Z first finishes everything in 575 cycles vs 725 under
+demand-first.
+**Measured**: same structure at our timing: demand-first services Y first
+(Y at 349, all done at 599) while equal services the row hits first (X at
+149, all done at 399). The demand-first/equal contrast and ordering match
+exactly. ✅""",
+    "fig4": """**Paper**: (a) 56% of milc's prefetches take >1600 cycles of memory
+service and 86% of those are useless; useful prefetches are serviced faster
+on average. (b) milc's accuracy has strong phases (near 0% for a long
+stretch).
+**Measured**: (a) the useless histogram is bottom-heavy toward the 1601+
+bucket while useful prefetches concentrate at shorter service times; (b) the
+sampled PAR series swings across phases exactly as designed into the milc
+profile. ✅""",
+    "fig6": """**Paper**: single-core over 55 benchmarks — demand-pref-equal ≈
+demand-first on gmean (+0.5%), APS +3.6%, PADC +4.3%.
+**Measured**: class-2 rows reproduce (PADC recovers ammp/omnetpp/xalancbmk
+via dropping); several class-1 rows favor equal (swim/bwaves/milc/gcc at
+some scales) but libquantum-style rows favor demand-first, so the PADC
+gmean lands ~3% *below* demand-first instead of above. This is the
+reproduction's main divergence; see DESIGN.md §7 for the analysis. ❌""",
+    "fig7": """**Paper**: PADC reduces stall-time-per-load by 5% vs demand-first.
+**Measured**: SPL orderings per class match (prefetching halves SPL for
+friendly apps; PADC ≈ best rigid per benchmark); the 55-benchmark mean SPL
+of PADC is within a few percent of demand-first. ⚠️""",
+    "fig8": """**Paper**: PADC cuts bus traffic 10.4% over the suite, almost entirely
+useless-prefetch lines (APD).
+**Measured**: PADC has the lowest traffic of all prefetching arms; the cut
+comes from the useless column as in the paper. ✅""",
+    "tab5": """**Paper**: benchmark characteristics (IPC, MPKI, RBH, ACC, COV, class).
+**Measured**: our synthetic stand-ins land in the intended classes: the
+class-1 streaming set measures ACC ≥ ~0.8 and high COV, the class-2 set
+ACC ≤ ~0.4, the class-0 set near-zero MPKI. Absolute IPC/MPKI values are
+substitution artifacts. ✅ (by construction; asserted in
+tests/table5_classes.rs)""",
+    "tab7": """**Paper**: RBHU — demand-pref-equal has the highest row-buffer hit rate
+for useful requests; APS tracks it closely; demand-first is clearly lower.
+**Measured**: same ordering: equal ≥ APS/PADC > demand-first > no-pref on
+the mean, and per-benchmark for the streaming set. ✅""",
+    "fig9": """**Paper**: 2-core — PADC +8.4% WS, +6.4% HS, −10% traffic vs
+demand-first.
+**Measured**: PADC ties demand-first on WS/HS (within ~2%) with the lowest
+traffic of the prefetching arms; equal trails. ⚠️""",
+    "case1": """**Paper**: all-friendly 4-core mix — equal +28% WS over demand-first;
+PADC +31%; small (−0.9%) traffic saving.
+**Measured**: PADC edges out demand-first (1.627 vs 1.614 WS) with APS just
+behind, equal trails; traffic roughly flat. The coverage mechanism is
+clearly visible in the traffic mix (equal/APS convert demand lines into
+useful-prefetch lines: 45K useful under equal vs 29K under demand-first).
+Direction ✓, factor compressed. ⚠️""",
+    "case2": """**Paper**: all-unfriendly mix — PADC +17.7% WS / +21.5% HS over
+demand-first, −9.1% traffic, within 2% of no-prefetching.
+**Measured**: PADC is the best arm (WS 2.154 vs 2.068 demand-first, +4.2%;
+HS +3.5%; traffic −5.4%) and lands *above* no-pref (2.154 vs 2.131);
+equal is the clear loser exactly as in the paper. ✅ (smaller factor)""",
+    "case3": """**Paper**: mixed mix — equal helps the friendly cores but starves the
+unfriendly ones; APD frees resources, PADC best, traffic −14.5%.
+**Measured**: textbook reproduction — equal gives libquantum IS 0.73 while
+starving omnetpp/galgel to 0.21/0.18 (UF 4.1); PADC balances (UF 1.45),
+wins WS and HS, and cuts traffic 19.6%. ✅""",
+    "tab8": """**Paper**: urgency markedly improves fairness and HS at tiny WS cost
+(aps-no-urgent UF 2.57 vs aps 1.73; PADC-no-urgent 4.55 vs PADC 1.84).
+**Measured**: same pattern — no-urgent variants starve the unfriendly cores
+(UF 2.6 for aps-apd-no-urgent vs 1.45 with urgency; HS 0.339 vs 0.443) and
+urgency also helps WS here. ✅""",
+    "tab9": """**Paper**: 4× libquantum — equal/APS/PADC all reach the same WS
+(+18.2% over demand-first) with even per-instance speedups.
+**Measured**: equal leads WS as in the paper, and the adaptive arms give
+the most even per-instance speedups (UF 1.12 vs 1.40 for equal) —
+identical instances progress together, the table's key point. ⚠️""",
+    "tab10": """**Paper**: 4× milc — demand-first/APS beat equal; adding APD makes PADC
+best and recovers the prefetching loss.
+**Measured**: equal is worst on HS/UF as in the paper; PADC restores even
+progress and the best balance. ⚠️ (WS ordering between demand-first and
+PADC is within noise)""",
+    "fig16": """**Paper**: 4-core, 32 workloads — PADC +8.2% WS, +4.1% HS, −10.1%
+traffic vs demand-first.
+**Measured**: PADC has the lowest traffic of the prefetching arms (−6.6%)
+and beats equal and APS, but lands ~5% below demand-first on WS — the
+single-core equal-mode divergence aggregated (DESIGN.md §7). Traffic and
+adaptivity shapes ✓, headline WS ordering ✗. ❌""",
+    "fig17": """**Paper**: 8-core — rigid policies make prefetching *hurt* (demand-first
+−1.2%, equal −3.0% vs no-pref); PADC +9.9% WS, −9.4% traffic.
+**Measured**: the rigid-policy collapse reproduces dramatically for equal
+(2.44 vs 3.81 no-pref) and demand-first's gain is small (+4.8%); PADC cuts
+traffic −7.8% but sits below demand-first on WS as at 4 cores. ⚠️""",
+    "fig19": """**Paper**: ranking on 4-core: ≈WS, +0.9% HS, UF 1.63→1.53.
+**Measured**: same character — ranking trades a little WS for better UF/HS
+at 4 cores. ✅""",
+    "fig20": """**Paper**: ranking on 8-core: +2.0% WS, +5.4% HS, −10.4% UF — more
+valuable as contention grows.
+**Measured**: at 8 cores ranking improves UF as at 4 cores with a slightly
+larger WS give-back; the paper's larger 8-core *gain* (driven by deeper
+starvation in its more saturated system) appears here only as the UF
+improvement. ⚠️""",
+    "fig21": """**Paper**: dual controllers, 4-core — baseline jumps; PADC still +5.9%
+WS and −12.9% traffic.
+**Measured**: doubling channels lifts every arm strongly; PADC keeps the
+lowest traffic and tracks the best arm. ⚠️""",
+    "fig22": """**Paper**: dual controllers, 8-core — prefetching helps again even for
+rigid policies once bandwidth doubles; PADC +5.5% WS, −13.2% traffic.
+**Measured**: same reversal — with two channels the prefetching arms all
+beat no-pref at 8 cores, and PADC has the lowest traffic. ✅""",
+    "fig23": """**Paper**: row-buffer sweep — demand-first *degrades below no-pref* at
+≥64KB rows; PADC wins at every size (+8.8% vs no-pref at 64KB).
+**Measured**: the crossover reproduces: demand-first's advantage shrinks
+then inverts as rows grow (APS/PADC overtake it from 16KB up, 2.63 vs 2.44
+at 128KB) because only the adaptive policies exploit the larger open rows
+for useful requests. ✅""",
+    "fig24": """**Paper**: closed-row policy — PADC still works (+7.6% over
+demand-first-closed); open-row PADC best overall by 1.1%.
+**Measured**: PADC-closed beats equal-closed and tracks demand-first; our
+substrate slightly favors closed-row overall (the paper's slightly favors
+open-row). ⚠️""",
+    "fig25": """**Paper**: L2 sweep 512KB–8MB — PADC wins at every size; equal starts
+beating demand-first beyond 1MB; dropping matters less as caches grow.
+**Measured**: every arm's WS saturates beyond ~2MB per core (working sets
+fit), the equal-vs-demand-first gap narrows slightly with size, and the
+arm ordering is size-stable — the paper's "interference persists at large
+caches" point holds, its exact crossovers do not. ⚠️""",
+    "fig26": """**Paper**: shared L2, 4-core — PADC +8.0%; equal degrades (−2.4%) due
+to cross-core pollution (traffic +22.3%).
+**Measured**: equal's pollution blow-up reproduces (highest traffic, worst
+UF of the prefetching arms); PADC beats equal/APS with the lowest traffic.
+⚠️""",
+    "fig27": """**Paper**: shared L2, 8-core — equal −10.4% WS with +46.3% traffic.
+**Measured**: equal craters (WS 2.56 vs 4.09 demand-first, traffic +26%,
+UF 8.7) — the paper's starkest anti-equal result, clearly reproduced.
+PADC saves 7.4% traffic vs demand-first. ✅""",
+    "fig28": """**Paper**: PADC helps under stride, C/DC, and Markov prefetchers too;
+Markov benefits least (inaccurate for SPEC) but PADC still +2.2% WS /
+−10.3% traffic via dropping.
+**Measured**: all three prefetchers show the same pattern as stream (PADC
+best-or-tied among prefetching arms with the lowest traffic); the Markov
+prefetcher is the weakest performer and benefits mostly through dropping.
+✅""",
+    "fig29": """**Paper**: DDPF (+1.5%) and FDP (+1.7%) help demand-first less than APD
+(+2.6%); combined with APS they reach +6.3/+7.4% but PADC (+8.2%) wins
+because APD keeps useful prefetches that DDPF/FDP filter away.
+**Measured**: demand-first-apd is the best demand-first variant (the
+paper's ordering APD > FDP ≈ DDPF reproduces) and FDP cuts traffic the
+most at a WS cost — the paper's performance-vs-traffic trade-off. The
+aps-* combinations inherit the equal-mode divergence. ⚠️""",
+    "fig30": """**Paper**: DDPF/FDP under demand-pref-equal recover little (+2.3/+2.7%)
+because they remove useful prefetches; PADC +8.2%.
+**Measured**: equal+DDPF/FDP improves on plain equal but stays below
+APS/PADC. ✅""",
+    "fig31": """**Paper**: permutation interleaving +3.8% on its own; PADC is
+complementary (+5.4% over demand-first-perm, −11.3% traffic).
+**Measured**: permutation helps every arm (fewer row conflicts) and PADC's
+benefits compose with it (lowest traffic among perm arms). ✅""",
+    "fig32": """**Paper**: runahead +3.7% on demand-first; PADC remains effective on a
+runahead CMP (+6.7% over demand-first-ra, −10.2% traffic).
+**Measured**: runahead helps the baseline (accurate demand-like requests
+during stalls) and composes with PADC; PADC-ra has the lowest traffic of
+the ra arms. ✅""",
+    "ext-batch": """**Extension** (not in the paper): PAR-BS batch formation layered on
+PADC. Measured: batching trades a little throughput for bounded
+starvation, consistent with the PAR-BS paper's design goal.""",
+    "ext-timing": """**Extension** (not in the paper): full DDR3 constraints (tRAS/tWR/tRTP/
+tFAW/refresh). Measured: every arm slows by a similar factor and the
+policy ordering is unchanged — supporting the paper's choice of the
+simpler three-latency model.""",
+    "ext-wdrain": """**Extension** (not in the paper): watermark write-drain. Measured: at
+these scales writeback pressure is modest, so effects are small; the
+mechanism is exercised by unit tests.""",
+    "cost": """**Paper**: Tables 1–2 — 34,720 bits (~4.25KB) on the 4-core system, 0.2%
+of L2 capacity; 1,824 bits if prefetch bits already exist.
+**Measured**: the cost model reproduces the paper's table *exactly* (the
+arithmetic is deterministic): 34,720 bits, 0.207% of L2. ✅ (bit-exact)""",
+    "tab6": """**Paper**: Table 6 — drop thresholds 100 / 1,500 / 50,000 / 100,000
+cycles for accuracy bands 0–10 / 10–30 / 30–70 / 70–100%.
+**Measured**: identical by construction. ✅ (bit-exact)""",
+}
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+For every table and figure in the paper's evaluation (§6): what the paper
+reports, what this reproduction measures, and a verdict on the *shape*
+(✅ reproduced · ⚠️ partially · ❌ diverges, with the analysis referenced).
+
+Measured numbers come from one full-scale harness run (the committed
+`repro_full.txt`):
+
+```bash
+cargo run --release -p padc-bench --bin repro -- all | tee repro_full.txt
+```
+
+Scale: 800K instructions single-core, 400K/core multi-core; 32/24/12
+workloads for 2/4/8-core aggregates; 8 workloads for sweeps; seed 1.
+Absolute values are not comparable to the paper (its substrate was a
+proprietary x86 simulator running SPEC traces; ours is a from-scratch
+simulator on synthetic traces — DESIGN.md §2); shapes are the target.
+
+**Summary.** Of the 33 paper artifacts, 18 reproduce cleanly (✅), 13
+partially (⚠️), and 2 diverge (❌: fig6's single-core gmean ordering and
+fig16's headline 4-core WS ordering). Both divergences trace to one
+substrate difference analysed in DESIGN.md §7: in our model the rigid
+demand-first policy is stronger for accurate-prefetch streaming apps than
+in the paper's system, so APS's equal-like mode gives back a few percent
+exactly where the paper gains it. All bandwidth (APD traffic savings),
+fairness (urgency, ranking), adaptivity (per-class policy selection,
+phase tracking), and sensitivity results (row size, cache size, channels,
+shared caches, other prefetchers, DDPF/FDP, permutation, runahead)
+reproduce in shape.
+
+---
+"""
+
+
+def main(path):
+    text = open(path).read()
+    # Split into experiment blocks on lines starting with "# ".
+    blocks = {}
+    cur_id, cur_lines = None, []
+    for line in text.splitlines():
+        if line.startswith("# ") and " — " in line:
+            if cur_id:
+                blocks.setdefault(cur_id, "\n".join(cur_lines).strip())
+            cur_id = line[2:].split(" — ")[0].strip()
+            cur_lines = [line]
+        elif line.startswith("EXIT="):
+            continue
+        else:
+            cur_lines.append(line)
+    if cur_id:
+        blocks.setdefault(cur_id, "\n".join(cur_lines).strip())
+
+    out = [HEADER]
+    for exp_id, commentary in COMMENTARY.items():
+        out.append(f"## {exp_id}\n")
+        out.append(commentary.strip() + "\n")
+        if exp_id in blocks:
+            out.append("```text\n" + blocks[exp_id] + "\n```\n")
+        else:
+            out.append("_(not present in this run; regenerate with "
+                       f"`repro {exp_id}`)_\n")
+    print("\n".join(out))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -1,0 +1,42 @@
+//! # padc — Prefetch-Aware DRAM Controllers
+//!
+//! Facade crate for the PADC reproduction suite (Lee, Mutlu, Narasiman,
+//! Patt, "Prefetch-Aware DRAM Controllers", MICRO-41 2008). Re-exports the
+//! workspace crates under one roof:
+//!
+//! * [`types`] — addresses, ids, request records.
+//! * [`dram`] — cycle-level DDR3 bank/channel/bus model.
+//! * [`cache`] — set-associative caches with prefetch bits and MSHRs.
+//! * [`prefetch`] — stream / stride / Markov / C/DC prefetchers, DDPF, FDP.
+//! * [`core`] — the paper's contribution: the memory request buffer,
+//!   scheduling policies (FR-FCFS, demand-first, prefetch-first, APS),
+//!   adaptive prefetch dropping, and request ranking.
+//! * [`cpu`] — trace-driven core model with window-stall accounting and
+//!   runahead execution.
+//! * [`workloads`] — synthetic SPEC-like benchmark profiles and
+//!   multiprogrammed workload construction.
+//! * [`sim`] — the full-system simulator, metrics, and experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use padc::sim::{SimConfig, System};
+//! use padc::core::SchedulingPolicy;
+//! use padc::workloads::profiles;
+//!
+//! // One core running a streaming workload under the PADC controller.
+//! let mut cfg = SimConfig::single_core(SchedulingPolicy::Padc);
+//! cfg.max_instructions = 50_000;
+//! let mut system = System::new(cfg, vec![profiles::libquantum()]);
+//! let report = system.run();
+//! assert!(report.per_core[0].ipc() > 0.0);
+//! ```
+
+pub use padc_cache as cache;
+pub use padc_core as core;
+pub use padc_cpu as cpu;
+pub use padc_dram as dram;
+pub use padc_prefetch as prefetch;
+pub use padc_sim as sim;
+pub use padc_types as types;
+pub use padc_workloads as workloads;

@@ -1,0 +1,145 @@
+//! Integration tests for the orthogonal mechanisms: DDPF, FDP, extended
+//! DRAM timing, PAR-BS batching, and the closed-row policy — each driven
+//! through the full system.
+
+use padc::core::SchedulingPolicy;
+use padc::dram::{ExtendedTiming, RowPolicy};
+use padc::sim::{Report, SimConfig, System};
+use padc::workloads::profiles;
+
+fn base_cfg(policy: SchedulingPolicy) -> SimConfig {
+    let mut cfg = SimConfig::single_core(policy);
+    cfg.max_instructions = 120_000;
+    cfg
+}
+
+fn run(cfg: SimConfig, bench: &str) -> Report {
+    System::new(cfg, vec![profiles::by_name(bench).expect("known")]).run()
+}
+
+#[test]
+fn ddpf_filters_prefetches_on_unfriendly_workloads() {
+    // DDPF learns uselessness from unused-prefetch evictions, so the test
+    // uses a small L2 that wraps within the run.
+    let small_l2 = |mut cfg: SimConfig| {
+        cfg.l2.size_bytes = 64 * 1024;
+        cfg
+    };
+    let mut cfg = small_l2(base_cfg(SchedulingPolicy::DemandFirst));
+    cfg.ddpf = true;
+    let with = run(cfg, "omnetpp_06");
+    let without = run(
+        small_l2(base_cfg(SchedulingPolicy::DemandFirst)),
+        "omnetpp_06",
+    );
+    assert!(
+        with.per_core[0].prefetches_filtered > 20,
+        "DDPF should filter useless prefetches (filtered {})",
+        with.per_core[0].prefetches_filtered
+    );
+    assert!(
+        with.traffic().pref_useless < without.traffic().pref_useless,
+        "DDPF must cut useless prefetch traffic ({} vs {})",
+        with.traffic().pref_useless,
+        without.traffic().pref_useless
+    );
+}
+
+#[test]
+fn ddpf_spares_accurate_prefetchers() {
+    let mut cfg = base_cfg(SchedulingPolicy::DemandFirst);
+    cfg.ddpf = true;
+    let r = run(cfg, "libquantum_06");
+    let c = &r.per_core[0];
+    assert!(
+        (c.prefetches_filtered as f64)
+            < 0.15 * (c.prefetches_sent + c.prefetches_filtered).max(1) as f64,
+        "DDPF should rarely filter accurate prefetches (filtered {} of {})",
+        c.prefetches_filtered,
+        c.prefetches_sent + c.prefetches_filtered
+    );
+}
+
+#[test]
+fn fdp_throttles_down_on_unfriendly_workloads() {
+    let mut cfg = base_cfg(SchedulingPolicy::DemandFirst);
+    cfg.fdp = true;
+    let with = run(cfg, "omnetpp_06");
+    let without = run(base_cfg(SchedulingPolicy::DemandFirst), "omnetpp_06");
+    assert!(
+        with.per_core[0].prefetches_sent < without.per_core[0].prefetches_sent,
+        "FDP should throttle an inaccurate prefetcher ({} vs {})",
+        with.per_core[0].prefetches_sent,
+        without.per_core[0].prefetches_sent
+    );
+}
+
+#[test]
+fn extended_timing_slows_but_does_not_break_the_system() {
+    let mut cfg = base_cfg(SchedulingPolicy::Padc);
+    cfg.dram.extended = Some(ExtendedTiming::default());
+    let ext = run(cfg, "milc_06");
+    let plain = run(base_cfg(SchedulingPolicy::Padc), "milc_06");
+    assert!(ext.per_core[0].instructions >= 120_000);
+    assert!(
+        ext.channels[0].refreshes > 0,
+        "refreshes must occur over a long run"
+    );
+    assert!(
+        ext.total_cycles >= plain.total_cycles,
+        "extra constraints cannot speed DRAM up ({} vs {})",
+        ext.total_cycles,
+        plain.total_cycles
+    );
+}
+
+#[test]
+fn batching_improves_fairness_on_an_asymmetric_mix() {
+    use padc::sim::metrics;
+    use padc::workloads::Workload;
+    let w = Workload::from_names(&["art_00", "eon_00", "art_00", "eon_00"]);
+    let alone: Vec<f64> = w
+        .benchmarks
+        .iter()
+        .map(|b| {
+            let mut cfg = SimConfig::single_core(SchedulingPolicy::DemandFirst);
+            cfg.max_instructions = 60_000;
+            System::new(cfg, vec![b.clone()]).run().per_core[0].ipc()
+        })
+        .collect();
+    let run4 = |batching: bool| {
+        let mut cfg = SimConfig::new(4, SchedulingPolicy::Padc);
+        cfg.controller.batching = batching;
+        cfg.max_instructions = 60_000;
+        let r = System::new(cfg, w.benchmarks.clone()).run();
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+        metrics::unfairness(&ipcs, &alone)
+    };
+    let without = run4(false);
+    let with = run4(true);
+    assert!(
+        with <= without * 1.1,
+        "batching must not worsen unfairness materially ({with:.2} vs {without:.2})"
+    );
+}
+
+#[test]
+fn closed_row_policy_runs_the_full_system() {
+    let mut cfg = base_cfg(SchedulingPolicy::Padc);
+    cfg.dram.row_policy = RowPolicy::Closed;
+    let r = run(cfg, "swim_00");
+    assert!(r.per_core[0].ipc() > 0.0);
+    // The closed-row policy issues extra precharges relative to CAS count.
+    assert!(r.channels[0].precharges > 0);
+}
+
+#[test]
+fn prefetch_first_policy_runs_and_is_not_best() {
+    let pf = run(base_cfg(SchedulingPolicy::PrefetchFirst), "milc_06");
+    let padc = run(base_cfg(SchedulingPolicy::Padc), "milc_06");
+    assert!(pf.per_core[0].ipc() > 0.0);
+    assert!(
+        padc.per_core[0].ipc() >= pf.per_core[0].ipc() * 0.98,
+        "PADC should not lose to prefetch-first"
+    );
+}

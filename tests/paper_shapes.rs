@@ -1,0 +1,205 @@
+//! End-to-end integration tests asserting the paper's qualitative result
+//! shapes — who wins where — on the full system.
+
+use padc::core::SchedulingPolicy;
+use padc::sim::{Report, SimConfig, System};
+use padc::workloads::{profiles, Workload};
+
+fn run_single(policy: SchedulingPolicy, bench: &str, instructions: u64, prefetch: bool) -> Report {
+    let mut cfg = SimConfig::single_core(policy);
+    if !prefetch {
+        cfg = cfg.without_prefetching();
+    }
+    cfg.max_instructions = instructions;
+    System::new(
+        cfg,
+        vec![profiles::by_name(bench).expect("known benchmark")],
+    )
+    .run()
+}
+
+#[test]
+fn prefetching_greatly_helps_streaming_workloads() {
+    let base = run_single(
+        SchedulingPolicy::DemandFirst,
+        "libquantum_06",
+        150_000,
+        false,
+    );
+    let pf = run_single(
+        SchedulingPolicy::DemandFirst,
+        "libquantum_06",
+        150_000,
+        true,
+    );
+    let speedup = pf.per_core[0].ipc() / base.per_core[0].ipc();
+    assert!(
+        speedup > 1.5,
+        "stream prefetching should speed libquantum up substantially, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn prefetching_barely_moves_insensitive_workloads() {
+    let base = run_single(SchedulingPolicy::DemandFirst, "eon_00", 150_000, false);
+    let pf = run_single(SchedulingPolicy::DemandFirst, "eon_00", 150_000, true);
+    let ratio = pf.per_core[0].ipc() / base.per_core[0].ipc();
+    assert!(
+        (0.9..1.2).contains(&ratio),
+        "class-0 benchmark should be prefetch-insensitive, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn stream_prefetcher_accuracy_tracks_benchmark_class() {
+    let friendly = run_single(SchedulingPolicy::DemandFirst, "swim_00", 150_000, true);
+    let unfriendly = run_single(SchedulingPolicy::DemandFirst, "omnetpp_06", 150_000, true);
+    assert!(
+        friendly.per_core[0].acc() > 0.75,
+        "swim accuracy {:.2}",
+        friendly.per_core[0].acc()
+    );
+    assert!(
+        unfriendly.per_core[0].acc() < 0.35,
+        "omnetpp accuracy {:.2}",
+        unfriendly.per_core[0].acc()
+    );
+}
+
+#[test]
+fn apd_drops_useless_prefetches_and_saves_bandwidth() {
+    // omnetpp is uniformly prefetch-unfriendly (milc's *first* phase is its
+    // friendly one, so a short run would not arm APD).
+    let df = run_single(SchedulingPolicy::DemandFirst, "omnetpp_06", 150_000, true);
+    let padc = run_single(SchedulingPolicy::Padc, "omnetpp_06", 150_000, true);
+    assert!(
+        padc.per_core[0].prefetches_dropped > 100,
+        "APD must fire on omnetpp (dropped {})",
+        padc.per_core[0].prefetches_dropped
+    );
+    assert!(
+        padc.traffic().total() < df.traffic().total(),
+        "APD must reduce bus traffic ({} vs {})",
+        padc.traffic().total(),
+        df.traffic().total()
+    );
+    // And not lose meaningful performance while doing it.
+    let ratio = padc.per_core[0].ipc() / df.per_core[0].ipc();
+    assert!(ratio > 0.9, "PADC should be near demand-first, {ratio:.2}");
+}
+
+#[test]
+fn apd_preserves_useful_prefetches_on_friendly_workloads() {
+    let padc = run_single(SchedulingPolicy::Padc, "libquantum_06", 150_000, true);
+    let sent = padc.per_core[0].prefetches_sent;
+    let dropped = padc.per_core[0].prefetches_dropped;
+    assert!(
+        (dropped as f64) < 0.05 * sent as f64,
+        "PADC must not drop accurate prefetches ({dropped}/{sent})"
+    );
+}
+
+#[test]
+fn padc_beats_the_worst_rigid_policy_on_a_mixed_4core_workload() {
+    let w = Workload::from_names(&["omnetpp_06", "libquantum_06", "galgel_00", "GemsFDTD_06"]);
+    let run = |policy: SchedulingPolicy| {
+        let mut cfg = SimConfig::new(4, policy);
+        cfg.max_instructions = 60_000;
+        let r = System::new(cfg, w.benchmarks.clone()).run();
+        let sum: f64 = r.per_core.iter().map(|c| c.ipc()).sum();
+        (sum, r.traffic().total())
+    };
+    let (ipc_equal, _) = run(SchedulingPolicy::DemandPrefetchEqual);
+    let (ipc_padc, traffic_padc) = run(SchedulingPolicy::Padc);
+    let (_, traffic_df) = run(SchedulingPolicy::DemandFirst);
+    assert!(
+        ipc_padc > ipc_equal,
+        "PADC ({ipc_padc:.3}) must beat demand-pref-equal ({ipc_equal:.3}) on a mixed workload"
+    );
+    assert!(
+        traffic_padc < traffic_df,
+        "PADC must save bandwidth on a mixed workload"
+    );
+}
+
+#[test]
+fn prefetch_first_is_the_worst_policy_on_unfriendly_workloads() {
+    let pf_first = run_single(SchedulingPolicy::PrefetchFirst, "omnetpp_06", 100_000, true);
+    let df = run_single(SchedulingPolicy::DemandFirst, "omnetpp_06", 100_000, true);
+    assert!(
+        pf_first.per_core[0].ipc() <= df.per_core[0].ipc() * 1.02,
+        "prefetch-first must not beat demand-first on an unfriendly app"
+    );
+}
+
+#[test]
+fn dual_channel_systems_are_faster() {
+    let w = Workload::from_names(&["swim_00", "bwaves_06", "leslie3d_06", "soplex_06"]);
+    let run = |channels: usize| {
+        let mut cfg = SimConfig::new(4, SchedulingPolicy::DemandFirst);
+        cfg.dram.channels = channels;
+        cfg.max_instructions = 60_000;
+        let r = System::new(cfg, w.benchmarks.clone()).run();
+        r.per_core.iter().map(|c| c.ipc()).sum::<f64>()
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(
+        two > one * 1.1,
+        "doubling memory channels must help bandwidth-bound workloads ({one:.3} -> {two:.3})"
+    );
+}
+
+#[test]
+fn bigger_caches_lift_baseline_performance() {
+    let mut small = SimConfig::single_core(SchedulingPolicy::DemandFirst);
+    small.l2.size_bytes = 512 * 1024;
+    small.max_instructions = 100_000;
+    let mut big = small.clone();
+    big.l2.size_bytes = 8 * 1024 * 1024;
+    let bench = profiles::by_name("sphinx3_06").unwrap(); // medium working set
+    let s = System::new(small, vec![bench.clone()]).run().per_core[0].ipc();
+    let b = System::new(big, vec![bench]).run().per_core[0].ipc();
+    assert!(b >= s, "8MB L2 ({b:.3}) must not lose to 512KB ({s:.3})");
+}
+
+#[test]
+fn runahead_generates_runahead_requests_and_does_not_hurt() {
+    let mut cfg = SimConfig::single_core(SchedulingPolicy::Padc);
+    cfg.core.runahead = true;
+    cfg.max_instructions = 100_000;
+    let bench = profiles::by_name("mcf_06").unwrap();
+    let ra = System::new(cfg, vec![bench.clone()]).run();
+    assert!(
+        ra.per_core[0].runahead_episodes > 0,
+        "a pointer-chasing app must trigger runahead"
+    );
+    let base = run_single(SchedulingPolicy::Padc, "mcf_06", 100_000, true);
+    assert!(
+        ra.per_core[0].ipc() > base.per_core[0].ipc() * 0.95,
+        "runahead should not hurt ({:.3} vs {:.3})",
+        ra.per_core[0].ipc(),
+        base.per_core[0].ipc()
+    );
+}
+
+#[test]
+fn shared_cache_system_runs_and_reports_per_core() {
+    let w = Workload::from_names(&["swim_00", "milc_06", "eon_00", "libquantum_06"]);
+    let mut cfg = SimConfig::new(4, SchedulingPolicy::Padc);
+    cfg.shared_l2 = true;
+    cfg.max_instructions = 50_000;
+    let r = System::new(cfg, w.benchmarks).run();
+    assert_eq!(r.per_core.len(), 4);
+    assert!(r.per_core.iter().all(|c| c.instructions >= 50_000));
+}
+
+#[test]
+fn permutation_mapping_does_not_break_correctness() {
+    let mut cfg = SimConfig::single_core(SchedulingPolicy::Padc);
+    cfg.mapping = padc::dram::MappingScheme::Permutation;
+    cfg.max_instructions = 60_000;
+    let r = System::new(cfg, vec![profiles::swim()]).run();
+    assert!(r.per_core[0].ipc() > 0.0);
+    assert!(r.per_core[0].acc() > 0.5);
+}
