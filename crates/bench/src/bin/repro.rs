@@ -1,19 +1,57 @@
 //! Reproduction harness: regenerates every table and figure of the paper's
-//! evaluation.
+//! evaluation, in parallel, with per-experiment fault isolation.
 //!
 //! ```text
-//! repro [--quick|--smoke] [--json|--csv|--bars COL] <experiment-id>...
+//! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--summary PATH]
+//!       [--json|--csv|--bars COL] [--no-progress] [<experiment-id>...]
 //! repro --list
-//! repro all
 //! ```
 //!
-//! With no scale flag, experiments run at `ExpConfig::full()` scale (the
-//! paper's workload counts). `--quick` shrinks runs for fast iteration.
+//! With no ids, every registered experiment runs (`all` is accepted as an
+//! alias). With no scale flag, experiments run at `ExpConfig::full()`
+//! scale (the paper's workload counts); `--quick`/`--smoke` shrink runs
+//! for fast iteration.
+//!
+//! Execution goes through `padc-harness`: experiments run on a worker
+//! pool (`--jobs N`, default `available_parallelism()`), each under
+//! `catch_unwind`, so one panicking experiment becomes a structured
+//! failure row instead of killing the suite. The JSONL stream (`--jsonl`,
+//! `-` for stdout) is emitted in registry order and contains no timing
+//! data, so its bytes are identical for any `--jobs` value. Timings go to
+//! the stderr progress lines and to the `--summary` JSON.
+//!
+//! Exit status: `0` when every experiment succeeds, `1` when any job
+//! panics or runs over budget, `2` on usage errors (including unknown
+//! experiment ids).
 
 use std::io::Write as _;
+use std::time::Duration;
 
-use padc_bench::{find, registry};
+use padc_bench::{find, registry, suite_jobs, table_stash, Experiment};
+use padc_harness::{run_suite, HarnessConfig, JobStatus};
 use padc_sim::experiments::ExpConfig;
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--summary PATH]\n\
+         \x20            [--json|--csv|--bars COL] [--no-progress] [<id>...]\n\
+         \x20      repro --list\n\
+         known ids:"
+    );
+    for e in registry() {
+        eprintln!("  {:<10} {}", e.id, e.paper_ref);
+    }
+    std::process::exit(2);
+}
+
+fn flag_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    iter.next()
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,31 +59,46 @@ fn main() {
     let mut json = false;
     let mut csv = false;
     let mut bars: Option<String> = None;
+    let mut jobs_flag: usize = 0;
+    let mut jsonl_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
+    let mut budget: Option<Duration> = None;
+    let mut progress = true;
     let mut ids: Vec<String> = Vec::new();
-    let mut iter = args.iter().peekable();
+    let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => cfg = ExpConfig::quick(),
             "--smoke" => cfg = ExpConfig::smoke(),
             "--json" => json = true,
             "--csv" => csv = true,
-            "--bars" => {
-                bars = Some(
-                    iter.next()
-                        .unwrap_or_else(|| {
-                            eprintln!("--bars expects a column name");
-                            std::process::exit(2);
-                        })
-                        .clone(),
-                )
+            "--bars" => bars = Some(flag_value(&mut iter, "--bars")),
+            "--jobs" | "-j" => {
+                let v = flag_value(&mut iter, "--jobs");
+                jobs_flag = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
             }
+            "--jsonl" => jsonl_path = Some(flag_value(&mut iter, "--jsonl")),
+            "--summary" => summary_path = Some(flag_value(&mut iter, "--summary")),
+            "--budget-seconds" => {
+                let v = flag_value(&mut iter, "--budget-seconds");
+                let secs: u64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--budget-seconds expects an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                budget = Some(Duration::from_secs(secs));
+            }
+            "--no-progress" => progress = false,
             "--list" => {
                 for e in registry() {
-                    println!("{:<8} {}", e.id, e.paper_ref);
+                    println!("{:<10} {}", e.id, e.paper_ref);
                 }
                 return;
             }
-            "all" => ids = registry().iter().map(|e| e.id.to_string()).collect(),
+            "--help" | "-h" => usage_and_exit(),
+            "all" => {}
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -53,48 +106,128 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
-        eprintln!("usage: repro [--quick|--smoke] [--json] <id>... | all | --list");
-        eprintln!("known ids:");
-        for e in registry() {
-            eprintln!("  {:<8} {}", e.id, e.paper_ref);
+
+    // Resolve the experiment selection against the registry; unknown names
+    // are a hard error with a clear message, not a silent skip.
+    let selected: Vec<Experiment> = if ids.is_empty() {
+        registry()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id}");
+                    eprintln!("run `repro --list` for the registered ids");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let order: Vec<&'static str> = selected.iter().map(|e| e.id).collect();
+    let refs: Vec<&'static str> = selected.iter().map(|e| e.paper_ref).collect();
+
+    let stash = table_stash();
+    let jobs = suite_jobs(selected, cfg, Some(stash.clone()));
+    let harness_cfg = HarnessConfig {
+        workers: jobs_flag,
+        budget,
+        progress,
+    };
+
+    let mut jsonl_file;
+    let mut jsonl_stdout;
+    let jsonl_sink: Option<&mut dyn std::io::Write> = match jsonl_path.as_deref() {
+        None => None,
+        Some("-") => {
+            jsonl_stdout = std::io::stdout().lock();
+            Some(&mut jsonl_stdout)
         }
-        std::process::exit(2);
-    }
-    let mut stdout = std::io::stdout().lock();
-    for id in &ids {
-        let Some(e) = find(id) else {
-            eprintln!("unknown experiment id: {id}");
-            std::process::exit(2);
-        };
-        let start = std::time::Instant::now();
-        let tables = (e.run)(&cfg);
-        writeln!(
-            stdout,
-            "# {} — {} ({:.1}s)",
-            e.id,
-            e.paper_ref,
-            start.elapsed().as_secs_f64()
-        )
-        .expect("stdout");
-        for t in &tables {
-            if json {
-                writeln!(
-                    stdout,
-                    "{}",
-                    serde_json::to_string_pretty(t).expect("tables serialize")
-                )
-                .expect("stdout");
-            } else if csv {
-                writeln!(stdout, "{}", t.to_csv()).expect("stdout");
-            } else if let Some(col) = &bars {
-                match t.to_bars(col, 50) {
-                    Some(chart) => writeln!(stdout, "{chart}").expect("stdout"),
-                    None => writeln!(stdout, "{t}").expect("stdout"),
+        Some(path) => {
+            jsonl_file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            Some(&mut jsonl_file)
+        }
+    };
+
+    let mut stderr = std::io::stderr().lock();
+    let summary =
+        run_suite(&jobs, &harness_cfg, jsonl_sink, &mut stderr).expect("suite I/O failed");
+
+    // Human-readable rendering, in registry order, from the stash the jobs
+    // filled. Suppressed when the JSONL stream already owns stdout.
+    if jsonl_path.as_deref() != Some("-") {
+        let stash = stash.lock().expect("stash lock");
+        let mut stdout = std::io::stdout().lock();
+        for (i, id) in order.iter().enumerate() {
+            let outcome = &summary.outcomes[i];
+            writeln!(stdout, "# {} — {} ({:.1}s)", id, refs[i], outcome.seconds).expect("stdout");
+            match stash.get(*id) {
+                Some(tables) => {
+                    for t in tables {
+                        if json {
+                            writeln!(
+                                stdout,
+                                "{}",
+                                serde_json::to_string_pretty(t).expect("tables serialize")
+                            )
+                            .expect("stdout");
+                        } else if csv {
+                            writeln!(stdout, "{}", t.to_csv()).expect("stdout");
+                        } else if let Some(col) = &bars {
+                            match t.to_bars(col, 50) {
+                                Some(chart) => writeln!(stdout, "{chart}").expect("stdout"),
+                                None => writeln!(stdout, "{t}").expect("stdout"),
+                            }
+                        } else {
+                            writeln!(stdout, "{t}").expect("stdout");
+                        }
+                    }
                 }
-            } else {
-                writeln!(stdout, "{t}").expect("stdout");
+                None => {
+                    writeln!(
+                        stdout,
+                        "  FAILED ({}): {}",
+                        outcome.status.as_str(),
+                        outcome.error.as_deref().unwrap_or("no detail")
+                    )
+                    .expect("stdout");
+                }
             }
         }
+    }
+
+    if let Some(path) = &summary_path {
+        std::fs::write(path, summary.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    let failed = summary.failed();
+    writeln!(
+        stderr,
+        "suite: {}/{} ok, {} failed, {} workers, {:.1}s wall",
+        summary.ok(),
+        summary.outcomes.len(),
+        failed,
+        summary.workers,
+        summary.wall_seconds
+    )
+    .expect("stderr");
+    if failed > 0 {
+        for o in &summary.outcomes {
+            if o.status != JobStatus::Ok {
+                writeln!(
+                    stderr,
+                    "  {}: {} — {}",
+                    o.id,
+                    o.status.as_str(),
+                    o.error.as_deref().unwrap_or("no detail")
+                )
+                .expect("stderr");
+            }
+        }
+        std::process::exit(1);
     }
 }

@@ -1,249 +1,11 @@
-//! Reproduction harness support: maps experiment ids to the functions in
-//! [`padc_sim::experiments`] so both the `repro` binary and the benches can
-//! enumerate them.
+//! Reproduction harness support.
+//!
+//! The experiment registry itself lives in
+//! [`padc_sim::experiments::registry`] (so `padcsim --suite` and the
+//! benches enumerate the same list); this crate re-exports it for the
+//! `repro` binary and for backwards compatibility with existing
+//! `padc_bench::{registry, find}` callers.
 
-use padc_sim::experiments::{self as exp, CaseStudy, ExpConfig, ExpTable};
-
-/// Every reproducible artifact: id, paper reference, and runner.
-pub struct Experiment {
-    /// Harness id (`fig6`, `case2`, `tab7`, ...).
-    pub id: &'static str,
-    /// What the paper calls it.
-    pub paper_ref: &'static str,
-    /// Executes the experiment.
-    pub run: fn(&ExpConfig) -> Vec<ExpTable>,
-}
-
-macro_rules! single_table {
-    ($f:path) => {{
-        fn runner(c: &ExpConfig) -> Vec<ExpTable> {
-            vec![$f(c)]
-        }
-        runner
-    }};
-}
-
-/// The full experiment registry, in paper order.
-pub fn registry() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            id: "fig1",
-            paper_ref: "Figure 1 (motivation: rigid policies)",
-            run: single_table!(exp::fig1_motivation),
-        },
-        Experiment {
-            id: "fig2",
-            paper_ref: "Figure 2 (scheduling example timelines)",
-            run: single_table!(exp::fig2_scheduling_example),
-        },
-        Experiment {
-            id: "fig4",
-            paper_ref: "Figure 4 (service-time histogram; accuracy phases)",
-            run: exp::fig4_service_time_and_phases,
-        },
-        Experiment {
-            id: "fig6",
-            paper_ref: "Figure 6 (single-core IPC, 5 policies)",
-            run: single_table!(exp::fig6_single_core_ipc),
-        },
-        Experiment {
-            id: "fig7",
-            paper_ref: "Figure 7 (stall time per load)",
-            run: single_table!(exp::fig7_spl),
-        },
-        Experiment {
-            id: "fig8",
-            paper_ref: "Figure 8 (bus traffic breakdown)",
-            run: single_table!(exp::fig8_traffic),
-        },
-        Experiment {
-            id: "tab5",
-            paper_ref: "Table 5 (benchmark characteristics)",
-            run: single_table!(exp::tab5_characteristics),
-        },
-        Experiment {
-            id: "tab7",
-            paper_ref: "Table 7 (RBHU)",
-            run: single_table!(exp::tab7_rbhu),
-        },
-        Experiment {
-            id: "fig9",
-            paper_ref: "Figure 9 (2-core aggregate)",
-            run: single_table!(exp::fig9_2core),
-        },
-        Experiment {
-            id: "case1",
-            paper_ref: "Figures 10-11 (case study I: all prefetch-friendly)",
-            run: |c| exp::case_study(CaseStudy::AllFriendly, c),
-        },
-        Experiment {
-            id: "case2",
-            paper_ref: "Figures 12-13 (case study II: all prefetch-unfriendly)",
-            run: |c| exp::case_study(CaseStudy::AllUnfriendly, c),
-        },
-        Experiment {
-            id: "case3",
-            paper_ref: "Figures 14-15 (case study III: mixed)",
-            run: |c| exp::case_study(CaseStudy::Mixed, c),
-        },
-        Experiment {
-            id: "tab8",
-            paper_ref: "Table 8 (urgency ablation)",
-            run: single_table!(exp::tab8_urgency),
-        },
-        Experiment {
-            id: "tab9",
-            paper_ref: "Table 9 (4x libquantum)",
-            run: single_table!(exp::tab9_identical_libquantum),
-        },
-        Experiment {
-            id: "tab10",
-            paper_ref: "Table 10 (4x milc)",
-            run: single_table!(exp::tab10_identical_milc),
-        },
-        Experiment {
-            id: "fig16",
-            paper_ref: "Figure 16 (4-core aggregate)",
-            run: single_table!(exp::fig16_4core),
-        },
-        Experiment {
-            id: "fig17",
-            paper_ref: "Figure 17 (8-core aggregate)",
-            run: single_table!(exp::fig17_8core),
-        },
-        Experiment {
-            id: "fig19",
-            paper_ref: "Figure 19 (ranking, 4-core)",
-            run: single_table!(exp::fig19_ranking_4core),
-        },
-        Experiment {
-            id: "fig20",
-            paper_ref: "Figure 20 (ranking, 8-core)",
-            run: single_table!(exp::fig20_ranking_8core),
-        },
-        Experiment {
-            id: "fig21",
-            paper_ref: "Figure 21 (dual controllers, 4-core)",
-            run: single_table!(exp::fig21_dual_controller_4core),
-        },
-        Experiment {
-            id: "fig22",
-            paper_ref: "Figure 22 (dual controllers, 8-core)",
-            run: single_table!(exp::fig22_dual_controller_8core),
-        },
-        Experiment {
-            id: "fig23",
-            paper_ref: "Figure 23 (row-buffer size sweep)",
-            run: single_table!(exp::fig23_row_buffer_sweep),
-        },
-        Experiment {
-            id: "fig24",
-            paper_ref: "Figure 24 (closed-row policy)",
-            run: single_table!(exp::fig24_closed_row),
-        },
-        Experiment {
-            id: "fig25",
-            paper_ref: "Figure 25 (L2 size sweep)",
-            run: single_table!(exp::fig25_cache_sweep),
-        },
-        Experiment {
-            id: "fig26",
-            paper_ref: "Figure 26 (shared L2, 4-core)",
-            run: single_table!(exp::fig26_shared_l2_4core),
-        },
-        Experiment {
-            id: "fig27",
-            paper_ref: "Figure 27 (shared L2, 8-core)",
-            run: single_table!(exp::fig27_shared_l2_8core),
-        },
-        Experiment {
-            id: "fig28",
-            paper_ref: "Figure 28 (stride / C/DC / Markov prefetchers)",
-            run: exp::fig28_prefetchers,
-        },
-        Experiment {
-            id: "fig29",
-            paper_ref: "Figure 29 (DDPF/FDP with demand-first and APS)",
-            run: single_table!(exp::fig29_ddpf_fdp_demand_first),
-        },
-        Experiment {
-            id: "fig30",
-            paper_ref: "Figure 30 (DDPF/FDP with demand-pref-equal)",
-            run: single_table!(exp::fig30_ddpf_fdp_equal),
-        },
-        Experiment {
-            id: "fig31",
-            paper_ref: "Figure 31 (permutation-based interleaving)",
-            run: single_table!(exp::fig31_permutation),
-        },
-        Experiment {
-            id: "fig32",
-            paper_ref: "Figure 32 (runahead execution)",
-            run: single_table!(exp::fig32_runahead),
-        },
-        Experiment {
-            id: "ext-batch",
-            paper_ref: "Extension: PAR-BS batching on PADC",
-            run: single_table!(exp::ext_batching),
-        },
-        Experiment {
-            id: "ext-timing",
-            paper_ref: "Extension: full DDR3 timing constraints",
-            run: single_table!(exp::ext_timing),
-        },
-        Experiment {
-            id: "ext-wdrain",
-            paper_ref: "Extension: watermark write-drain scheduling",
-            run: single_table!(exp::ext_write_drain),
-        },
-        Experiment {
-            id: "cost",
-            paper_ref: "Tables 1-2 (hardware cost)",
-            run: single_table!(exp::tab1_2_cost),
-        },
-        Experiment {
-            id: "tab6",
-            paper_ref: "Table 6 (drop thresholds)",
-            run: single_table!(exp::tab6_thresholds),
-        },
-    ]
-}
-
-/// Finds an experiment by id.
-pub fn find(id: &str) -> Option<Experiment> {
-    registry().into_iter().find(|e| e.id == id)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn registry_covers_all_paper_artifacts() {
-        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
-        for required in [
-            "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig16", "fig17", "fig19",
-            "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
-            "fig29", "fig30", "fig31", "fig32", "tab5", "tab6", "tab7", "tab8", "tab9", "tab10",
-            "case1", "case2", "case3", "cost",
-        ] {
-            assert!(ids.contains(&required), "missing {required}");
-        }
-    }
-
-    #[test]
-    fn find_resolves_known_ids() {
-        assert!(find("fig6").is_some());
-        assert!(find("nonesuch").is_none());
-    }
-
-    #[test]
-    fn tiny_experiments_run_end_to_end() {
-        let cfg = ExpConfig::smoke();
-        for id in ["fig2", "cost", "tab6"] {
-            let e = find(id).unwrap();
-            let tables = (e.run)(&cfg);
-            assert!(!tables.is_empty(), "{id} produced no tables");
-        }
-    }
-}
+pub use padc_sim::experiments::registry::{
+    find, registry, suite_jobs, table_stash, Experiment, TableStash,
+};

@@ -1,0 +1,162 @@
+//! Integration tests: the harness engine driving the real experiment
+//! registry from `padc-sim` (a dev-dependency — at build time the sim
+//! depends on the harness, not vice versa).
+
+use std::collections::HashSet;
+
+use padc_harness::{run_suite, HarnessConfig, JobSpec, JobStatus};
+use padc_sim::experiments::{experiment_registry, suite_jobs, ExpConfig};
+
+fn quiet(workers: usize) -> HarnessConfig {
+    HarnessConfig {
+        workers,
+        budget: None,
+        progress: false,
+    }
+}
+
+fn run_to_string(jobs: &[JobSpec], workers: usize) -> String {
+    let mut jsonl = Vec::new();
+    let mut progress = Vec::new();
+    run_suite(jobs, &quiet(workers), Some(&mut jsonl), &mut progress).expect("suite I/O");
+    String::from_utf8(jsonl).expect("utf8")
+}
+
+/// Registry → jobs is a bijection: every experiment entry point appears as
+/// exactly one job, in registry order.
+#[test]
+fn registry_enumerates_every_entry_point_exactly_once() {
+    let registry = experiment_registry();
+    let expected: Vec<&str> = registry.iter().map(|e| e.id).collect();
+    assert_eq!(
+        expected.iter().collect::<HashSet<_>>().len(),
+        expected.len(),
+        "registry ids must be unique"
+    );
+
+    let jobs = suite_jobs(experiment_registry(), ExpConfig::smoke(), None);
+    let job_ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+    assert_eq!(
+        job_ids, expected,
+        "jobs must mirror the registry 1:1 in order"
+    );
+    for job in &jobs {
+        assert!(
+            !job.description.is_empty(),
+            "{} lacks a description",
+            job.id
+        );
+    }
+}
+
+/// The acceptance criterion: `--jobs 1` and `--jobs 4` produce
+/// byte-identical JSONL (a smoke-scale subset keeps the test fast).
+#[test]
+fn jsonl_is_byte_identical_across_worker_counts() {
+    let subset = |_: ()| {
+        suite_jobs(
+            experiment_registry()
+                .into_iter()
+                .filter(|e| matches!(e.id, "fig1" | "fig2" | "tab5" | "tab6" | "cost"))
+                .collect(),
+            ExpConfig::smoke(),
+            None,
+        )
+    };
+    let seq = run_to_string(&subset(()), 1);
+    let par = run_to_string(&subset(()), 4);
+    assert_eq!(seq, par, "JSONL must not depend on worker count");
+    assert_eq!(seq.lines().count(), 5);
+    for line in seq.lines() {
+        let v = serde_json::parse(line).expect("row is valid JSON");
+        assert_eq!(
+            v.get("status").and_then(|s| s.as_str()),
+            Some("ok"),
+            "unexpected failure row: {line}"
+        );
+        assert!(
+            v.get("result").and_then(|r| r.get("tables")).is_some(),
+            "row lacks result.tables: {line}"
+        );
+    }
+}
+
+/// Fault isolation: an injected panicking job becomes a structured failure
+/// row while the real experiments around it still complete.
+#[test]
+fn injected_panicking_job_does_not_abort_the_suite() {
+    let mut jobs = suite_jobs(
+        experiment_registry()
+            .into_iter()
+            .filter(|e| matches!(e.id, "fig2" | "cost"))
+            .collect(),
+        ExpConfig::smoke(),
+        None,
+    );
+    jobs.insert(
+        1,
+        JobSpec::new("injected-panic", "deliberate failure", || {
+            panic!("boom from injected job")
+        }),
+    );
+
+    let mut jsonl = Vec::new();
+    let mut progress = Vec::new();
+    let summary = run_suite(&jobs, &quiet(2), Some(&mut jsonl), &mut progress).expect("suite I/O");
+
+    assert_eq!(summary.outcomes.len(), 3, "suite must run to completion");
+    assert_eq!(summary.ok(), 2);
+    assert_eq!(summary.failed(), 1);
+    assert_eq!(summary.outcomes[1].id, "injected-panic");
+    assert_eq!(summary.outcomes[1].status, JobStatus::Panicked);
+
+    let text = String::from_utf8(jsonl).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let failure = serde_json::parse(lines[1]).expect("failure row is valid JSON");
+    assert_eq!(
+        failure.get("id").and_then(|v| v.as_str()),
+        Some("injected-panic")
+    );
+    assert_eq!(
+        failure.get("status").and_then(|v| v.as_str()),
+        Some("panicked")
+    );
+    assert_eq!(
+        failure.get("error").and_then(|v| v.as_str()),
+        Some("boom from injected job")
+    );
+    assert!(lines[0].starts_with("{\"id\":\"fig2\",\"status\":\"ok\""));
+    assert!(lines[2].starts_with("{\"id\":\"cost\",\"status\":\"ok\""));
+}
+
+/// Parallel speedup sanity: with sleep-backed jobs (so the 1-CPU container
+/// can still overlap them), 4 workers must finish the suite at least 2x
+/// faster than 1 worker. Real experiments are CPU-bound, so wall-clock
+/// speedup on multi-core machines tracks `available_parallelism`; this
+/// checks the engine actually overlaps job execution.
+#[test]
+fn four_workers_overlap_jobs_for_at_least_2x_speedup() {
+    let sleepy = || {
+        (0..8)
+            .map(|i| {
+                JobSpec::new(format!("sleep{i}"), "t", || {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    "{}".to_string()
+                })
+            })
+            .collect::<Vec<_>>()
+    };
+    let time = |jobs: Vec<JobSpec>, workers| {
+        let start = std::time::Instant::now();
+        let mut progress = Vec::new();
+        run_suite(&jobs, &quiet(workers), None, &mut progress).expect("suite I/O");
+        start.elapsed()
+    };
+    let seq = time(sleepy(), 1);
+    let par = time(sleepy(), 4);
+    assert!(
+        seq.as_secs_f64() >= 2.0 * par.as_secs_f64(),
+        "expected >=2x speedup with 4 workers: sequential {seq:?}, parallel {par:?}"
+    );
+}

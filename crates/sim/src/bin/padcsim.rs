@@ -6,6 +6,7 @@
 //! padcsim --config system.json --bench milc_06           # full SimConfig from JSON
 //! padcsim --print-config --cores 2 --policy demand-first # dump the config as JSON
 //! padcsim --trace trace.txt --policy padc                # replay a recorded trace
+//! padcsim --suite --smoke --jobs 4 --jsonl out.jsonl     # experiment suite via padc-harness
 //! ```
 
 use padc_core::SchedulingPolicy;
@@ -86,7 +87,116 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `padcsim --suite`: run registered experiments on the `padc-harness`
+/// worker pool. Shares the registry (and therefore ids, payloads, and
+/// JSONL bytes) with `repro`; this entry point is the minimal
+/// suite-runner — use `repro` for table rendering and bar charts.
+fn run_suite_mode(args: &[String]) -> ! {
+    use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig};
+
+    let mut cfg = ExpConfig::full();
+    let mut workers = 0usize;
+    let mut jsonl_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    let die = |msg: String| -> ! {
+        eprintln!("error: {msg} (try --help)");
+        std::process::exit(2);
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--smoke" => cfg = ExpConfig::smoke(),
+            "--jobs" | "-j" => {
+                let v = value("--jobs");
+                workers = v
+                    .parse()
+                    .unwrap_or_else(|_| die(format!("--jobs expects an integer, got {v:?}")));
+            }
+            "--jsonl" => jsonl_path = Some(value("--jsonl")),
+            "--summary" => summary_path = Some(value("--summary")),
+            "--list" => {
+                for e in padc_sim::experiments::experiment_registry() {
+                    println!("{:<10} {}", e.id, e.paper_ref);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
+                     [--summary PATH] [--list] [<experiment-id>...]"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => die(format!("unknown --suite flag {other:?}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    let selected = if ids.is_empty() {
+        padc_sim::experiments::experiment_registry()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    eprintln!("error: unknown experiment id: {id}");
+                    eprintln!("run `padcsim --suite --list` for the registered ids");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let jobs = suite_jobs(selected, cfg, None);
+    let harness_cfg = padc_harness::HarnessConfig {
+        workers,
+        budget: None,
+        progress: true,
+    };
+    let mut jsonl_file;
+    let mut jsonl_stdout;
+    let jsonl_sink: Option<&mut dyn std::io::Write> = match jsonl_path.as_deref() {
+        None => {
+            jsonl_stdout = std::io::stdout().lock();
+            Some(&mut jsonl_stdout)
+        }
+        Some("-") => {
+            jsonl_stdout = std::io::stdout().lock();
+            Some(&mut jsonl_stdout)
+        }
+        Some(path) => {
+            jsonl_file = std::fs::File::create(path)
+                .unwrap_or_else(|e| die(format!("cannot create {path}: {e}")));
+            Some(&mut jsonl_file)
+        }
+    };
+    let mut stderr = std::io::stderr().lock();
+    let summary = padc_harness::run_suite(&jobs, &harness_cfg, jsonl_sink, &mut stderr)
+        .expect("suite I/O failed");
+    if let Some(path) = &summary_path {
+        std::fs::write(path, summary.to_json())
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+    }
+    eprintln!(
+        "suite: {}/{} ok, {} failed, {} workers, {:.1}s wall",
+        summary.ok(),
+        summary.outcomes.len(),
+        summary.failed(),
+        summary.workers,
+        summary.wall_seconds
+    );
+    std::process::exit(if summary.failed() > 0 { 1 } else { 0 });
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_some_and(|a| a == "--suite") {
+        run_suite_mode(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -15,6 +15,7 @@ mod infra;
 mod mechanisms;
 mod micro;
 mod multi;
+pub mod registry;
 mod single;
 mod sweeps;
 
@@ -29,6 +30,9 @@ pub use multi::{
     fig21_dual_controller_4core, fig22_dual_controller_8core, fig26_shared_l2_4core,
     fig27_shared_l2_8core, fig9_2core, tab10_identical_milc, tab8_urgency,
     tab9_identical_libquantum, CaseStudy,
+};
+pub use registry::{
+    find, registry as experiment_registry, suite_jobs, table_stash, Experiment, TableStash,
 };
 pub use single::{
     fig1_motivation, fig6_single_core_ipc, fig7_spl, fig8_traffic, tab5_characteristics, tab7_rbhu,

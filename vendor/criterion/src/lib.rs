@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface `crates/bench/benches/microbench.rs` uses —
+//! `Criterion`, benchmark groups, `iter`/`iter_batched`, `BenchmarkId`,
+//! `Throughput`, the `criterion_group!`/`criterion_main!` macros — backed
+//! by a deliberately simple engine: warm up briefly, then time a fixed
+//! batch and report mean ns/iter on stdout. No statistics, no HTML
+//! reports; good enough to compare hot paths locally and to keep
+//! `cargo bench` compiling and running offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Per-unit throughput annotation (accepted, not currently reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched` (the shim uses one size).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup state.
+    SmallInput,
+    /// Large per-iteration setup state.
+    LargeInput,
+}
+
+/// A benchmark identifier: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function + parameter id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates throughput (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Adjusts sample count (ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_bench_id()), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_bench_id()), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark id.
+pub trait IntoBenchId {
+    /// Renders the id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `f` repeatedly until the time target is reached.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One calibration pass to size batches, then timed batches.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET.as_nanos() / 50 / once.as_nanos()).clamp(1, 100_000) as u64;
+        while self.total < TARGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        while self.total < TARGET {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        0.0
+    } else {
+        b.total.as_nanos() as f64 / b.iters as f64
+    };
+    println!(
+        "bench {name:<55} {per_iter:>14.1} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Collects benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

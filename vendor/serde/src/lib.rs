@@ -1,0 +1,383 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container this repo builds in has no network and no crates-io cache,
+//! so the real `serde` cannot be fetched. This crate keeps the public surface
+//! the workspace actually uses — `derive(Serialize, Deserialize)` plus the
+//! `serde_json` entry points — on top of a single concrete data model:
+//! [`Value`], a JSON tree. That is all the workspace needs (every
+//! serialization in the repo is to/from JSON), and it keeps the shim small
+//! enough to audit (`vendor/README.md` has the full inventory of
+//! differences from the real crates).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value: the single data model of this shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (unsigned, signed, or floating).
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Insertion order is preserved so struct fields serialize
+    /// in declaration order, deterministically.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, keeping full `u64`/`i64` precision (an `f64`-only model
+/// would corrupt large addresses and seeds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Value {
+    /// Borrows the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::U(u)) => Some(*u as f64),
+            Value::Num(Number::I(i)) => Some(*i as f64),
+            Value::Num(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: a path-less message, matching how the workspace
+/// consumes errors (formatted into CLI diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds a "wrong shape" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let got = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Num(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, got {got}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Resolves a missing struct field the way real serde does: `Option` fields
+/// fall back to `None`; anything else is a hard "missing field" error.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Num(Number::U(u)) => *u,
+                    Value::Num(Number::I(i)) if *i >= 0 => *i as u64,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::expected("an unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::Num(Number::U(i as u64)) } else { Value::Num(Number::I(i)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Num(Number::I(i)) => *i,
+                    Value::Num(Number::U(u)) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::expected("an integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("an array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_value(v)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError(format!("expected an array of {N} elements, got {len}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("an object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                let a = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+                if a.len() != LEN {
+                    return Err(DeError(format!("expected a {LEN}-tuple, got {} elements", a.len())));
+                }
+                Ok(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_none_is_null_and_missing_field_fallback() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(missing_field::<Option<u64>>("x"), Ok(None));
+        assert!(missing_field::<u64>("x").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(String::from("a"), vec![1.0f64, 2.0])];
+        let round = Vec::<(String, Vec<f64>)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+    }
+}

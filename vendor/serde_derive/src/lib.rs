@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` — those live on
+//! crates.io too) and emits `impl serde::Serialize` / `impl
+//! serde::Deserialize` against the shim's [`Value`] data model. Supports
+//! exactly the shapes this workspace uses:
+//!
+//! - structs with named fields (honouring `#[serde(default)]`)
+//! - tuple structs (newtypes serialize transparently, wider ones as arrays)
+//! - enums with unit variants (serialized as the variant-name string)
+//! - enums with struct variants (externally tagged, serde-style)
+//!
+//! Anything else — generics, lifetimes, tuple enum variants, other
+//! `#[serde(...)]` attributes — is rejected with a `compile_error!` so a
+//! future change can't silently serialize wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit, Some = struct variant
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    match parse(&toks) {
+        Ok((name, shape)) => {
+            let code = match dir {
+                Direction::Serialize => gen_serialize(&name, &shape),
+                Direction::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+struct Cursor<'a> {
+    toks: &'a [TokenTree],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.i);
+        self.i += t.is_some() as usize;
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == s)
+    }
+
+    /// Skips attributes; returns true if one of them was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut has_default = false;
+        while self.is_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return Err("expected [...] after #".into());
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        return Err("unsupported bare #[serde] attribute".into());
+                    };
+                    let args = args.stream().to_string();
+                    if args.trim() == "default" {
+                        has_default = true;
+                    } else {
+                        return Err(format!("unsupported #[serde({args})] attribute"));
+                    }
+                }
+            }
+        }
+        Ok(has_default)
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse(toks: &[TokenTree]) -> Result<(String, Shape), String> {
+    let mut c = Cursor { toks, i: 0 };
+    c.skip_attrs()?;
+    c.skip_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if c.is_punct('<') {
+        return Err(format!(
+            "generic type {name} is unsupported by the serde shim"
+        ));
+    }
+    match (kind.as_str(), c.peek()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok((name, Shape::NamedStruct(parse_named_fields(&body)?)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok((name, Shape::TupleStruct(count_tuple_fields(&body))))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok((name, Shape::Enum(parse_variants(&body)?)))
+        }
+        (k, t) => Err(format!("unsupported item shape: {k} followed by {t:?}")),
+    }
+}
+
+fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut c = Cursor { toks, i: 0 };
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let has_default = c.skip_attrs()?;
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        if !c.is_punct(':') {
+            return Err(format!("expected `:` after field {name}"));
+        }
+        c.next();
+        // Skip the type: everything up to a top-level comma. Generic
+        // argument lists nest via `<`, which arrives as loose puncts, so
+        // track angle-bracket depth; (), [] and {} arrive pre-grouped.
+        let mut angle: i32 = 0;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            c.next();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    let mut angle: i32 = 0;
+    let mut commas = 0;
+    let mut trailing_comma = true; // empty stream counts as zero fields
+    for t in toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if toks.is_empty() {
+        0
+    } else {
+        commas + 1 - trailing_comma as usize
+    }
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor { toks, i: 0 };
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs()?;
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                c.next();
+                Some(parse_named_fields(&body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple enum variant {name} is unsupported by the serde shim"
+                ));
+            }
+            _ => None,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separator.
+        while c.peek().is_some() && !c.is_punct(',') {
+            c.next();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{entries}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: String = fields.iter().map(|f| format!("{},", f.name)).collect();
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({})),",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_exprs(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::missing_field({:?})?", f.name)
+            };
+            format!(
+                "{fname}: match {source}.get({fname:?}) {{ \
+                 Some(x) => ::serde::Deserialize::from_value(x)?, None => {fallback} }},",
+                fname = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries = named_field_exprs(fields, "v");
+            format!(
+                "if v.as_object().is_none() {{ \
+                 return Err(::serde::DeError::expected(\"an object\", v)); }}\n\
+                 Ok({name} {{ {entries} }})"
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?,"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"an array\", v))?;\n\
+                 if a.len() != {n} {{ return Err(::serde::DeError(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", a.len()))); }}\n\
+                 Ok({name}({entries}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("{n:?} => return Ok({name}::{n}),", n = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (v.name.as_str(), f)))
+                .map(|(vname, fields)| {
+                    let entries = named_field_exprs(fields, "inner");
+                    format!("{vname:?} => return Ok({name}::{vname} {{ {entries} }}),")
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(obj) = v.as_object() {{\n\
+                 if obj.len() == 1 {{\n\
+                 let (tag, inner) = &obj[0];\n\
+                 match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"a {name} variant\", v))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
