@@ -2,8 +2,9 @@
 //! evaluation, in parallel, with per-experiment fault isolation.
 //!
 //! ```text
-//! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--summary PATH]
-//!       [--json|--csv|--bars COL] [--no-progress] [<experiment-id>...]
+//! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
+//!       [--summary PATH] [--json|--csv|--bars COL] [--no-progress]
+//!       [<experiment-id>...]
 //! repro --list
 //! ```
 //!
@@ -12,13 +13,23 @@
 //! scale (the paper's workload counts); `--quick`/`--smoke` shrink runs
 //! for fast iteration.
 //!
-//! Execution goes through `padc-harness`: experiments run on a worker
-//! pool (`--jobs N`, default `available_parallelism()`), each under
-//! `catch_unwind`, so one panicking experiment becomes a structured
-//! failure row instead of killing the suite. The JSONL stream (`--jsonl`,
-//! `-` for stdout) is emitted in registry order and contains no timing
-//! data, so its bytes are identical for any `--jobs` value. Timings go to
-//! the stderr progress lines and to the `--summary` JSON.
+//! Execution goes through the `padc-harness` unified scheduler:
+//! experiments run on a worker pool (`--jobs N`, default
+//! `available_parallelism()`), each under `catch_unwind`, so one panicking
+//! experiment becomes a structured failure row instead of killing the
+//! suite; per-workload fan-out inside experiments is scheduled onto the
+//! *same* pool, so `--jobs N` bounds total simulation threads. The JSONL
+//! stream (`--jsonl`, `-` for stdout) is emitted in registry order and
+//! contains no timing data, so its bytes are identical for any `--jobs`
+//! value. Timings go to the stderr progress lines and to the `--summary`
+//! JSON.
+//!
+//! `--resume FILE` makes the run incremental: settled rows (complete JSON,
+//! `"status":"ok"`) of the prior artifact are re-emitted verbatim without
+//! executing their experiments; missing, truncated, or failed rows are
+//! re-run. With no explicit `--jsonl`, the regenerated artifact replaces
+//! FILE. On a fully settled artifact, zero experiments execute and the
+//! output is byte-identical to the input.
 //!
 //! Exit status: `0` when every experiment succeeds, `1` when any job
 //! panics or runs over budget, `2` on usage errors (including unknown
@@ -28,13 +39,13 @@ use std::io::Write as _;
 use std::time::Duration;
 
 use padc_bench::{find, registry, suite_jobs, table_stash, Experiment};
-use padc_harness::{run_suite, HarnessConfig, JobStatus};
+use padc_harness::{run_suite, HarnessConfig, JobStatus, ResumeArtifact};
 use padc_sim::experiments::ExpConfig;
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--summary PATH]\n\
-         \x20            [--json|--csv|--bars COL] [--no-progress] [<id>...]\n\
+        "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
+         \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
     );
@@ -61,6 +72,7 @@ fn main() {
     let mut bars: Option<String> = None;
     let mut jobs_flag: usize = 0;
     let mut jsonl_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
     let mut budget: Option<Duration> = None;
     let mut progress = true;
@@ -81,6 +93,7 @@ fn main() {
                 });
             }
             "--jsonl" => jsonl_path = Some(flag_value(&mut iter, "--jsonl")),
+            "--resume" => resume_path = Some(flag_value(&mut iter, "--resume")),
             "--summary" => summary_path = Some(flag_value(&mut iter, "--summary")),
             "--budget-seconds" => {
                 let v = flag_value(&mut iter, "--budget-seconds");
@@ -125,8 +138,51 @@ fn main() {
     let order: Vec<&'static str> = selected.iter().map(|e| e.id).collect();
     let refs: Vec<&'static str> = selected.iter().map(|e| e.paper_ref).collect();
 
+    // Resume: trust settled rows of the prior artifact, re-run the rest.
+    // With no explicit --jsonl the regenerated artifact replaces the
+    // resumed file (safe: the file is fully read before the suite starts,
+    // and a crash mid-run leaves a valid shorter artifact to resume from).
+    let artifact = resume_path.as_deref().map(|path| {
+        if !ids.is_empty() && jsonl_path.as_deref().is_none_or(|out| out == path) {
+            eprintln!(
+                "--resume with an experiment subset would overwrite {path} with partial \
+                 results; pass a different --jsonl destination"
+            );
+            std::process::exit(2);
+        }
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let artifact = ResumeArtifact::parse(&text);
+                eprintln!(
+                    "resume: {} settled row(s) in {path}, {} line(s) distrusted",
+                    artifact.len(),
+                    artifact.lines_rejected
+                );
+                artifact
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("resume: {path} not found, running everything");
+                ResumeArtifact::default()
+            }
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    if jsonl_path.is_none() {
+        jsonl_path = resume_path.clone();
+    }
+
     let stash = table_stash();
-    let jobs = suite_jobs(selected, cfg, Some(stash.clone()));
+    let mut jobs = suite_jobs(selected, cfg, Some(stash.clone()));
+    if let Some(artifact) = &artifact {
+        for job in &mut jobs {
+            if let Some(row) = artifact.row(&job.id) {
+                job.cached_row = Some(row.to_string());
+            }
+        }
+    }
     let harness_cfg = HarnessConfig {
         workers: jobs_flag,
         budget,
@@ -184,6 +240,13 @@ fn main() {
                         }
                     }
                 }
+                None if outcome.status == JobStatus::Skipped => {
+                    writeln!(
+                        stdout,
+                        "  resumed: settled row reused from the prior artifact"
+                    )
+                    .expect("stdout");
+                }
                 None => {
                     writeln!(
                         stdout,
@@ -207,9 +270,10 @@ fn main() {
     let failed = summary.failed();
     writeln!(
         stderr,
-        "suite: {}/{} ok, {} failed, {} workers, {:.1}s wall",
+        "suite: {}/{} ok, {} resumed, {} failed, {} workers, {:.1}s wall",
         summary.ok(),
         summary.outcomes.len(),
+        summary.skipped(),
         failed,
         summary.workers,
         summary.wall_seconds
@@ -217,7 +281,7 @@ fn main() {
     .expect("stderr");
     if failed > 0 {
         for o in &summary.outcomes {
-            if o.status != JobStatus::Ok {
+            if matches!(o.status, JobStatus::Panicked | JobStatus::OverBudget) {
                 writeln!(
                     stderr,
                     "  {}: {} — {}",

@@ -1,4 +1,5 @@
-//! `padc-harness` — parallel, fault-isolated experiment execution.
+//! `padc-harness` — the unified experiment scheduler: parallel,
+//! fault-isolated execution with one global thread bound.
 //!
 //! The experiment grid (30+ tables and figures, each internally a batch of
 //! simulations) used to run strictly sequentially in one thread, and a
@@ -11,18 +12,27 @@
 //! - **Worker pool**: [`run_suite`] drives a shared job queue from
 //!   `std::thread::scope`-scoped workers (default
 //!   `available_parallelism()`, overridable — the `--jobs N` flag).
+//! - **Sub-jobs**: a running job fans out per-workload units via
+//!   [`subjob_map`] onto the *same* pool (the submitting worker helps
+//!   execute while it waits), so `--jobs N` bounds **total** simulation
+//!   threads — not experiments × workloads. See [`subjob`].
 //! - **Fault isolation**: every job runs under `catch_unwind`; a panicking
-//!   job becomes a structured failure row and the suite keeps going.
+//!   job (or any of its sub-jobs) becomes a structured failure row and the
+//!   suite keeps going.
 //! - **Determinism**: results are emitted **in job order, keyed by id**,
 //!   and rows contain no timing data, so `--jobs 1` and `--jobs 8` produce
 //!   byte-identical JSONL. Timings go to the stderr progress line and the
 //!   summary instead.
+//! - **Resume**: a job carrying a settled row from a prior artifact
+//!   ([`JobSpec::cached_row`], parsed by [`ResumeArtifact`]) is skipped —
+//!   its original bytes are re-emitted verbatim in place, which keeps a
+//!   resumed run byte-identical to a from-scratch one.
 //! - **Accounting**: per-job wall-clock is measured; jobs exceeding an
 //!   optional budget are recorded as structured failures (they are not
 //!   killed — Rust threads cannot be — but the suite reports them).
 //!
-//! The JSONL writer is hand-rolled here (string escaping and all) so the
-//! engine has zero dependencies.
+//! The JSONL writer *and* the resume validator are hand-rolled (string
+//! escaping and all) so the engine has zero dependencies.
 //!
 //! # JSONL schema
 //!
@@ -34,13 +44,24 @@
 //! {"id":"slow","status":"over_budget","budget_seconds":60,"result":<payload>}
 //! ```
 //!
-//! `result` is the job's payload verbatim (already-serialized JSON).
+//! `result` is the job's payload verbatim (already-serialized JSON). A
+//! resumed row keeps whatever status its original run recorded (always
+//! `ok` — only `ok` rows are trusted); the skip is visible in the summary,
+//! never in the artifact.
+
+mod resume;
+pub mod subjob;
 
 use std::io::{self, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+pub use resume::ResumeArtifact;
+pub use subjob::{subjob_map, under_harness};
+
+use subjob::SubJobPool;
 
 /// One schedulable unit of work.
 pub struct JobSpec {
@@ -51,6 +72,10 @@ pub struct JobSpec {
     /// Executes the job, returning its result as compact JSON. Must be
     /// deterministic for the suite's output to be deterministic.
     pub run: Box<dyn Fn() -> String + Send + Sync>,
+    /// Settled JSONL row (no trailing newline) from a prior artifact. When
+    /// set, the scheduler skips `run` entirely and emits these bytes
+    /// verbatim — the `--resume` path.
+    pub cached_row: Option<String>,
 }
 
 impl JobSpec {
@@ -64,7 +89,15 @@ impl JobSpec {
             id: id.into(),
             description: description.into(),
             run: Box::new(run),
+            cached_row: None,
         }
+    }
+
+    /// Attaches a settled row from a prior artifact; the scheduler will
+    /// skip execution and re-emit it verbatim.
+    pub fn with_cached_row(mut self, row: impl Into<String>) -> Self {
+        self.cached_row = Some(row.into());
+        self
     }
 }
 
@@ -93,7 +126,12 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     /// Resolves `workers == 0` to the machine's parallelism.
-    pub fn effective_workers(&self, jobs: usize) -> usize {
+    ///
+    /// The count is deliberately *not* clamped to the number of top-level
+    /// jobs: under the unified scheduler, jobs fan per-workload sub-jobs
+    /// back onto the suite pool, so even a single job can keep every
+    /// worker busy.
+    pub fn effective_workers(&self, _jobs: usize) -> usize {
         let base = if self.workers == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -101,7 +139,7 @@ impl HarnessConfig {
         } else {
             self.workers
         };
-        base.clamp(1, jobs.max(1))
+        base.max(1)
     }
 }
 
@@ -114,15 +152,20 @@ pub enum JobStatus {
     Panicked,
     /// Completed but exceeded the configured wall-clock budget.
     OverBudget,
+    /// Not executed: a settled row from a prior artifact was re-emitted
+    /// verbatim (`--resume`). Never appears in JSONL rows — the cached
+    /// bytes keep their original status.
+    Skipped,
 }
 
 impl JobStatus {
-    /// The status string used in JSONL rows.
+    /// The status string used in JSONL rows (and summaries).
     pub fn as_str(self) -> &'static str {
         match self {
             JobStatus::Ok => "ok",
             JobStatus::Panicked => "panicked",
             JobStatus::OverBudget => "over_budget",
+            JobStatus::Skipped => "skipped",
         }
     }
 }
@@ -152,7 +195,7 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Jobs that completed normally.
+    /// Jobs that completed normally (executed this run).
     pub fn ok(&self) -> usize {
         self.outcomes
             .iter()
@@ -160,9 +203,21 @@ impl Summary {
             .count()
     }
 
+    /// Jobs skipped because a settled row was resumed from a prior
+    /// artifact.
+    pub fn skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == JobStatus::Skipped)
+            .count()
+    }
+
     /// Jobs recorded as failures (panicked or over budget).
     pub fn failed(&self) -> usize {
-        self.outcomes.len() - self.ok()
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, JobStatus::Panicked | JobStatus::OverBudget))
+            .count()
     }
 
     /// Renders the summary as pretty-ish JSON (one job per line).
@@ -171,6 +226,7 @@ impl Summary {
         out.push_str("{\n");
         out.push_str(&format!("  \"total\": {},\n", self.outcomes.len()));
         out.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        out.push_str(&format!("  \"skipped\": {},\n", self.skipped()));
         out.push_str(&format!("  \"failed\": {},\n", self.failed()));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"wall_seconds\": {:.3},\n", self.wall_seconds));
@@ -270,9 +326,19 @@ struct Completed {
 /// Runs `jobs` on a worker pool, streaming JSONL rows (in job order) to
 /// `jsonl` and progress lines to `progress`.
 ///
-/// The JSONL bytes depend only on the jobs' ids and payloads — not on the
-/// worker count or completion order — so runs with different `--jobs`
-/// values are byte-identical.
+/// The pool is the *only* source of simulation threads: jobs run on the N
+/// workers, and their [`subjob_map`] fan-outs are scheduled back onto the
+/// same N workers (free workers drain sub-jobs before claiming new jobs;
+/// a job waiting on its fan-out helps execute). The worker count is
+/// therefore a true global thread bound.
+///
+/// Jobs carrying a [`JobSpec::cached_row`] are not executed at all: the
+/// settled row is re-emitted verbatim at its in-order position and the
+/// outcome is reported as [`JobStatus::Skipped`].
+///
+/// The JSONL bytes depend only on the jobs' ids and payloads (or cached
+/// rows) — not on the worker count or completion order — so runs with
+/// different `--jobs` values are byte-identical.
 ///
 /// # Errors
 ///
@@ -307,68 +373,62 @@ pub fn run_suite(
     let (tx, rx) = mpsc::channel::<(usize, Completed)>();
     let budget = cfg.budget;
 
+    // The shared sub-job queue: jobs fan out onto it via `subjob_map`, and
+    // these same N workers execute the units. Closing it (once every
+    // top-level job has completed, or on early teardown) releases workers
+    // blocked waiting for sub-jobs.
+    let pool = Arc::new(SubJobPool::new());
+    let jobs_done = AtomicUsize::new(0);
+    if total == 0 {
+        pool.close();
+    }
+
     let result: io::Result<Vec<Completed>> = std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let jobs_done = &jobs_done;
+            let pool = Arc::clone(&pool);
             std::thread::Builder::new()
                 .name(format!("padc-job-worker-{w}"))
-                .spawn_scoped(scope, move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let job = &jobs[i];
-                    let start = Instant::now();
-                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (job.run)()));
-                    let seconds = start.elapsed().as_secs_f64();
-                    let completed = match outcome {
-                        Ok(payload) => match budget {
-                            Some(b) if start.elapsed() > b => Completed {
-                                status: JobStatus::OverBudget,
-                                row: render_row(
-                                    &job.id,
-                                    JobStatus::OverBudget,
-                                    &RowDetail::OverBudget {
-                                        payload,
-                                        budget_seconds: b.as_secs(),
-                                    },
-                                ),
-                                error: Some(format!(
-                                    "exceeded {}s budget ({seconds:.1}s)",
-                                    b.as_secs()
-                                )),
-                                seconds,
-                            },
-                            _ => Completed {
-                                status: JobStatus::Ok,
-                                row: render_row(
-                                    &job.id,
-                                    JobStatus::Ok,
-                                    &RowDetail::Result(payload),
-                                ),
-                                error: None,
-                                seconds,
-                            },
-                        },
-                        Err(panic_payload) => {
-                            let msg = panic_message(panic_payload.as_ref());
-                            let row = render_row(
-                                &job.id,
-                                JobStatus::Panicked,
-                                &RowDetail::Error(msg.clone()),
-                            );
-                            Completed {
-                                status: JobStatus::Panicked,
-                                row,
-                                error: Some(msg),
-                                seconds,
-                            }
+                .spawn_scoped(scope, move || {
+                    subjob::install_pool(Some(Arc::clone(&pool)));
+                    loop {
+                        // Serve running experiments' fan-outs before
+                        // starting new experiments.
+                        while let Some(sub) = pool.try_pop() {
+                            sub.run();
                         }
-                    };
-                    if tx.send((i, completed)).is_err() {
-                        break;
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            // No more top-level jobs; keep serving
+                            // sub-jobs until the whole suite completes.
+                            while let Some(sub) = pool.pop_blocking() {
+                                sub.run();
+                            }
+                            break;
+                        }
+                        let job = &jobs[i];
+                        let completed = match &job.cached_row {
+                            Some(row) => Completed {
+                                status: JobStatus::Skipped,
+                                row: format!("{row}\n"),
+                                error: None,
+                                seconds: 0.0,
+                            },
+                            None => execute_job(job, budget),
+                        };
+                        if jobs_done.fetch_add(1, Ordering::Relaxed) + 1 == total {
+                            pool.close();
+                        }
+                        if tx.send((i, completed)).is_err() {
+                            // Collector died (I/O error): release any
+                            // workers blocked on the sub-job queue.
+                            pool.close();
+                            break;
+                        }
                     }
+                    subjob::install_pool(None);
                 })
                 .expect("spawn worker");
         }
@@ -432,6 +492,46 @@ pub fn run_suite(
         workers,
         wall_seconds: started.elapsed().as_secs_f64(),
     })
+}
+
+/// Runs one job under `catch_unwind`, rendering its row and outcome.
+fn execute_job(job: &JobSpec, budget: Option<Duration>) -> Completed {
+    let start = Instant::now();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (job.run)()));
+    let seconds = start.elapsed().as_secs_f64();
+    match outcome {
+        Ok(payload) => match budget {
+            Some(b) if start.elapsed() > b => Completed {
+                status: JobStatus::OverBudget,
+                row: render_row(
+                    &job.id,
+                    JobStatus::OverBudget,
+                    &RowDetail::OverBudget {
+                        payload,
+                        budget_seconds: b.as_secs(),
+                    },
+                ),
+                error: Some(format!("exceeded {}s budget ({seconds:.1}s)", b.as_secs())),
+                seconds,
+            },
+            _ => Completed {
+                status: JobStatus::Ok,
+                row: render_row(&job.id, JobStatus::Ok, &RowDetail::Result(payload)),
+                error: None,
+                seconds,
+            },
+        },
+        Err(panic_payload) => {
+            let msg = panic_message(panic_payload.as_ref());
+            let row = render_row(&job.id, JobStatus::Panicked, &RowDetail::Error(msg.clone()));
+            Completed {
+                status: JobStatus::Panicked,
+                row,
+                error: Some(msg),
+                seconds,
+            }
+        }
+    }
 }
 
 /// Extracts a printable message from a panic payload.
@@ -558,10 +658,115 @@ mod tests {
 
     #[test]
     fn worker_resolution_clamps() {
+        // Not clamped to the job count: sub-job fan-out can use every
+        // worker even when there are fewer top-level jobs than workers.
         let cfg = quiet(8);
-        assert_eq!(cfg.effective_workers(3), 3);
-        assert_eq!(cfg.effective_workers(0), 1);
+        assert_eq!(cfg.effective_workers(3), 8);
+        assert_eq!(cfg.effective_workers(0), 8);
         assert!(quiet(0).effective_workers(64) >= 1);
+    }
+
+    #[test]
+    fn cached_rows_skip_execution_and_are_emitted_verbatim() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let jobs: Vec<JobSpec> = vec![
+            JobSpec::new("a", "t", {
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    "1".to_string()
+                }
+            })
+            .with_cached_row("{\"id\":\"a\",\"status\":\"ok\",\"result\":99}"),
+            JobSpec::new("b", "t", {
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    "2".to_string()
+                }
+            }),
+        ];
+        let (jsonl, summary) = collect_jsonl(&jobs, &quiet(2));
+        assert_eq!(
+            jsonl,
+            "{\"id\":\"a\",\"status\":\"ok\",\"result\":99}\n\
+             {\"id\":\"b\",\"status\":\"ok\",\"result\":2}\n"
+        );
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(summary.skipped(), 1);
+        assert_eq!(summary.ok(), 1);
+        assert_eq!(summary.failed(), 0);
+        assert_eq!(summary.outcomes[0].status, JobStatus::Skipped);
+        assert_eq!(summary.outcomes[0].seconds, 0.0);
+    }
+
+    #[test]
+    fn empty_job_list_completes() {
+        let (jsonl, summary) = collect_jsonl(&[], &quiet(2));
+        assert!(jsonl.is_empty());
+        assert!(summary.outcomes.is_empty());
+    }
+
+    #[test]
+    fn subjobs_run_on_the_suite_pool_and_preserve_order() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|j| {
+                JobSpec::new(format!("job{j}"), "t", move || {
+                    let parts = subjob_map(8, |i| {
+                        assert!(under_harness(), "sub-jobs must see the pool");
+                        i * 10 + j
+                    });
+                    format!("{:?}", parts.iter().sum::<usize>())
+                })
+            })
+            .collect();
+        let (seq, _) = collect_jsonl(&jobs, &quiet(1));
+        let (par, _) = collect_jsonl(&jobs, &quiet(4));
+        assert_eq!(seq, par, "fan-out must not perturb JSONL bytes");
+        for (j, line) in seq.lines().enumerate() {
+            let expected: usize = (0..8).map(|i| i * 10 + j).sum();
+            assert_eq!(
+                line,
+                format!("{{\"id\":\"job{j}\",\"status\":\"ok\",\"result\":{expected}}}")
+            );
+        }
+    }
+
+    #[test]
+    fn subjob_panic_surfaces_as_the_parent_jobs_failure_row() {
+        let jobs = vec![
+            JobSpec::new("fanout", "t", || {
+                let _ = subjob_map(4, |i| {
+                    if i == 2 {
+                        panic!("sub-unit {i} exploded");
+                    }
+                    i
+                });
+                "unreachable".to_string()
+            }),
+            JobSpec::new("after", "t", || "1".to_string()),
+        ];
+        let (jsonl, summary) = collect_jsonl(&jobs, &quiet(2));
+        assert_eq!(summary.failed(), 1);
+        assert_eq!(summary.outcomes[0].status, JobStatus::Panicked);
+        assert!(summary.outcomes[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("sub-unit 2 exploded"));
+        assert!(jsonl
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("{\"id\":\"after\",\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn subjob_map_runs_inline_without_a_pool() {
+        assert!(!under_harness());
+        let out = subjob_map(5, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+        assert!(subjob_map(0, |i| i).is_empty());
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Incremental suite runs: parse a prior JSONL artifact and decide which
+//! rows can be trusted.
+//!
+//! `repro --resume <file>` feeds an existing artifact through
+//! [`ResumeArtifact::parse`]; rows that are syntactically complete JSON
+//! objects with `"status":"ok"` and a `"result"` value are treated as
+//! settled — the matching jobs are skipped and their **original line bytes
+//! are re-emitted verbatim**, which is what keeps a resumed run
+//! byte-identical to a from-scratch one. Everything else is distrusted and
+//! re-run:
+//!
+//! - truncated or otherwise malformed lines (a crashed run's torn tail),
+//! - failure rows (`panicked`, `over_budget`) — resume retries them,
+//! - rows whose `id` is not in the current job list (stale artifacts).
+//!
+//! The validator is hand-rolled (like the crate's JSONL writer) so the
+//! engine stays dependency-free. It checks full JSON *syntax*, not just a
+//! prefix — `{"id":"x","status":"ok","result":{` does not pass.
+
+use std::collections::HashMap;
+
+/// Well-formed `ok` rows of a prior artifact, keyed by job id, holding the
+/// verbatim line (without the trailing newline).
+#[derive(Debug, Default)]
+pub struct ResumeArtifact {
+    rows: HashMap<String, String>,
+    /// Lines inspected, including ones rejected as unusable.
+    pub lines_seen: usize,
+    /// Lines rejected (malformed, non-`ok`, or missing `result`).
+    pub lines_rejected: usize,
+}
+
+impl ResumeArtifact {
+    /// Parses a prior JSONL artifact, keeping only trustworthy rows. When
+    /// an id recurs (an append-style artifact from an interrupted retry),
+    /// the last well-formed occurrence wins.
+    pub fn parse(text: &str) -> Self {
+        let mut artifact = ResumeArtifact::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            artifact.lines_seen += 1;
+            match validate_row(line) {
+                Some(id) => {
+                    artifact.rows.insert(id, line.to_string());
+                }
+                None => artifact.lines_rejected += 1,
+            }
+        }
+        artifact
+    }
+
+    /// The settled row for `id`, verbatim (no trailing newline).
+    pub fn row(&self, id: &str) -> Option<&str> {
+        self.rows.get(id).map(String::as_str)
+    }
+
+    /// Number of settled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no row was trusted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Returns the row's id iff `line` is a complete JSON object with a string
+/// `"id"`, `"status":"ok"`, and a `"result"` member.
+fn validate_row(line: &str) -> Option<String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+        id: None,
+        status: None,
+        has_result: false,
+    };
+    p.skip_ws();
+    p.parse_row_object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None; // trailing garbage after the object
+    }
+    if p.status.as_deref() != Some("ok") || !p.has_result {
+        return None;
+    }
+    p.id
+}
+
+/// Minimal strict JSON syntax checker that records the three top-level
+/// members resume cares about. Values are validated, not materialized.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    id: Option<String>,
+    status: Option<String>,
+    has_result: bool,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.bump()? == b).then_some(())
+    }
+
+    /// Parses the top-level row object, recording id/status/result.
+    fn parse_row_object(&mut self) -> Option<()> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "id" => self.id = Some(self.parse_string()?),
+                "status" => self.status = Some(self.parse_string()?),
+                "result" => {
+                    self.parse_value()?;
+                    self.has_result = true;
+                }
+                _ => self.parse_value()?,
+            }
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Some(()),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Validates any JSON value, returning `None` on a syntax error.
+    fn parse_value(&mut self) -> Option<()> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => self.parse_string().map(|_| ()),
+            b'{' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Some(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.parse_value()?;
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b'}' => return Some(()),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Some(());
+                }
+                loop {
+                    self.parse_value()?;
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b']' => return Some(()),
+                        _ => return None,
+                    }
+                }
+            }
+            b't' => self.parse_literal(b"true"),
+            b'f' => self.parse_literal(b"false"),
+            b'n' => self.parse_literal(b"null"),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => None,
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &[u8]) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<()> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            (p.pos > s).then_some(())
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            digits(self)?;
+        }
+        (self.pos > start).then_some(())
+    }
+
+    /// Parses a JSON string, returning its unescaped content.
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.bump()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates are accepted but replaced; resume only
+                        // compares ids, which are ASCII in practice.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return None,
+                },
+                // Control characters are invalid inside JSON strings.
+                b if b < 0x20 => return None,
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return None,
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self.bytes.get(start..end)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_ok_rows_are_trusted() {
+        let text = "{\"id\":\"fig6\",\"status\":\"ok\",\"result\":{\"tables\":[1,2.5,-3e2]}}\n\
+                    {\"id\":\"tab5\",\"status\":\"ok\",\"result\":[true,false,null,\"s\"]}\n";
+        let a = ResumeArtifact::parse(text);
+        assert_eq!(a.len(), 2);
+        assert!(a.row("fig6").unwrap().starts_with("{\"id\":\"fig6\""));
+        assert_eq!(a.lines_rejected, 0);
+    }
+
+    #[test]
+    fn failure_rows_are_distrusted() {
+        let text = "{\"id\":\"boom\",\"status\":\"panicked\",\"error\":\"x\"}\n\
+                    {\"id\":\"slow\",\"status\":\"over_budget\",\"budget_seconds\":1,\"result\":{}}\n";
+        let a = ResumeArtifact::parse(text);
+        assert!(a.is_empty());
+        assert_eq!(a.lines_rejected, 2);
+    }
+
+    #[test]
+    fn truncated_and_malformed_rows_are_distrusted() {
+        for bad in [
+            "{\"id\":\"fig6\",\"status\":\"ok\",\"result\":{\"tab", // torn tail
+            "{\"id\":\"fig6\",\"status\":\"ok\"}",                  // no result
+            "{\"status\":\"ok\",\"result\":{}}",                    // no id
+            "{\"id\":\"fig6\",\"status\":\"ok\",\"result\":{}}}",   // trailing brace
+            "{\"id\":\"fig6\",\"status\":\"ok\",\"result\":{,}}",   // bad object
+            "{\"id\":\"fig6\",\"status\":\"ok\",\"result\":1e}",    // bad number
+            "not json at all",
+        ] {
+            let a = ResumeArtifact::parse(bad);
+            assert!(a.is_empty(), "should distrust: {bad}");
+        }
+    }
+
+    #[test]
+    fn last_occurrence_wins_for_duplicate_ids() {
+        let text = "{\"id\":\"a\",\"status\":\"ok\",\"result\":1}\n\
+                    {\"id\":\"a\",\"status\":\"ok\",\"result\":2}\n";
+        let a = ResumeArtifact::parse(text);
+        assert_eq!(
+            a.row("a"),
+            Some("{\"id\":\"a\",\"status\":\"ok\",\"result\":2}")
+        );
+    }
+
+    #[test]
+    fn escapes_and_unicode_in_ids_round_trip() {
+        let text = "{\"id\":\"we\\u0131rd\\n\",\"status\":\"ok\",\"result\":\"caf\u{e9}\"}";
+        let a = ResumeArtifact::parse(text);
+        assert_eq!(a.len(), 1);
+        assert!(a.row("we\u{131}rd\n").is_some());
+    }
+
+    #[test]
+    fn empty_and_blank_input_is_empty() {
+        assert!(ResumeArtifact::parse("").is_empty());
+        assert!(ResumeArtifact::parse("\n  \n").is_empty());
+    }
+}

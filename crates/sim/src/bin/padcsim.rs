@@ -88,15 +88,18 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// `padcsim --suite`: run registered experiments on the `padc-harness`
-/// worker pool. Shares the registry (and therefore ids, payloads, and
-/// JSONL bytes) with `repro`; this entry point is the minimal
-/// suite-runner — use `repro` for table rendering and bar charts.
+/// unified scheduler (experiments and their per-workload fan-out share one
+/// worker pool, so `--jobs N` bounds total simulation threads). Shares the
+/// registry (and therefore ids, payloads, and JSONL bytes) with `repro`;
+/// this entry point is the minimal suite-runner — use `repro` for table
+/// rendering and bar charts.
 fn run_suite_mode(args: &[String]) -> ! {
     use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig};
 
     let mut cfg = ExpConfig::full();
     let mut workers = 0usize;
     let mut jsonl_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -120,6 +123,7 @@ fn run_suite_mode(args: &[String]) -> ! {
                     .unwrap_or_else(|_| die(format!("--jobs expects an integer, got {v:?}")));
             }
             "--jsonl" => jsonl_path = Some(value("--jsonl")),
+            "--resume" => resume_path = Some(value("--resume")),
             "--summary" => summary_path = Some(value("--summary")),
             "--list" => {
                 for e in padc_sim::experiments::experiment_registry() {
@@ -130,7 +134,7 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
-                     [--summary PATH] [--list] [<experiment-id>...]"
+                     [--resume FILE] [--summary PATH] [--list] [<experiment-id>...]"
                 );
                 std::process::exit(0);
             }
@@ -151,7 +155,45 @@ fn run_suite_mode(args: &[String]) -> ! {
             })
             .collect()
     };
-    let jobs = suite_jobs(selected, cfg, None);
+    // Resume: trust settled rows of the prior artifact, re-run the rest
+    // (same semantics as `repro --resume`). With no explicit --jsonl the
+    // regenerated artifact replaces the resumed file.
+    let artifact = resume_path.as_deref().map(|path| {
+        if !ids.is_empty() && jsonl_path.as_deref().is_none_or(|out| out == path) {
+            die(format!(
+                "--resume with an experiment subset would overwrite {path} with partial \
+                 results; pass a different --jsonl destination"
+            ));
+        }
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let artifact = padc_harness::ResumeArtifact::parse(&text);
+                eprintln!(
+                    "resume: {} settled row(s) in {path}, {} line(s) distrusted",
+                    artifact.len(),
+                    artifact.lines_rejected
+                );
+                artifact
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("resume: {path} not found, running everything");
+                padc_harness::ResumeArtifact::default()
+            }
+            Err(e) => die(format!("cannot read {path}: {e}")),
+        }
+    });
+    if jsonl_path.is_none() {
+        jsonl_path = resume_path.clone();
+    }
+
+    let mut jobs = suite_jobs(selected, cfg, None);
+    if let Some(artifact) = &artifact {
+        for job in &mut jobs {
+            if let Some(row) = artifact.row(&job.id) {
+                job.cached_row = Some(row.to_string());
+            }
+        }
+    }
     let harness_cfg = padc_harness::HarnessConfig {
         workers,
         budget: None,
@@ -182,9 +224,10 @@ fn run_suite_mode(args: &[String]) -> ! {
             .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
     }
     eprintln!(
-        "suite: {}/{} ok, {} failed, {} workers, {:.1}s wall",
+        "suite: {}/{} ok, {} resumed, {} failed, {} workers, {:.1}s wall",
         summary.ok(),
         summary.outcomes.len(),
+        summary.skipped(),
         summary.failed(),
         summary.workers,
         summary.wall_seconds

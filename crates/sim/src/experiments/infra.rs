@@ -351,34 +351,18 @@ pub(crate) fn average_over_workloads(
     acc
 }
 
-/// Simple deterministic fork-join map over `0..n` using scoped threads.
+/// Deterministic fan-out map over `0..n`, in index order.
+///
+/// Under the suite harness this enqueues the units onto the shared
+/// `padc-harness` worker pool (so `--jobs N` bounds *total* simulation
+/// threads — this shim never spawns its own); outside the harness (unit
+/// tests, direct library use) the units run inline on the calling thread.
 pub(crate) fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let v = f(i);
-                *results[i].lock().expect("poisoned") = Some(v);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("filled"))
-        .collect()
+    padc_harness::subjob_map(n, f)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, and the full test suite.
-# Everything runs offline (external deps are vendored; see vendor/README.md).
+# Local CI gate: formatting, lints, release build, docs, the full test
+# suite, and the EXPERIMENTS.md drift check. Everything runs offline
+# (external deps are vendored; see vendor/README.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +11,16 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== EXPERIMENTS.md drift check"
+python3 scripts/make_experiments_md.py --check repro_full.jsonl
 
 echo "== ci.sh: all green"

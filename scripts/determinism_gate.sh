@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Determinism gate: the suite's JSONL artifact must be byte-identical
+# across worker counts (the unified scheduler emits rows in registry
+# order with no timing data), and `--resume` on a settled artifact must
+# execute zero experiments while reproducing it byte for byte.
+#
+# Runs a smoke-scale subset so the gate stays under a minute; any byte
+# difference is a hard failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SUBSET=(fig1 fig2 tab5 tab6 tab7 cost)
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release --workspace --quiet
+REPRO=target/release/repro
+
+echo "== determinism: --jobs 1 vs --jobs 8 on ${SUBSET[*]} (smoke scale)"
+"$REPRO" --smoke --jobs 1 --no-progress --jsonl "$OUT/j1.jsonl" "${SUBSET[@]}" >/dev/null
+"$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/j8.jsonl" "${SUBSET[@]}" >/dev/null
+if ! cmp "$OUT/j1.jsonl" "$OUT/j8.jsonl"; then
+    echo "FAIL: JSONL differs between --jobs 1 and --jobs 8" >&2
+    diff "$OUT/j1.jsonl" "$OUT/j8.jsonl" >&2 || true
+    exit 1
+fi
+echo "   byte-identical ($(wc -c <"$OUT/j1.jsonl") bytes, $(wc -l <"$OUT/j1.jsonl") rows)"
+
+echo "== resume: settled artifact must execute zero experiments"
+"$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/full.jsonl" >/dev/null
+cp "$OUT/full.jsonl" "$OUT/orig.jsonl"
+"$REPRO" --smoke --jobs 8 --no-progress --resume "$OUT/full.jsonl" \
+    --summary "$OUT/summary.json" >/dev/null
+if ! cmp "$OUT/full.jsonl" "$OUT/orig.jsonl"; then
+    echo "FAIL: resumed artifact differs from the original" >&2
+    exit 1
+fi
+if ! grep -q '"ok": 0,' "$OUT/summary.json"; then
+    echo "FAIL: resume executed experiments on a settled artifact:" >&2
+    cat "$OUT/summary.json" >&2
+    exit 1
+fi
+echo "   zero executions, artifact byte-identical"
+
+echo "== determinism_gate.sh: all green"

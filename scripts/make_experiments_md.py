@@ -2,7 +2,14 @@
 """Assembles EXPERIMENTS.md from the harness JSONL artifact plus
 per-experiment paper-vs-measured commentary.
 
-Usage: python3 scripts/make_experiments_md.py repro_full.jsonl > EXPERIMENTS.md
+Usage:
+  python3 scripts/make_experiments_md.py repro_full.jsonl > EXPERIMENTS.md
+  python3 scripts/make_experiments_md.py --check repro_full.jsonl
+
+`--check` is the CI drift gate: instead of printing, it regenerates the
+document in memory and compares it against the committed EXPERIMENTS.md,
+exiting 1 (with a unified diff on stderr) when the committed file is
+stale relative to the artifact.
 
 The input is the `--jsonl` output of `repro` / `padcsim --suite`: one
 object per experiment, `{"id", "status", "result": {"paper_ref",
@@ -11,7 +18,9 @@ object per experiment, `{"id", "status", "result": {"paper_ref",
 the binaries' stdout. A legacy `repro_full.txt` capture still works (the
 format is auto-detected).
 """
+import difflib
 import json
+import os
 import sys
 
 COMMENTARY = {
@@ -304,7 +313,8 @@ def blocks_from_text(text):
     return blocks
 
 
-def main(path):
+def render_document(path):
+    """The full EXPERIMENTS.md text for the artifact at `path`."""
     text = open(path).read()
     if text.lstrip().startswith("{"):
         blocks = blocks_from_jsonl(text)
@@ -320,8 +330,49 @@ def main(path):
         else:
             out.append("_(not present in this run; regenerate with "
                        f"`repro {exp_id}`)_\n")
-    print("\n".join(out))
+    return "\n".join(out) + "\n"
+
+
+def check(path):
+    """Exit 1 when the committed EXPERIMENTS.md is stale vs `path`."""
+    committed_path = os.path.join(os.path.dirname(path) or ".",
+                                  "EXPERIMENTS.md")
+    expected = render_document(path)
+    try:
+        committed = open(committed_path).read()
+    except FileNotFoundError:
+        print(f"drift: {committed_path} does not exist; regenerate with\n"
+              f"  python3 scripts/make_experiments_md.py {path} "
+              f"> {committed_path}", file=sys.stderr)
+        return 1
+    if committed == expected:
+        print(f"EXPERIMENTS.md is in sync with {path}")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True),
+        expected.splitlines(keepends=True),
+        fromfile=committed_path, tofile=f"regenerated from {path}")
+    sys.stderr.writelines(diff)
+    print(f"drift: {committed_path} is stale relative to {path}; "
+          f"regenerate with\n  python3 scripts/make_experiments_md.py "
+          f"{path} > {committed_path}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if argv and argv[0] == "--check":
+        if len(argv) != 2:
+            print("usage: make_experiments_md.py --check ARTIFACT",
+                  file=sys.stderr)
+            return 2
+        return check(argv[1])
+    if len(argv) != 1:
+        print("usage: make_experiments_md.py [--check] ARTIFACT",
+              file=sys.stderr)
+        return 2
+    sys.stdout.write(render_document(argv[0]))
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1])
+    sys.exit(main(sys.argv[1:]))

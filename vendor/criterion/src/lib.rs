@@ -3,10 +3,13 @@
 //! Provides the API surface `crates/bench/benches/microbench.rs` uses —
 //! `Criterion`, benchmark groups, `iter`/`iter_batched`, `BenchmarkId`,
 //! `Throughput`, the `criterion_group!`/`criterion_main!` macros — backed
-//! by a deliberately simple engine: warm up briefly, then time a fixed
-//! batch and report mean ns/iter on stdout. No statistics, no HTML
-//! reports; good enough to compare hot paths locally and to keep
-//! `cargo bench` compiling and running offline.
+//! by a deliberately simple engine: one calibration pass to size batches,
+//! then timed batches until a wall-clock target is reached, reporting
+//! min/median/p95 ns/iter over the per-batch samples (a single mean hides
+//! scheduler noise and warm-up drift; the spread makes unstable numbers
+//! visible). No outlier rejection, no HTML reports; good enough to compare
+//! hot paths locally and to keep `cargo bench` compiling and running
+//! offline.
 
 use std::time::{Duration, Instant};
 
@@ -143,12 +146,21 @@ impl IntoBenchId for BenchmarkId {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    /// Per-batch ns/iter samples, in measurement order.
+    samples: Vec<f64>,
 }
 
 const TARGET: Duration = Duration::from_millis(200);
 
 impl Bencher {
-    /// Times `f` repeatedly until the time target is reached.
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.total += elapsed;
+        self.iters += iters;
+        self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    /// Times `f` repeatedly until the time target is reached; each timed
+    /// batch contributes one ns/iter sample.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         // One calibration pass to size batches, then timed batches.
         let start = Instant::now();
@@ -160,12 +172,12 @@ impl Bencher {
             for _ in 0..batch {
                 std::hint::black_box(f());
             }
-            self.total += start.elapsed();
-            self.iters += batch;
+            self.record(start.elapsed(), batch);
         }
     }
 
-    /// Times `routine` over fresh state from `setup`, excluding setup time.
+    /// Times `routine` over fresh state from `setup`, excluding setup
+    /// time; each routine call contributes one sample.
     pub fn iter_batched<I, O>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -176,25 +188,36 @@ impl Bencher {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
-            self.total += start.elapsed();
-            self.iters += 1;
+            self.record(start.elapsed(), 1);
         }
     }
+}
+
+/// Sorted-sample quantile by nearest-rank on `q * (n - 1)`.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         total: Duration::ZERO,
         iters: 0,
+        samples: Vec::new(),
     };
     f(&mut b);
-    let per_iter = if b.iters == 0 {
-        0.0
-    } else {
-        b.total.as_nanos() as f64 / b.iters as f64
-    };
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let median = quantile(&sorted, 0.5);
+    let p95 = quantile(&sorted, 0.95);
     println!(
-        "bench {name:<55} {per_iter:>14.1} ns/iter ({} iters)",
+        "bench {name:<55} min {min:>12.1}  med {median:>12.1}  p95 {p95:>12.1} ns/iter \
+         ({} samples, {} iters)",
+        sorted.len(),
         b.iters
     );
 }

@@ -204,7 +204,7 @@ pub mod strategy_modules {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Size bound for [`vec`]: a range or an exact count.
+        /// Size bound for [`vec()`]: a range or an exact count.
         pub trait SizeRange {
             /// Draws a length.
             fn draw(&self, rng: &mut TestRng) -> usize;
@@ -233,7 +233,7 @@ pub mod strategy_modules {
             VecStrategy { element, size }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S, R> {
             element: S,
             size: R,

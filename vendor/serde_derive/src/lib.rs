@@ -2,7 +2,7 @@
 //!
 //! Hand-parses the item token stream (no `syn`/`quote` — those live on
 //! crates.io too) and emits `impl serde::Serialize` / `impl
-//! serde::Deserialize` against the shim's [`Value`] data model. Supports
+//! serde::Deserialize` against the shim's `Value` data model. Supports
 //! exactly the shapes this workspace uses:
 //!
 //! - structs with named fields (honouring `#[serde(default)]`)
