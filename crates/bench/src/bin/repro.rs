@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
 //!       [--summary PATH] [--json|--csv|--bars COL] [--no-progress]
-//!       [<experiment-id>...]
+//!       [--profile] [--no-fast-forward] [<experiment-id>...]
 //! repro --list
 //! ```
 //!
@@ -22,7 +22,12 @@
 //! stream (`--jsonl`, `-` for stdout) is emitted in registry order and
 //! contains no timing data, so its bytes are identical for any `--jobs`
 //! value. Timings go to the stderr progress lines and to the `--summary`
-//! JSON.
+//! JSON — or, with `--profile`, into a per-experiment `"profile"` object
+//! appended to each JSONL payload (hot-path counters and phase wall
+//! times; wall times make profiled artifacts non-deterministic, so the
+//! determinism gates run without it). `--no-fast-forward` disables
+//! idle-cycle fast-forwarding (results are bit-identical either way; the
+//! flag exists for the equivalence gate and for timing comparisons).
 //!
 //! `--resume FILE` makes the run incremental: settled rows (complete JSON,
 //! `"status":"ok"`) of the prior artifact are re-emitted verbatim without
@@ -38,14 +43,15 @@
 use std::io::Write as _;
 use std::time::Duration;
 
-use padc_bench::{find, registry, suite_jobs, table_stash, Experiment};
+use padc_bench::{find, registry, suite_jobs_profiled, table_stash, Experiment};
 use padc_harness::{run_suite, HarnessConfig, JobStatus, ResumeArtifact};
 use padc_sim::experiments::ExpConfig;
 
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
-         \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress] [<id>...]\n\
+         \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress]\n\
+         \x20            [--profile] [--no-fast-forward] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
     );
@@ -76,6 +82,7 @@ fn main() {
     let mut summary_path: Option<String> = None;
     let mut budget: Option<Duration> = None;
     let mut progress = true;
+    let mut profile = false;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -104,6 +111,8 @@ fn main() {
                 budget = Some(Duration::from_secs(secs));
             }
             "--no-progress" => progress = false,
+            "--profile" => profile = true,
+            "--no-fast-forward" => padc_sim::set_fast_forward_default(false),
             "--list" => {
                 for e in registry() {
                     println!("{:<10} {}", e.id, e.paper_ref);
@@ -174,8 +183,11 @@ fn main() {
         jsonl_path = resume_path.clone();
     }
 
+    if profile {
+        padc_sim::profile::set_timing_enabled(true);
+    }
     let stash = table_stash();
-    let mut jobs = suite_jobs(selected, cfg, Some(stash.clone()));
+    let mut jobs = suite_jobs_profiled(selected, cfg, Some(stash.clone()), profile);
     if let Some(artifact) = &artifact {
         for job in &mut jobs {
             if let Some(row) = artifact.row(&job.id) {

@@ -104,6 +104,17 @@ impl AccuracyTracker {
         self.par[core.index()]
     }
 
+    /// The cycle of the next interval rollover: the first `now` at which
+    /// [`AccuracyTracker::tick`] will update `PAR` and reset the counters.
+    ///
+    /// Fast-forwarding treats this as an explicit event source (DESIGN.md
+    /// §11): every `PAR`-derived quantity — APD drop thresholds, APS
+    /// criticality, urgency, rank — is constant strictly before this cycle,
+    /// and a skip must never jump across it.
+    pub fn next_rollover(&self) -> Cycle {
+        self.next_rollover
+    }
+
     /// Lifetime prefetches sent by `core`.
     pub fn lifetime_sent(&self, core: CoreId) -> u64 {
         self.total_sent[core.index()]

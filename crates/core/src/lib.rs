@@ -48,6 +48,8 @@
 //! assert!(done);
 //! ```
 
+#![warn(missing_docs)]
+
 mod accuracy;
 mod config;
 pub mod cost;

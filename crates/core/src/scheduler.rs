@@ -247,6 +247,106 @@ impl MemoryController {
         out
     }
 
+    /// Lower bound on the first cycle `m >= now` at which
+    /// [`MemoryController::tick`]`(m)` can perform observable work, assuming
+    /// no external mutation (enqueue / promote) happens in between. `None`
+    /// when the controller is fully quiescent and only external input can
+    /// change its state.
+    ///
+    /// This is the controller's contribution to the fast-forward event
+    /// contract (DESIGN.md §11). The bound folds together:
+    ///
+    /// - in-flight CAS completions (`completes_at`, exact);
+    /// - APD drop deadlines (`arrival + threshold + 1`, exact while `PAR`
+    ///   is stable — the caller separately bounds the skip by
+    ///   [`AccuracyTracker::next_rollover`]);
+    /// - pending boundary-only recomputations: a drained PAR-BS batch
+    ///   waiting to reform, a write-drain watermark crossing waiting to
+    ///   flip, both due at the next DRAM bus boundary;
+    /// - per-request DRAM readiness ([`Channel::earliest_advance_at`]),
+    ///   aligned up to the next DRAM bus boundary;
+    /// - pending refresh boundaries ([`Channel::next_refresh_boundary`]);
+    /// - closed-row-policy precharges of open banks no queued or in-flight
+    ///   request wants ([`Channel::earliest_precharge_at`]);
+    /// - overflowed writebacks that could drain into freed buffer space
+    ///   (due immediately, so the caller simply does not skip).
+    ///
+    /// Bounds may be *early* (the tick at the returned cycle does nothing
+    /// and stepping resumes) but are never late — that is what keeps
+    /// fast-forwarded runs bit-identical to cycle-by-cycle stepping.
+    pub fn next_event(&self, now: Cycle, accuracy: &AccuracyTracker) -> Option<Cycle> {
+        let mut ev: Option<Cycle> = None;
+        let mut fold = |c: Cycle| ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
+        for f in &self.inflight {
+            fold(f.completes_at);
+        }
+        if self.cfg.apd {
+            let thresholds = &self.cfg.drop_thresholds;
+            for e in &self.buffer {
+                if e.req.kind.is_prefetch() && e.first_service.is_none() {
+                    let limit = thresholds.threshold_for(accuracy.accuracy(e.req.core));
+                    fold(e.req.arrival.saturating_add(limit).saturating_add(1));
+                }
+            }
+        }
+        if !self.writeback_overflow.is_empty() && self.has_space() {
+            // A writeback can drain this very cycle; don't skip at all.
+            fold(now);
+        }
+        if self.cfg.batching && !self.buffer.is_empty() && !self.buffer.iter().any(|e| e.batched) {
+            fold(align_up_dram(now));
+        }
+        if self.cfg.write_drain {
+            let writes = self
+                .buffer
+                .iter()
+                .filter(|e| Self::is_writeback(&e.req))
+                .count()
+                + self.writeback_overflow.len();
+            let flips = if self.draining_writes {
+                writes <= self.cfg.write_drain_low
+            } else {
+                writes >= self.cfg.write_drain_high
+            };
+            if flips {
+                fold(align_up_dram(now));
+            }
+        }
+        for ch in &self.channels {
+            if let Some(r) = ch.next_refresh_boundary(now) {
+                fold(r);
+            }
+        }
+        for e in &self.buffer {
+            let ch = &self.channels[e.target.channel];
+            fold(align_up_dram(ch.earliest_advance_at(
+                e.target.bank,
+                e.target.row,
+                now,
+            )));
+        }
+        if self.dram.row_policy == RowPolicy::Closed {
+            for (ci, ch) in self.channels.iter().enumerate() {
+                for bank in 0..ch.bank_count() {
+                    let Some(open) = ch.effective_row(bank, now) else {
+                        continue;
+                    };
+                    let wanted = self.buffer.iter().any(|e| {
+                        e.target.channel == ci && e.target.bank == bank && e.target.row == open
+                    }) || self.inflight.iter().any(|f| {
+                        f.target.channel == ci && f.target.bank == bank && f.target.row == open
+                    });
+                    if !wanted {
+                        if let Some(t) = ch.earliest_precharge_at(bank, now) {
+                            fold(align_up_dram(t));
+                        }
+                    }
+                }
+            }
+        }
+        ev
+    }
+
     fn collect_completions(&mut self, now: Cycle, out: &mut TickOutput) {
         let mut i = 0;
         while i < self.inflight.len() {
@@ -526,6 +626,12 @@ impl MemoryController {
             }
         }
     }
+}
+
+/// First DRAM command-bus boundary at or after `t` (commands issue only
+/// when `now` is a multiple of `CPU_CYCLES_PER_DRAM_CYCLE`).
+fn align_up_dram(t: Cycle) -> Cycle {
+    t.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE) * CPU_CYCLES_PER_DRAM_CYCLE
 }
 
 /// Priority tuple compared lexicographically; larger wins. Field order

@@ -122,6 +122,25 @@ struct RunaheadState {
     issued_ops: usize,
 }
 
+/// Proof that a [`Core::tick`] would be a pure stall cycle, plus the
+/// per-cycle stall-counter bumps that tick would have made.
+///
+/// Returned by [`Core::idle_state`]; consumed by [`Core::skip_idle_cycles`]
+/// when the simulator fast-forwards across a run of such cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct IdleState {
+    /// Cycle at which the window head becomes retirable on its own (`None`
+    /// when the head is waiting on memory and only [`Core::complete`] can
+    /// unblock it).
+    pub wake_at: Option<Cycle>,
+    /// The tick would count a head-of-window memory stall.
+    window_stall: bool,
+    /// The tick would count a dispatch cycle lost to a full window.
+    dispatch_window_full: bool,
+    /// The tick would count a dispatch cycle lost to a dependent load.
+    dispatch_dep: bool,
+}
+
 /// One simulated processing core.
 ///
 /// Drive it with [`Core::tick`] once per CPU cycle, providing its trace and
@@ -182,6 +201,87 @@ impl Core {
         }
         // Token not found: the load may already have been satisfied (e.g. a
         // duplicate wake-up); ignore.
+    }
+
+    /// Classifies what [`Core::tick`]`(now, ..)` would do *without running
+    /// it*: `Some(idle)` when the tick would be a pure stall cycle — no
+    /// retirement, no trace consumption, no memory access, only stall
+    /// counters — and `None` when it would make progress of any kind.
+    ///
+    /// This is the core's side of the fast-forward event contract
+    /// (DESIGN.md §11): while every core reports `Some`, ticks can be
+    /// replaced by [`Core::skip_idle_cycles`] up to the earliest `wake_at`
+    /// (or an external wake-up via [`Core::complete`]) with bit-identical
+    /// results.
+    pub fn idle_state(&self, now: Cycle) -> Option<IdleState> {
+        // An empty window means dispatch would fetch from the trace.
+        let head = self.window.front()?;
+        let (window_stall, head_blocked, wake_at) = match head.done_at {
+            // Head retires this tick.
+            Some(d) if d <= now => return None,
+            Some(d) => (false, false, Some(d)),
+            None if head.is_load => (true, true, None),
+            // A non-load slot always carries a completion time; treat the
+            // impossible case as busy rather than risk a wrong skip.
+            None => return None,
+        };
+        // A lingering runahead state is cleared by the next tick once the
+        // head is no longer blocked: a state change, not an idle cycle.
+        if !head_blocked && self.runahead.is_some() {
+            return None;
+        }
+        let dep_stalled = self.pending_loads > 0
+            && matches!(self.stalled_op, Some(TraceOp::Load { dep: true, .. }));
+        let window_full = self.window_full();
+        if self.cfg.runahead && head_blocked && (window_full || dep_stalled) {
+            // runahead_step would enter an episode or issue pre-execution
+            // requests unless the current episode exhausted its op budget.
+            let exhausted = self
+                .runahead
+                .as_ref()
+                .is_some_and(|ra| ra.issued_ops >= self.cfg.runahead_max_ops);
+            if !exhausted {
+                return None;
+            }
+        }
+        let (dispatch_window_full, dispatch_dep) = if window_full {
+            (true, false)
+        } else if dep_stalled {
+            (false, true)
+        } else {
+            // Dispatch would fetch a new op or re-issue a retried access.
+            return None;
+        };
+        Some(IdleState {
+            wake_at,
+            window_stall,
+            dispatch_window_full,
+            dispatch_dep,
+        })
+    }
+
+    /// Lower bound on the next cycle at which an idle core's state changes
+    /// on its own: the head-retirement time from [`Core::idle_state`].
+    /// `None` when the core is busy (every cycle is an event) or can only
+    /// be woken externally by [`Core::complete`].
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.idle_state(now).and_then(|s| s.wake_at)
+    }
+
+    /// Applies `cycles` worth of the stall-counter bumps that `cycles`
+    /// consecutive pure-stall ticks (as classified by `idle`) would have
+    /// made. The caller guarantees `idle` came from [`Core::idle_state`] at
+    /// the current cycle and that no wake-up lands inside the skipped run.
+    pub fn skip_idle_cycles(&mut self, idle: &IdleState, cycles: u64) {
+        if idle.window_stall {
+            self.stats.window_stall_cycles += cycles;
+        }
+        if idle.dispatch_window_full {
+            self.stats.dispatch_window_full_cycles += cycles;
+        }
+        if idle.dispatch_dep {
+            self.stats.dispatch_dep_cycles += cycles;
+        }
     }
 
     /// Advances the core by one cycle: retire, (maybe) runahead, dispatch.

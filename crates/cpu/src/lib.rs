@@ -50,5 +50,7 @@
 mod core_model;
 mod trace;
 
-pub use core_model::{AccessResponse, Core, CoreConfig, CoreStats, MemAccess, MemorySystem};
+pub use core_model::{
+    AccessResponse, Core, CoreConfig, CoreStats, IdleState, MemAccess, MemorySystem,
+};
 pub use trace::{TraceOp, TraceSource};

@@ -14,11 +14,22 @@ pub enum BankState {
     /// Precharged, no row in the sense amplifiers.
     Closed,
     /// An ACT is in flight; `row` becomes readable at `ready_at`.
-    Activating { row: u64, ready_at: Cycle },
+    Activating {
+        /// Row being brought into the sense amplifiers.
+        row: u64,
+        /// Cycle at which the row becomes readable (ACT issue + tRCD).
+        ready_at: Cycle,
+    },
     /// `row` is open in the row buffer.
-    Open { row: u64 },
+    Open {
+        /// Row currently held in the sense amplifiers.
+        row: u64,
+    },
     /// A PRE is in flight; the bank is closed (ACT-ready) at `ready_at`.
-    Precharging { ready_at: Cycle },
+    Precharging {
+        /// Cycle at which the bank accepts the next ACT (PRE issue + tRP).
+        ready_at: Cycle,
+    },
 }
 
 /// One DRAM bank: a row-buffer state machine with timing.
@@ -136,6 +147,23 @@ impl Bank {
     /// True if a CAS (read/write) to `row` may issue at `now`.
     pub fn can_cas(&self, row: u64, now: Cycle) -> bool {
         self.open_row(now) == Some(row)
+    }
+
+    /// The next cycle at which the bank's *resolved* state changes on its
+    /// own — the `ready_at` of an in-flight ACT or PRE. `None` when the
+    /// bank is stable ([`BankState::Open`] / [`BankState::Closed`]) and
+    /// only a new command can change it.
+    ///
+    /// This is the bank's contribution to the fast-forward event contract
+    /// (DESIGN.md §11): between `now` and the returned cycle, every
+    /// `can_*` / `classify` answer at a fixed row is constant.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self.state_at(now) {
+            BankState::Activating { ready_at, .. } | BankState::Precharging { ready_at } => {
+                Some(ready_at)
+            }
+            BankState::Open { .. } | BankState::Closed => None,
+        }
     }
 }
 

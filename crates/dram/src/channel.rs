@@ -2,7 +2,7 @@ use std::collections::VecDeque;
 
 use padc_types::{Cycle, CPU_CYCLES_PER_DRAM_CYCLE};
 
-use crate::{Bank, ChannelStats, DramConfig, RowBufferOutcome};
+use crate::{Bank, BankState, ChannelStats, DramConfig, RowBufferOutcome};
 
 /// Extended timing converted to CPU cycles (see [`crate::ExtendedTiming`]).
 #[derive(Clone, Copy, Debug)]
@@ -24,7 +24,10 @@ pub enum StepOutcome {
     Activated,
     /// The final CAS was issued; data (and the request) completes at
     /// `completes_at` CPU cycles.
-    CasIssued { completes_at: Cycle },
+    CasIssued {
+        /// CPU cycle at which the data burst (and the request) finishes.
+        completes_at: Cycle,
+    },
     /// No command could issue this cycle (bank or data bus busy).
     Blocked,
 }
@@ -239,6 +242,108 @@ impl Channel {
                 StepOutcome::CasIssued { completes_at }
             }
         }
+    }
+
+    /// End of the refresh window occupying the channel at `now`, or `now`
+    /// itself when no refresh is in progress.
+    fn refresh_release(&self, now: Cycle) -> Cycle {
+        match self.ext {
+            Some(e) if self.in_refresh(now) => now - now % e.t_refi + e.t_rfc,
+            _ => now,
+        }
+    }
+
+    /// Earliest cycle at which a new ACT clears the tFAW window (exact with
+    /// respect to the recorded four-ACT history).
+    fn faw_free_at(&self, now: Cycle) -> Cycle {
+        match self.ext {
+            Some(e) if self.act_history.len() == 4 => now.max(self.act_history[0] + e.t_faw),
+            _ => now,
+        }
+    }
+
+    /// Next refresh boundary not yet applied by [`Channel::sync`] (`None`
+    /// without extended timing). May equal `now` when the boundary's
+    /// scheduling tick has not run yet. Fast-forwarding must never skip
+    /// across one: `sync` counts one refresh per application regardless of
+    /// how many boundaries have passed, so stat parity with cycle-by-cycle
+    /// stepping requires resuming at every boundary.
+    pub fn next_refresh_boundary(&self, now: Cycle) -> Option<Cycle> {
+        match self.ext {
+            Some(e) if e.t_refi > 0 => Some(((self.refreshes_applied + 1) * e.t_refi).max(now)),
+            _ => None,
+        }
+    }
+
+    /// Lower bound on the first cycle `m >= now` at which
+    /// [`Channel::can_advance`]`(bank, row, m)` can become true, assuming no
+    /// command issues on the channel in between. The bound is never *later*
+    /// than the true first cycle (the direction fast-forwarding relies on);
+    /// it may be earlier when a constraint outside the bound — a refresh
+    /// window opening mid-skip, which [`Channel::next_refresh_boundary`]
+    /// covers separately — still blocks the command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn earliest_advance_at(&self, bank: usize, row: u64, now: Cycle) -> Cycle {
+        let b = &self.banks[bank];
+        let bank_ready = b.next_event(now).unwrap_or(now);
+        let class_bound = match b.classify(row, now) {
+            RowBufferOutcome::Hit => bank_ready.max(self.data_bus_free_at.saturating_sub(self.cl)),
+            RowBufferOutcome::Closed => bank_ready.max(self.faw_free_at(now)),
+            RowBufferOutcome::Conflict => bank_ready.max(self.min_precharge_at[bank]),
+        };
+        class_bound
+            .max(self.cmd_bus_free_at)
+            .max(self.refresh_release(now))
+            .max(now)
+    }
+
+    /// Lower bound on the first cycle at which [`Channel::precharge_bank`]
+    /// could issue for `bank` (closed-row policy); `None` when the bank has
+    /// no open or opening row, so no explicit precharge is ever due.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn earliest_precharge_at(&self, bank: usize, now: Cycle) -> Option<Cycle> {
+        let open_at = match self.banks[bank].state_at(now) {
+            BankState::Open { .. } => now,
+            BankState::Activating { ready_at, .. } => ready_at,
+            BankState::Closed | BankState::Precharging { .. } => return None,
+        };
+        Some(
+            open_at
+                .max(self.min_precharge_at[bank])
+                .max(self.cmd_bus_free_at)
+                .max(self.refresh_release(now))
+                .max(now),
+        )
+    }
+
+    /// Lower bound on the next cycle strictly after `now` at which the
+    /// channel's state can change without a new command being issued: bank
+    /// ACT/PRE completions, bus releases, and the next refresh boundary.
+    /// `None` when the channel is fully quiescent.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut ev: Option<Cycle> = None;
+        let mut fold = |c: Cycle| {
+            if c > now {
+                ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
+            }
+        };
+        for b in &self.banks {
+            if let Some(t) = b.next_event(now) {
+                fold(t);
+            }
+        }
+        fold(self.cmd_bus_free_at);
+        fold(self.data_bus_free_at);
+        if let Some(r) = self.next_refresh_boundary(now) {
+            fold(r);
+        }
+        ev
     }
 
     /// Issues an explicit precharge of `bank` (closed-row policy support).

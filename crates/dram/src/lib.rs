@@ -33,6 +33,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 mod bank;
 mod channel;
 mod config;

@@ -59,7 +59,7 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 pub use resume::ResumeArtifact;
-pub use subjob::{subjob_map, under_harness};
+pub use subjob::{set_task_context, subjob_map, task_context, under_harness, with_task_context};
 
 use subjob::SubJobPool;
 

@@ -36,6 +36,8 @@ struct Args {
     print_config: bool,
     no_prefetch: bool,
     json: bool,
+    profile: bool,
+    no_fast_forward: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         print_config: false,
         no_prefetch: false,
         json: false,
+        profile: false,
+        no_fast_forward: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
             "--print-config" => args.print_config = true,
             "--no-prefetch" => args.no_prefetch = true,
             "--json" => args.json = true,
+            "--profile" => args.profile = true,
+            "--no-fast-forward" => args.no_fast_forward = true,
             "--list-benchmarks" => {
                 for p in profiles::all() {
                     println!("{:<22} class {}", p.name, p.class.code());
@@ -76,7 +82,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim [--config FILE.json] [--cores N] [--policy P] \
-                     [--instructions N] [--no-prefetch] [--json] \
+                     [--instructions N] [--no-prefetch] [--json] [--profile] \
+                     [--no-fast-forward] \
                      (--bench NAME ... | --trace FILE ...) | --print-config | --list-benchmarks"
                 );
                 std::process::exit(0);
@@ -94,13 +101,14 @@ fn parse_args() -> Result<Args, String> {
 /// this entry point is the minimal suite-runner — use `repro` for table
 /// rendering and bar charts.
 fn run_suite_mode(args: &[String]) -> ! {
-    use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig};
+    use padc_sim::experiments::{registry::find, suite_jobs_profiled, ExpConfig};
 
     let mut cfg = ExpConfig::full();
     let mut workers = 0usize;
     let mut jsonl_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
+    let mut profile = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     let die = |msg: String| -> ! {
@@ -125,6 +133,8 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--jsonl" => jsonl_path = Some(value("--jsonl")),
             "--resume" => resume_path = Some(value("--resume")),
             "--summary" => summary_path = Some(value("--summary")),
+            "--profile" => profile = true,
+            "--no-fast-forward" => padc_sim::set_fast_forward_default(false),
             "--list" => {
                 for e in padc_sim::experiments::experiment_registry() {
                     println!("{:<10} {}", e.id, e.paper_ref);
@@ -134,7 +144,8 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
-                     [--resume FILE] [--summary PATH] [--list] [<experiment-id>...]"
+                     [--resume FILE] [--summary PATH] [--profile] [--no-fast-forward] \
+                     [--list] [<experiment-id>...]"
                 );
                 std::process::exit(0);
             }
@@ -186,7 +197,10 @@ fn run_suite_mode(args: &[String]) -> ! {
         jsonl_path = resume_path.clone();
     }
 
-    let mut jobs = suite_jobs(selected, cfg, None);
+    if profile {
+        padc_sim::profile::set_timing_enabled(true);
+    }
+    let mut jobs = suite_jobs_profiled(selected, cfg, None, profile);
     if let Some(artifact) = &artifact {
         for job in &mut jobs {
             if let Some(row) = artifact.row(&job.id) {
@@ -235,6 +249,28 @@ fn run_suite_mode(args: &[String]) -> ! {
     std::process::exit(if summary.failed() > 0 { 1 } else { 0 });
 }
 
+/// `--profile`: one-line hot-path summary on stderr, so it composes with
+/// `--json` on stdout.
+fn print_profile(p: &padc_sim::profile::SimProfile) {
+    let total = p.cycles_stepped + p.ff_cycles_skipped;
+    let skipped_pct = if total > 0 {
+        100.0 * p.ff_cycles_skipped as f64 / total as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "profile: {} cycles ({} stepped + {} fast-forwarded in {} jumps, {skipped_pct:.1}% skipped); \
+         wall {:.3}s (controller {:.3}s, cores {:.3}s)",
+        total,
+        p.cycles_stepped,
+        p.ff_cycles_skipped,
+        p.ff_jumps,
+        p.wall_ns as f64 / 1e9,
+        p.controller_ns as f64 / 1e9,
+        p.cores_ns as f64 / 1e9,
+    );
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().is_some_and(|a| a == "--suite") {
@@ -281,7 +317,13 @@ fn main() {
         return;
     }
 
-    let report = if !args.traces.is_empty() {
+    if args.no_fast_forward {
+        padc_sim::set_fast_forward_default(false);
+    }
+    if args.profile {
+        padc_sim::profile::set_timing_enabled(true);
+    }
+    let mut sys = if !args.traces.is_empty() {
         let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
         for t in &args.traces {
             match TraceFileSource::from_path(std::path::Path::new(t)) {
@@ -292,7 +334,7 @@ fn main() {
                 }
             }
         }
-        System::with_traces(cfg, traces, args.traces.clone()).run()
+        System::with_traces(cfg, traces, args.traces.clone())
     } else {
         if args.benches.is_empty() {
             eprintln!("error: provide --bench or --trace (or --help)");
@@ -308,8 +350,12 @@ fn main() {
                 })
             })
             .collect();
-        System::new(cfg, benches).run()
+        System::new(cfg, benches)
     };
+    let report = sys.run();
+    if args.profile {
+        print_profile(sys.profile());
+    }
 
     if args.json {
         println!(

@@ -32,7 +32,8 @@ pub use multi::{
     tab9_identical_libquantum, CaseStudy,
 };
 pub use registry::{
-    find, registry as experiment_registry, suite_jobs, table_stash, Experiment, TableStash,
+    find, registry as experiment_registry, suite_jobs, suite_jobs_profiled, table_stash,
+    Experiment, TableStash,
 };
 pub use single::{
     fig1_motivation, fig6_single_core_ipc, fig7_spl, fig8_traffic, tab5_characteristics, tab7_rbhu,

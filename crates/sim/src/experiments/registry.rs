@@ -246,13 +246,38 @@ pub fn suite_jobs(
     cfg: ExpConfig,
     stash: Option<TableStash>,
 ) -> Vec<JobSpec> {
+    suite_jobs_profiled(experiments, cfg, stash, false)
+}
+
+/// [`suite_jobs`], optionally appending a hot-path `"profile"` object to
+/// each payload (`padcsim --suite --profile`).
+///
+/// When `profile` is set, every job installs a fresh
+/// [`ProfileAccum`](crate::profile::ProfileAccum) as the harness task
+/// context for the duration of its experiment, so each `System::run` the
+/// experiment performs — including runs fanned out over `subjob_map` —
+/// folds its counters into that experiment's accumulator. Profiled
+/// payloads are **not** byte-stable across runs (wall-clock fields), which
+/// is why the determinism gates exercise the unprofiled path.
+pub fn suite_jobs_profiled(
+    experiments: Vec<Experiment>,
+    cfg: ExpConfig,
+    stash: Option<TableStash>,
+    profile: bool,
+) -> Vec<JobSpec> {
     experiments
         .into_iter()
         .map(|e| {
             let stash = stash.clone();
             JobSpec::new(e.id, e.paper_ref, move || {
-                let tables = (e.run)(&cfg);
-                let payload = payload_json(e.paper_ref, &tables);
+                let (tables, prof) = if profile {
+                    let acc = crate::profile::new_accum();
+                    let tables = padc_harness::with_task_context(acc.clone(), || (e.run)(&cfg));
+                    (tables, Some(acc.to_json()))
+                } else {
+                    ((e.run)(&cfg), None)
+                };
+                let payload = payload_json(e.paper_ref, &tables, prof.as_deref());
                 if let Some(s) = &stash {
                     s.lock()
                         .expect("stash lock")
@@ -264,10 +289,16 @@ pub fn suite_jobs(
         .collect()
 }
 
-/// Renders one job payload: paper reference plus the experiment's tables.
-fn payload_json(paper_ref: &str, tables: &[ExpTable]) -> String {
+/// Renders one job payload: paper reference plus the experiment's tables,
+/// plus the optional profile object (appended last so payload prefixes
+/// stay stable).
+fn payload_json(paper_ref: &str, tables: &[ExpTable], profile: Option<&str>) -> String {
+    let profile = match profile {
+        Some(p) => format!(",\"profile\":{p}"),
+        None => String::new(),
+    };
     format!(
-        "{{\"paper_ref\":{},\"tables\":{}}}",
+        "{{\"paper_ref\":{},\"tables\":{}{profile}}}",
         serde_json::to_string(&paper_ref.to_string()).expect("string serializes"),
         serde_json::to_string(&tables.to_vec()).expect("tables serialize"),
     )
@@ -329,6 +360,27 @@ mod tests {
         assert!(payload.starts_with("{\"paper_ref\":\"Tables 1-2 (hardware cost)\""));
         let parsed = serde_json::parse(&payload).expect("payload is valid JSON");
         assert!(parsed.get("tables").and_then(|t| t.as_array()).is_some());
+        assert!(
+            parsed.get("profile").is_none(),
+            "unprofiled payloads must not carry a profile object"
+        );
         assert!(stash.lock().unwrap().contains_key("cost"));
+    }
+
+    #[test]
+    fn profiled_jobs_append_a_profile_object() {
+        let jobs = suite_jobs_profiled(vec![find("fig1").unwrap()], ExpConfig::smoke(), None, true);
+        let payload = (jobs[0].run)();
+        assert!(payload.starts_with("{\"paper_ref\":"));
+        let parsed = serde_json::parse(&payload).expect("payload is valid JSON");
+        let profile = parsed.get("profile").expect("profile object appended");
+        let runs = profile
+            .get("runs")
+            .and_then(|r| r.as_f64())
+            .expect("runs counter");
+        assert!(runs > 0.0, "no simulation runs folded into the profile");
+        for key in ["cycles_stepped", "ff_jumps", "ff_cycles_skipped", "wall_ns"] {
+            assert!(profile.get(key).is_some(), "profile misses {key}");
+        }
     }
 }

@@ -29,8 +29,9 @@
 mod config;
 pub mod experiments;
 pub mod metrics;
+pub mod profile;
 mod system;
 
 pub use config::SimConfig;
 pub use metrics::{CoreReport, Report, Traffic};
-pub use system::System;
+pub use system::{fast_forward_default, set_fast_forward_default, System};

@@ -1,0 +1,168 @@
+//! Self-profiling for the simulation hot path.
+//!
+//! Every [`System`](crate::System) keeps a [`SimProfile`] of cheap
+//! always-on counters: cycles stepped one by one, fast-forward jumps
+//! taken, and cycles skipped by them. Wall-time phase breakdowns
+//! (controller tick vs core tick) cost two `Instant` reads per cycle, so
+//! they are gated behind a process-wide flag set by `--profile` on the
+//! `padcsim` and `repro` binaries.
+//!
+//! For suite runs, an experiment installs a shared [`ProfileAccum`] as the
+//! harness task context ([`padc_harness::with_task_context`]); every
+//! `System::run` that executes on behalf of that experiment — including
+//! runs fanned out to other worker threads via `subjob_map` — folds its
+//! profile into the accumulator, which the suite then renders as a
+//! `profile` object in the experiment's JSONL row.
+//!
+//! Note that wall-times are inherently nondeterministic and fast-forward
+//! counters differ between fast-forward-on and -off runs, which is why the
+//! `profile` JSONL object is strictly opt-in: the determinism gates compare
+//! artifacts produced *without* `--profile`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide switch for the wall-time phase timers.
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the per-phase wall-time timers in
+/// [`System::step`](crate::System::step). Counters (steps, fast-forward
+/// jumps) are always on; only the `Instant`-based phase timing is gated.
+pub fn set_timing_enabled(enabled: bool) {
+    TIMING.store(enabled, Ordering::Relaxed);
+}
+
+/// True when the per-phase wall-time timers are enabled.
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// Hot-path counters for one [`System`](crate::System).
+///
+/// `controller_ns` / `cores_ns` stay zero unless [`set_timing_enabled`]
+/// was turned on; `wall_ns` is always measured (one `Instant` per run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Cycles advanced by executing a full [`System::step`](crate::System::step).
+    pub cycles_stepped: u64,
+    /// Fast-forward jumps taken.
+    pub ff_jumps: u64,
+    /// Cycles skipped by fast-forward jumps (not stepped).
+    pub ff_cycles_skipped: u64,
+    /// Wall time spent in the controller phase of `step` (timers on only).
+    pub controller_ns: u64,
+    /// Wall time spent ticking cores (timers on only).
+    pub cores_ns: u64,
+    /// Wall time of the whole [`System::run`](crate::System::run) call.
+    pub wall_ns: u64,
+}
+
+/// Thread-safe accumulator folding the [`SimProfile`]s of every simulation
+/// run an experiment performs. Installed as the harness task context so
+/// fanned-out sub-jobs on other worker threads report into the same
+/// object.
+#[derive(Debug, Default)]
+pub struct ProfileAccum {
+    runs: AtomicU64,
+    cycles_stepped: AtomicU64,
+    ff_jumps: AtomicU64,
+    ff_cycles_skipped: AtomicU64,
+    controller_ns: AtomicU64,
+    cores_ns: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl ProfileAccum {
+    /// Folds one run's profile into the accumulator.
+    pub fn add(&self, p: &SimProfile) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.cycles_stepped
+            .fetch_add(p.cycles_stepped, Ordering::Relaxed);
+        self.ff_jumps.fetch_add(p.ff_jumps, Ordering::Relaxed);
+        self.ff_cycles_skipped
+            .fetch_add(p.ff_cycles_skipped, Ordering::Relaxed);
+        self.controller_ns
+            .fetch_add(p.controller_ns, Ordering::Relaxed);
+        self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
+        self.wall_ns.fetch_add(p.wall_ns, Ordering::Relaxed);
+    }
+
+    /// Number of simulation runs folded in so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Renders the accumulated profile as a JSON object with a fixed key
+    /// order (embedded in the suite's JSONL rows under `"profile"`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"runs\":{},\"cycles_stepped\":{},\"ff_jumps\":{},",
+                "\"ff_cycles_skipped\":{},\"controller_ns\":{},",
+                "\"cores_ns\":{},\"wall_ns\":{}}}"
+            ),
+            self.runs.load(Ordering::Relaxed),
+            self.cycles_stepped.load(Ordering::Relaxed),
+            self.ff_jumps.load(Ordering::Relaxed),
+            self.ff_cycles_skipped.load(Ordering::Relaxed),
+            self.controller_ns.load(Ordering::Relaxed),
+            self.cores_ns.load(Ordering::Relaxed),
+            self.wall_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Folds a finished run's profile into the ambient harness task context,
+/// when that context is a [`ProfileAccum`]. No-op outside profiled suite
+/// runs.
+pub fn note_run(p: &SimProfile) {
+    if let Some(ctx) = padc_harness::task_context() {
+        if let Ok(acc) = ctx.downcast::<ProfileAccum>() {
+            acc.add(p);
+        }
+    }
+}
+
+/// Builds a fresh accumulator, type-erased for installation as the harness
+/// task context.
+pub fn new_accum() -> Arc<ProfileAccum> {
+    Arc::new(ProfileAccum::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_folds_and_renders() {
+        let acc = ProfileAccum::default();
+        acc.add(&SimProfile {
+            cycles_stepped: 10,
+            ff_jumps: 2,
+            ff_cycles_skipped: 90,
+            controller_ns: 0,
+            cores_ns: 0,
+            wall_ns: 5,
+        });
+        acc.add(&SimProfile {
+            cycles_stepped: 5,
+            ff_jumps: 1,
+            ff_cycles_skipped: 10,
+            controller_ns: 3,
+            cores_ns: 4,
+            wall_ns: 5,
+        });
+        assert_eq!(acc.runs(), 2);
+        assert_eq!(
+            acc.to_json(),
+            "{\"runs\":2,\"cycles_stepped\":15,\"ff_jumps\":3,\
+             \"ff_cycles_skipped\":100,\"controller_ns\":3,\
+             \"cores_ns\":4,\"wall_ns\":10}"
+        );
+    }
+
+    #[test]
+    fn note_run_without_context_is_a_no_op() {
+        note_run(&SimProfile::default());
+    }
+}

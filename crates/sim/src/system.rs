@@ -11,7 +11,36 @@ use padc_prefetch::{
 use padc_types::{AccessKind, CoreId, Cycle, LineAddr, MemRequest, RequestKind};
 use padc_workloads::{BenchProfile, TraceGen};
 
+use crate::profile::{self, SimProfile};
 use crate::{CoreReport, Report, SimConfig, Traffic};
+
+/// Process-wide default for idle fast-forwarding: unset (fall back to the
+/// `PADC_FAST_FORWARD` environment variable), forced on, or forced off.
+static FF_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Overrides the process-wide fast-forward default used by newly built
+/// [`System`]s (the `--no-fast-forward` CLI flag). Existing systems keep
+/// their setting; use [`System::set_fast_forward`] to change one directly.
+pub fn set_fast_forward_default(enabled: bool) {
+    FF_DEFAULT.store(
+        if enabled { 1 } else { 2 },
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The fast-forward default for new [`System`]s: an explicit
+/// [`set_fast_forward_default`] override wins; otherwise on, unless the
+/// `PADC_FAST_FORWARD` environment variable is `0` or `off`.
+pub fn fast_forward_default() -> bool {
+    match FF_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !matches!(
+            std::env::var("PADC_FAST_FORWARD").as_deref(),
+            Ok("0") | Ok("off")
+        ),
+    }
+}
 
 /// Per-core accounting kept by the memory subsystem.
 #[derive(Clone, Copy, Debug, Default)]
@@ -404,6 +433,10 @@ pub struct System {
     core_snapshots: Vec<Option<CoreStats>>,
     mem_snapshots: Vec<Option<PerCore>>,
     benchmark_names: Vec<String>,
+    /// Idle fast-forwarding enabled for [`System::run`] (bit-identical to
+    /// cycle-by-cycle stepping; see DESIGN.md §11).
+    ff_enabled: bool,
+    profile: SimProfile,
 }
 
 impl System {
@@ -509,6 +542,8 @@ impl System {
             core_snapshots: vec![None; cfg.cores],
             mem_snapshots: vec![None; cfg.cores],
             cfg,
+            ff_enabled: fast_forward_default(),
+            profile: SimProfile::default(),
         };
         if sys.cfg.fdp {
             let level = Fdp::new(FdpConfig::default()).level();
@@ -534,6 +569,9 @@ impl System {
     /// Advances the whole system by one CPU cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        self.profile.cycles_stepped += 1;
+        let timing = profile::timing_enabled();
+        let t0 = timing.then(std::time::Instant::now);
         let out = self.mem.controller.tick(now, &self.mem.tracker);
         for req in &out.dropped {
             self.mem.on_dropped(req);
@@ -546,6 +584,10 @@ impl System {
         if self.mem.tracker.tick(now) {
             self.mem.on_interval_rollover();
         }
+        if let Some(t0) = t0 {
+            self.profile.controller_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let t1 = timing.then(std::time::Instant::now);
         for c in 0..self.cfg.cores {
             self.cores[c].tick(now, &mut self.traces[c], &mut self.mem);
             if self.finish_cycle[c].is_none()
@@ -556,7 +598,60 @@ impl System {
                 self.mem_snapshots[c] = Some(self.mem.pc[c]);
             }
         }
+        if let Some(t1) = t1 {
+            self.profile.cores_ns += t1.elapsed().as_nanos() as u64;
+        }
         self.now += 1;
+    }
+
+    /// Attempts one idle fast-forward jump; returns the number of cycles
+    /// skipped (0 when any component could make progress).
+    ///
+    /// Valid immediately after [`System::step`]: every skipped cycle is
+    /// proven to be a pure stall tick for every core
+    /// ([`Core::idle_state`]) and observable-work-free for the controller
+    /// ([`MemoryController::next_event`](padc_core::MemoryController::next_event)),
+    /// with `PAR` interval rollovers kept as explicit stop events. The only
+    /// state change a skip applies is the per-core stall-counter bumps the
+    /// skipped ticks would have made — which is what keeps fast-forwarded
+    /// runs bit-identical to cycle-by-cycle stepping (DESIGN.md §11).
+    pub fn try_fast_forward(&mut self) -> u64 {
+        let now = self.now;
+        // Once the last core hits its instruction target the run is over at
+        // exactly this cycle; jumping further would inflate `total_cycles`
+        // relative to a cycle-by-cycle run, which stops here too.
+        if now >= self.cfg.max_cycles || self.finished() {
+            return 0;
+        }
+        // PAR rollovers re-derive drop thresholds, criticality, urgency and
+        // rank; every bound below is only valid while PAR is stable.
+        let mut target = self.mem.tracker.next_rollover();
+        for core in &self.cores {
+            match core.idle_state(now) {
+                None => return 0,
+                Some(idle) => {
+                    if let Some(w) = idle.wake_at {
+                        target = target.min(w);
+                    }
+                }
+            }
+        }
+        if let Some(ev) = self.mem.controller.next_event(now, &self.mem.tracker) {
+            target = target.min(ev);
+        }
+        target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return 0;
+        }
+        let skipped = target - now;
+        for core in &mut self.cores {
+            let idle = core.idle_state(now).expect("idle-checked above");
+            core.skip_idle_cycles(&idle, skipped);
+        }
+        self.profile.ff_jumps += 1;
+        self.profile.ff_cycles_skipped += skipped;
+        self.now = target;
+        skipped
     }
 
     /// True once every core has reached its instruction target.
@@ -564,12 +659,40 @@ impl System {
         self.finish_cycle.iter().all(Option::is_some)
     }
 
+    /// Enables or disables idle fast-forwarding for this system (defaults
+    /// to [`fast_forward_default`] at construction).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff_enabled = enabled;
+    }
+
+    /// True when [`System::run`] will take idle fast-forward jumps.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.ff_enabled
+    }
+
+    /// The hot-path profile accumulated so far (see [`crate::profile`]).
+    pub fn profile(&self) -> &SimProfile {
+        &self.profile
+    }
+
+    /// The next `PAR` interval rollover cycle (an explicit fast-forward
+    /// stop event; exposed for the equivalence tests).
+    pub fn next_accuracy_rollover(&self) -> Cycle {
+        self.mem.tracker.next_rollover()
+    }
+
     /// Runs to completion (every core reaches `max_instructions`, or the
     /// `max_cycles` safety cap triggers) and reports.
     pub fn run(&mut self) -> Report {
+        let start = std::time::Instant::now();
         while !self.finished() && self.now < self.cfg.max_cycles {
             self.step();
+            if self.ff_enabled {
+                self.try_fast_forward();
+            }
         }
+        self.profile.wall_ns += start.elapsed().as_nanos() as u64;
+        profile::note_run(&self.profile);
         self.report()
     }
 

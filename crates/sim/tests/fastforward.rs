@@ -1,0 +1,142 @@
+//! Equivalence tests for idle-cycle fast-forwarding (DESIGN.md §11).
+//!
+//! Fast-forward jumps must be invisible in the results: a [`System`] run
+//! with fast-forwarding produces a byte-identical [`Report`] to the same
+//! system stepped cycle by cycle. These tests exercise that contract over
+//! randomized small configurations and pin down the one event source that
+//! is always a jump bound — the accuracy tracker's interval rollover.
+
+use padc_core::SchedulingPolicy;
+use padc_sim::{SimConfig, System};
+use padc_workloads::{profiles, BenchProfile};
+use proptest::prelude::*;
+
+const POLICIES: [SchedulingPolicy; 5] = [
+    SchedulingPolicy::DemandPrefetchEqual,
+    SchedulingPolicy::DemandFirst,
+    SchedulingPolicy::PrefetchFirst,
+    SchedulingPolicy::ApsOnly,
+    SchedulingPolicy::Padc,
+];
+
+/// A small mix of benchmarks with distinct memory behavior: streaming
+/// (libquantum), pointer-chasing / low-MLP (mcf), and mostly-compute
+/// (gcc).
+fn bench(i: usize) -> BenchProfile {
+    match i % 3 {
+        0 => profiles::libquantum(),
+        1 => profiles::mcf(),
+        _ => profiles::gcc(),
+    }
+}
+
+fn small_config(seed: u64, cores: usize, policy_idx: usize, instructions: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(cores, POLICIES[policy_idx % POLICIES.len()]);
+    cfg.seed = seed;
+    cfg.max_instructions = instructions;
+    cfg.max_cycles = 40_000_000;
+    cfg
+}
+
+fn workloads(cores: usize, first: usize) -> Vec<BenchProfile> {
+    (0..cores).map(|i| bench(first + i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full report — every stat the suite serializes — is
+    /// byte-identical with fast-forwarding on and off.
+    #[test]
+    fn reports_are_byte_identical(seed in 1u64..1_000,
+                                  cores in 1usize..4,
+                                  policy_idx in 0usize..5,
+                                  first_bench in 0usize..3,
+                                  instructions in 2_000u64..10_000) {
+        let cfg = small_config(seed, cores, policy_idx, instructions);
+
+        let mut slow = System::new(cfg.clone(), workloads(cores, first_bench));
+        slow.set_fast_forward(false);
+        let slow_report = slow.run();
+
+        let mut fast = System::new(cfg, workloads(cores, first_bench));
+        fast.set_fast_forward(true);
+        let fast_report = fast.run();
+
+        let slow_json = serde_json::to_string(&slow_report).expect("serialize");
+        let fast_json = serde_json::to_string(&fast_report).expect("serialize");
+        prop_assert_eq!(slow_json, fast_json);
+        // Both paths must agree on termination time as well.
+        prop_assert_eq!(slow.now(), fast.now());
+        // Sanity: the fast path actually skipped something, otherwise this
+        // test exercises nothing (idle cycles exist in any DRAM-bound run).
+        prop_assert!(fast.profile().ff_cycles_skipped > 0,
+                     "fast-forward never fired");
+        prop_assert_eq!(fast.profile().cycles_stepped, slow.profile().cycles_stepped
+                        - fast.profile().ff_cycles_skipped);
+    }
+}
+
+/// PAR interval rollovers are an explicit fast-forward event source: both
+/// paths must observe every 100K-cycle accuracy-tracker rollover at the
+/// same cycle, in the same order — otherwise APD thresholds and APS
+/// prioritization would diverge.
+#[test]
+fn par_rollovers_land_on_the_same_cycles() {
+    let cfg = small_config(7, 2, 4, 4_000); // Padc: APD + APS exercised
+    let mut slow = System::new(cfg.clone(), workloads(2, 0));
+    slow.set_fast_forward(false);
+    let mut fast = System::new(cfg, workloads(2, 0));
+    fast.set_fast_forward(true);
+
+    // Record the cycle at which each rollover becomes *pending* (the value
+    // of `next_accuracy_rollover` changes exactly when one is consumed).
+    let mut slow_rollovers = Vec::new();
+    while !slow.finished() {
+        let before = slow.next_accuracy_rollover();
+        slow.step();
+        let after = slow.next_accuracy_rollover();
+        if after != before {
+            slow_rollovers.push((before, slow.now()));
+        }
+    }
+    let mut fast_rollovers = Vec::new();
+    while !fast.finished() {
+        let before = fast.next_accuracy_rollover();
+        fast.step();
+        let after = fast.next_accuracy_rollover();
+        if after != before {
+            fast_rollovers.push((before, fast.now()));
+        }
+        fast.try_fast_forward();
+    }
+
+    assert!(!slow_rollovers.is_empty(), "run too short to roll over");
+    // Each rollover fires at its scheduled cycle on both paths: the tick
+    // that consumes rollover `r` is cycle `r` itself (now == r + 1 after).
+    for &(r, after) in &slow_rollovers {
+        assert_eq!(after, r + 1, "slow path serviced a rollover late");
+    }
+    assert_eq!(slow_rollovers, fast_rollovers);
+}
+
+/// Fast-forward jumps never cross a pending rollover: a jump taken with
+/// the tracker about to roll over must stop at or before that boundary.
+#[test]
+fn jumps_stop_at_rollover_boundaries() {
+    let cfg = small_config(11, 1, 1, 6_000);
+    let mut sys = System::new(cfg, workloads(1, 0));
+    sys.set_fast_forward(true);
+    while !sys.finished() {
+        let bound = sys.next_accuracy_rollover();
+        sys.step();
+        let skipped = sys.try_fast_forward();
+        if skipped > 0 {
+            assert!(
+                sys.now() <= bound,
+                "jump to {} crossed the rollover pending at {bound}",
+                sys.now()
+            );
+        }
+    }
+}

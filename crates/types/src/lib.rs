@@ -19,6 +19,8 @@
 //! assert_eq!(core.index(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 mod addr;
 mod ids;
 mod request;

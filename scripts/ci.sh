@@ -20,6 +20,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo test --doc"
+cargo test --doc -q
+
 echo "== EXPERIMENTS.md drift check"
 python3 scripts/make_experiments_md.py --check repro_full.jsonl
 

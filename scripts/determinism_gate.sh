@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Determinism gate: the suite's JSONL artifact must be byte-identical
 # across worker counts (the unified scheduler emits rows in registry
-# order with no timing data), and `--resume` on a settled artifact must
-# execute zero experiments while reproducing it byte for byte.
+# order with no timing data), across idle fast-forwarding on vs off
+# (jumps must be invisible in results, DESIGN.md §11), and `--resume`
+# on a settled artifact must execute zero experiments while reproducing
+# it byte for byte.
 #
 # Runs a smoke-scale subset so the gate stays under a minute; any byte
-# difference is a hard failure.
+# difference is a hard failure. No run uses --profile: profiled
+# payloads carry wall times and are legitimately nondeterministic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,5 +44,16 @@ if ! grep -q '"ok": 0,' "$OUT/summary.json"; then
     exit 1
 fi
 echo "   zero executions, artifact byte-identical"
+
+echo "== fast-forward: default vs --no-fast-forward on ${SUBSET[*]} (smoke scale)"
+"$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/ffon.jsonl" "${SUBSET[@]}" >/dev/null
+"$REPRO" --smoke --jobs 8 --no-progress --no-fast-forward \
+    --jsonl "$OUT/ffoff.jsonl" "${SUBSET[@]}" >/dev/null
+if ! cmp "$OUT/ffon.jsonl" "$OUT/ffoff.jsonl"; then
+    echo "FAIL: JSONL differs with fast-forwarding disabled" >&2
+    diff "$OUT/ffon.jsonl" "$OUT/ffoff.jsonl" >&2 || true
+    exit 1
+fi
+echo "   byte-identical ($(wc -c <"$OUT/ffon.jsonl") bytes, $(wc -l <"$OUT/ffon.jsonl") rows)"
 
 echo "== determinism_gate.sh: all green"

@@ -4,10 +4,22 @@
 //! against (`proptest!`, `prop_assert*`, `any`, ranges and tuples as
 //! strategies, `prop::collection::vec`, `prop_oneof!`, `Just`,
 //! `.prop_map(..)`, `ProptestConfig::with_cases(..)`) on a much simpler
-//! engine: each test runs `cases` deterministic seeded random cases with
-//! **no shrinking** — a failure reports the case number and seed instead of
-//! a minimized input. Failures stay reproducible because the seed sequence
-//! is fixed per test.
+//! engine: each test runs `cases` deterministic seeded random cases.
+//! Failures stay reproducible because the seed sequence is fixed per test.
+//!
+//! # Shrinking
+//!
+//! Unlike real proptest, shrinking here is *value-based*, not
+//! strategy-based: when a case fails, each component of the generated
+//! input tuple is independently binary-searched toward its origin (zero,
+//! `false`, the empty `Vec`) while the other components are held fixed,
+//! keeping only candidates on which the test still fails. The minimized
+//! input is reported alongside the original input and the case seed.
+//! Scalars ([`ShrinkValue`] impls: integers, `bool`, `f64`, `Vec` by
+//! prefix length, tuples elementwise) shrink; any other input type is
+//! passed through unshrunk. Because shrinking ignores the generating
+//! strategy's constraints, a minimized value can lie outside the
+//! strategy's range — the original failing input is always reported too.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -299,7 +311,272 @@ impl<T> Strategy for OneOf<T> {
     }
 }
 
-/// Runs `cases` seeded cases of one property (called by [`proptest!`]).
+/// A value that can be minimized by binary search toward an "origin"
+/// (zero-like) value.
+///
+/// `midpoint(lo, hi)` must return a value strictly between `lo` and `hi`
+/// in shrink order, or `None` once the two are adjacent — that is what
+/// guarantees the search terminates.
+pub trait ShrinkValue: Clone {
+    /// The smallest value in shrink order (0, `false`, empty).
+    fn origin() -> Self;
+
+    /// A value strictly between `lo` and `hi`, or `None` when adjacent.
+    fn midpoint(lo: &Self, hi: &Self) -> Option<Self>;
+}
+
+macro_rules! shrink_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkValue for $t {
+            fn origin() -> Self {
+                0
+            }
+
+            fn midpoint(lo: &Self, hi: &Self) -> Option<Self> {
+                let (l, h) = (*lo as i128, *hi as i128);
+                let m = l + (h - l) / 2;
+                if m == l || m == h {
+                    None
+                } else {
+                    Some(m as $t)
+                }
+            }
+        }
+    )*};
+}
+shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ShrinkValue for bool {
+    fn origin() -> Self {
+        false
+    }
+
+    fn midpoint(_lo: &Self, _hi: &Self) -> Option<Self> {
+        None
+    }
+}
+
+impl ShrinkValue for f64 {
+    fn origin() -> Self {
+        0.0
+    }
+
+    fn midpoint(lo: &Self, hi: &Self) -> Option<Self> {
+        let m = lo + (hi - lo) / 2.0;
+        if !m.is_finite() || m == *lo || m == *hi {
+            None
+        } else {
+            Some(m)
+        }
+    }
+}
+
+/// `Vec`s shrink by length only: candidates are prefixes of the failing
+/// vector (elements are not shrunk individually, so any `Clone` element
+/// type works).
+impl<T: Clone> ShrinkValue for Vec<T> {
+    fn origin() -> Self {
+        Vec::new()
+    }
+
+    fn midpoint(lo: &Self, hi: &Self) -> Option<Self> {
+        let (l, h) = (lo.len(), hi.len());
+        let m = l + (h - l) / 2;
+        if m == l || m == h {
+            None
+        } else {
+            Some(hi[..m].to_vec())
+        }
+    }
+}
+
+macro_rules! shrink_value_tuple {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        /// Tuples shrink elementwise; `midpoint` halves every component
+        /// that still can move (components already adjacent keep `hi`'s
+        /// value) and is exhausted when none can.
+        impl<$($s: ShrinkValue),+> ShrinkValue for ($($s,)+) {
+            fn origin() -> Self {
+                ($($s::origin(),)+)
+            }
+
+            fn midpoint(lo: &Self, hi: &Self) -> Option<Self> {
+                let mut moved = false;
+                let mid = ($(
+                    match $s::midpoint(&lo.$idx, &hi.$idx) {
+                        Some(m) => {
+                            moved = true;
+                            m
+                        }
+                        None => hi.$idx.clone(),
+                    },
+                )+);
+                moved.then_some(mid)
+            }
+        }
+    )*};
+}
+shrink_value_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Minimizes one known-failing component: tries the origin outright, then
+/// binary-searches between the largest known-passing and smallest
+/// known-failing value. Returns a value on which `fails` is true.
+pub fn shrink_scalar<T: ShrinkValue>(current: &T, fails: &mut dyn FnMut(&T) -> bool) -> T {
+    let origin = T::origin();
+    if fails(&origin) {
+        return origin;
+    }
+    let mut lo = origin; // passes
+    let mut hi = current.clone(); // fails
+                                  // `midpoint` contracts [lo, hi] every step, but cap the loop anyway so
+                                  // a misbehaving impl cannot hang a failing test.
+    for _ in 0..256 {
+        match T::midpoint(&lo, &hi) {
+            None => break,
+            Some(mid) => {
+                if fails(&mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+    }
+    hi
+}
+
+/// The input tuple of a property test, minimized componentwise.
+pub trait ShrinkTuple: Clone {
+    /// Minimizes each component in turn (others held fixed), keeping only
+    /// candidates on which `fails` stays true. `self` must be failing.
+    fn shrink_with(&self, fails: &mut dyn FnMut(&Self) -> bool) -> Self;
+}
+
+macro_rules! shrink_tuple_impl {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: ShrinkValue),+> ShrinkTuple for ($($s,)+) {
+            fn shrink_with(&self, fails: &mut dyn FnMut(&Self) -> bool) -> Self {
+                let mut cur = self.clone();
+                $(
+                    cur.$idx = shrink_scalar(&cur.$idx, &mut |candidate| {
+                        let mut probe = cur.clone();
+                        probe.$idx = candidate.clone();
+                        fails(&probe)
+                    });
+                )+
+                cur
+            }
+        }
+    )*};
+}
+shrink_tuple_impl! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Autoref-specialization receiver: `(&ShrinkDispatch(&vals)).padc_shrink(..)`
+/// resolves to real shrinking when the input tuple implements
+/// [`ShrinkTuple`] and to a pass-through otherwise, so `proptest!` can emit
+/// one code path for every input type.
+pub struct ShrinkDispatch<'a, V>(pub &'a V);
+
+/// Shrinking dispatch arm for inputs that implement [`ShrinkTuple`].
+pub trait ShrinkSpecialized {
+    /// The input tuple type.
+    type Out;
+
+    /// Minimizes the failing input.
+    fn padc_shrink(&self, fails: &mut dyn FnMut(&Self::Out) -> bool) -> Self::Out;
+}
+
+impl<V: ShrinkTuple> ShrinkSpecialized for ShrinkDispatch<'_, V> {
+    type Out = V;
+
+    fn padc_shrink(&self, fails: &mut dyn FnMut(&V) -> bool) -> V {
+        self.0.shrink_with(fails)
+    }
+}
+
+/// Pass-through dispatch arm for unshrinkable inputs (method-resolution
+/// fallback: requires an extra autoref, so [`ShrinkSpecialized`] wins
+/// whenever it applies).
+pub trait ShrinkFallback {
+    /// The input tuple type.
+    type Out;
+
+    /// Returns the input unchanged.
+    fn padc_shrink(&self, fails: &mut dyn FnMut(&Self::Out) -> bool) -> Self::Out;
+}
+
+impl<V: Clone> ShrinkFallback for &ShrinkDispatch<'_, V> {
+    type Out = V;
+
+    fn padc_shrink(&self, _fails: &mut dyn FnMut(&V) -> bool) -> V {
+        self.0.clone()
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> &str {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+}
+
+/// Runs `cases` seeded cases of one property; on failure, minimizes the
+/// input via `shrink` and panics reporting the case number, seed, original
+/// input, and minimized input (called by [`proptest!`]).
+pub fn run_cases_shrink<V: Clone + std::fmt::Debug>(
+    test_name: &str,
+    cases: u32,
+    mut gen: impl FnMut(&mut TestRng) -> V,
+    test: impl Fn(&V),
+    shrink: impl Fn(&V, &mut dyn FnMut(&V) -> bool) -> V,
+) {
+    for i in 0..cases {
+        // Per-case seeds are fixed and name-independent so a failure
+        // reported as "case i" reproduces by running the same binary again.
+        let seed = 0x5eed_0000_0000_0000u64 ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let vals = gen(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(&vals)));
+        if let Err(panic) = result {
+            // Candidate probes panic on purpose; silence the default hook's
+            // per-probe backtrace spam while minimizing.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let minimized = shrink(&vals, &mut |candidate: &V| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(candidate))).is_err()
+            });
+            std::panic::set_hook(hook);
+            panic!(
+                "property {test_name} failed at case {i} (seed {seed:#x}): {}\
+                 \n   original input: {vals:?}\
+                 \n  minimized input: {minimized:?}",
+                panic_message(&panic)
+            );
+        }
+    }
+}
+
+/// Runs `cases` seeded cases of one property, with no shrinking (legacy
+/// entry point; [`proptest!`] now emits [`run_cases_shrink`]).
 pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut TestRng)) {
     for i in 0..cases {
         // Per-case seeds are fixed and name-independent so a failure
@@ -308,12 +585,10 @@ pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut TestRng)
         let mut rng = TestRng::seed_from_u64(seed);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
         if let Err(panic) = result {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic>");
-            panic!("property {test_name} failed at case {i} (seed {seed:#x}): {msg}");
+            panic!(
+                "property {test_name} failed at case {i} (seed {seed:#x}): {}",
+                panic_message(&panic)
+            );
         }
     }
 }
@@ -338,10 +613,20 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                $crate::run_cases(stringify!($name), config.cases, |rng| {
-                    let ($($arg,)+) = ($($crate::Strategy::gen_value(&$strategy, rng),)+);
-                    $body
-                });
+                $crate::run_cases_shrink(
+                    stringify!($name),
+                    config.cases,
+                    |rng| ($($crate::Strategy::gen_value(&$strategy, rng),)+),
+                    |__padc_vals| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__padc_vals);
+                        $body
+                    },
+                    |__padc_vals, __padc_fails| {
+                        #[allow(unused_imports)]
+                        use $crate::{ShrinkFallback as _, ShrinkSpecialized as _};
+                        (&$crate::ShrinkDispatch(__padc_vals)).padc_shrink(__padc_fails)
+                    },
+                );
             }
         )*
     };
@@ -377,5 +662,86 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 5);
             prop_assert!(v.iter().all(|e| *e < 10));
         }
+    }
+
+    /// An opaque type with no `ShrinkValue` impl: the dispatch must fall
+    /// through to the pass-through arm and still compile.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Opaque(u64);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Unshrinkable input types still go through the macro.
+        #[test]
+        fn macro_accepts_unshrinkable_inputs(op in (0u64..10).prop_map(Opaque)) {
+            prop_assert!(op.0 < 10);
+        }
+    }
+
+    #[test]
+    fn shrink_scalar_finds_the_boundary() {
+        // Fails for x >= 1000: the minimal failing value is exactly 1000.
+        let mut fails = |x: &u64| *x >= 1000;
+        assert_eq!(crate::shrink_scalar(&987_654u64, &mut fails), 1000);
+        // Fails everywhere: minimizes straight to the origin.
+        assert_eq!(crate::shrink_scalar(&987_654u64, &mut |_| true), 0);
+        // Signed values shrink toward zero from below.
+        assert_eq!(crate::shrink_scalar(&-500i64, &mut |x| *x <= -20), -20);
+    }
+
+    #[test]
+    fn shrink_vec_minimizes_length() {
+        let v: Vec<u32> = (0..100).collect();
+        // Fails whenever at least 7 elements are present: minimal failing
+        // prefix has length 7.
+        let out = crate::shrink_scalar(&v, &mut |v: &Vec<u32>| v.len() >= 7);
+        assert_eq!(out, (0..7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shrink_tuple_minimizes_componentwise() {
+        use crate::ShrinkTuple;
+        // Fails iff a >= 10 (b is irrelevant); b shrinks to its origin.
+        let minimized = (57u64, 99i32).shrink_with(&mut |t: &(u64, i32)| t.0 >= 10);
+        assert_eq!(minimized, (10, 0));
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrow)] // the extra `&` selects the fallback impl for Opaque
+    fn shrink_dispatch_prefers_real_shrinking() {
+        use crate::{ShrinkDispatch, ShrinkFallback as _, ShrinkSpecialized as _};
+        let vals = (64u64,);
+        let out = (&ShrinkDispatch(&vals)).padc_shrink(&mut |t: &(u64,)| t.0 >= 3);
+        assert_eq!(out, (3,));
+        let opaque = (Opaque(7),);
+        let out = (&ShrinkDispatch(&opaque)).padc_shrink(&mut |_| true);
+        assert_eq!(out, opaque);
+    }
+
+    #[test]
+    fn failing_property_reports_minimized_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases_shrink(
+                "demo",
+                4,
+                |rng| (rand::Rng::gen_range(rng, 500u64..1000),),
+                |&(x,)| assert!(x < 100, "too big: {x}"),
+                |vals, fails| {
+                    use crate::ShrinkSpecialized as _;
+                    #[allow(clippy::needless_borrow)] // mirrors the macro's autoref dispatch
+                    (&crate::ShrinkDispatch(vals)).padc_shrink(fails)
+                },
+            );
+        });
+        let panic = result.expect_err("property must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(msg.contains("original input:"), "missing original: {msg}");
+        assert!(
+            msg.contains("minimized input: (100,)"),
+            "expected minimal failing input 100, got: {msg}"
+        );
     }
 }
