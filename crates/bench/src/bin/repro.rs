@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
 //!       [--summary PATH] [--json|--csv|--bars COL] [--no-progress]
-//!       [--profile] [--no-fast-forward] [<experiment-id>...]
+//!       [--profile] [--fast-forward off|global|horizon] [<experiment-id>...]
 //! repro --list
 //! ```
 //!
@@ -25,9 +25,11 @@
 //! JSON — or, with `--profile`, into a per-experiment `"profile"` object
 //! appended to each JSONL payload (hot-path counters and phase wall
 //! times; wall times make profiled artifacts non-deterministic, so the
-//! determinism gates run without it). `--no-fast-forward` disables
-//! idle-cycle fast-forwarding (results are bit-identical either way; the
-//! flag exists for the equivalence gate and for timing comparisons).
+//! determinism gates run without it). `--fast-forward off|global|horizon`
+//! selects how stall cycles are elided (default `horizon`, the per-core
+//! event horizon; results are bit-identical in every mode — the flag
+//! exists for the equivalence gate and for timing comparisons);
+//! `--no-fast-forward` is shorthand for `--fast-forward off`.
 //!
 //! `--resume FILE` makes the run incremental: settled rows (complete JSON,
 //! `"status":"ok"`) of the prior artifact are re-emitted verbatim without
@@ -51,7 +53,7 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
          \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress]\n\
-         \x20            [--profile] [--no-fast-forward] [<id>...]\n\
+         \x20            [--profile] [--fast-forward off|global|horizon] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
     );
@@ -112,7 +114,24 @@ fn main() {
             }
             "--no-progress" => progress = false,
             "--profile" => profile = true,
+            "--fast-forward" => {
+                let v = flag_value(&mut iter, "--fast-forward");
+                let mode = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
             "--no-fast-forward" => padc_sim::set_fast_forward_default(false),
+            other if other.starts_with("--fast-forward=") => {
+                let mode = other["--fast-forward=".len()..]
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
             "--list" => {
                 for e in registry() {
                     println!("{:<10} {}", e.id, e.paper_ref);

@@ -271,7 +271,19 @@ impl Core {
     /// Applies `cycles` worth of the stall-counter bumps that `cycles`
     /// consecutive pure-stall ticks (as classified by `idle`) would have
     /// made. The caller guarantees `idle` came from [`Core::idle_state`] at
-    /// the current cycle and that no wake-up lands inside the skipped run.
+    /// the first skipped cycle and that no wake-up lands inside the
+    /// skipped run.
+    ///
+    /// The replay may be **deferred**: a classification taken at cycle `t`
+    /// stays valid for every cycle in `[t, wake)` as long as the core is
+    /// neither ticked nor completed in between, because nothing else
+    /// mutates a `Core` and the only time-dependence in
+    /// [`Core::idle_state`] is the `done_at <= now` retirement comparison,
+    /// which flips exactly at `wake_at` — the first cycle excluded from
+    /// the window. The per-core event-horizon engine relies on this: it
+    /// classifies once when a core goes idle and replays the whole lag
+    /// window in one call when the core is resynced (a wake-up completion,
+    /// its own `wake_at`, or a PAR-rollover resync).
     pub fn skip_idle_cycles(&mut self, idle: &IdleState, cycles: u64) {
         if idle.window_stall {
             self.stats.window_stall_cycles += cycles;
@@ -767,5 +779,52 @@ mod tests {
         };
         assert!((s.ipc(1000) - 0.5).abs() < 1e-12);
         assert_eq!(s.ipc(0), 0.0);
+    }
+
+    /// The deferred-replay contract the per-core event horizon depends
+    /// on: classifying a stall once and replaying the whole window later
+    /// with [`Core::skip_idle_cycles`] is indistinguishable from ticking
+    /// through it cycle by cycle — both before and after the wake-up.
+    #[test]
+    fn deferred_skip_replay_matches_ticked_stalls() {
+        let drive =
+            |core: &mut Core, trace: &mut Repeat, mem: &mut Script, range: std::ops::Range<u64>| {
+                for now in range {
+                    core.tick(now, trace, mem);
+                }
+            };
+        let mk = || {
+            (
+                Core::new(CoreId::new(0), cfg()),
+                Repeat(vec![load(64), load(128)], 0),
+                Script::always(AccessResponse::Pending),
+            )
+        };
+        let (mut ticked, mut trace_a, mut mem_a) = mk();
+        let (mut skipped, mut trace_b, mut mem_b) = mk();
+        // Identical warm-up until the window is full of pending loads.
+        drive(&mut ticked, &mut trace_a, &mut mem_a, 0..6);
+        drive(&mut skipped, &mut trace_b, &mut mem_b, 0..6);
+        let idle = skipped.idle_state(6).expect("full window of pending loads");
+        assert!(idle.wake_at.is_none(), "externally woken only");
+
+        // One core ticks through the stall; the other replays it later in
+        // a single deferred call.
+        drive(&mut ticked, &mut trace_a, &mut mem_a, 6..60);
+        skipped.skip_idle_cycles(&idle, 54);
+        assert_eq!(ticked.stats(), skipped.stats());
+        assert_eq!(
+            mem_a.accesses.len(),
+            mem_b.accesses.len(),
+            "a pure stall must not touch memory"
+        );
+
+        // Both wake identically and keep matching afterwards.
+        ticked.complete(0, 60);
+        skipped.complete(0, 60);
+        drive(&mut ticked, &mut trace_a, &mut mem_a, 61..70);
+        drive(&mut skipped, &mut trace_b, &mut mem_b, 61..70);
+        assert_eq!(ticked.stats(), skipped.stats());
+        assert!(ticked.stats().retired_instructions > 0);
     }
 }

@@ -11,8 +11,13 @@
 
 use padc_core::SchedulingPolicy;
 use padc_cpu::TraceSource;
-use padc_sim::{SimConfig, System};
+use padc_sim::{FastForwardMode, SimConfig, System};
 use padc_workloads::{profiles, TraceFileSource};
+
+/// Parses `--fast-forward MODE` / `--fast-forward=MODE`.
+fn parse_ff_mode(s: &str) -> Result<FastForwardMode, String> {
+    s.parse()
+}
 
 fn parse_policy(s: &str) -> Result<SchedulingPolicy, String> {
     Ok(match s.to_ascii_lowercase().as_str() {
@@ -37,7 +42,7 @@ struct Args {
     no_prefetch: bool,
     json: bool,
     profile: bool,
-    no_fast_forward: bool,
+    fast_forward: Option<FastForwardMode>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,7 +57,7 @@ fn parse_args() -> Result<Args, String> {
         no_prefetch: false,
         json: false,
         profile: false,
-        no_fast_forward: false,
+        fast_forward: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,7 +77,11 @@ fn parse_args() -> Result<Args, String> {
             "--no-prefetch" => args.no_prefetch = true,
             "--json" => args.json = true,
             "--profile" => args.profile = true,
-            "--no-fast-forward" => args.no_fast_forward = true,
+            "--fast-forward" => args.fast_forward = Some(parse_ff_mode(&value("--fast-forward")?)?),
+            "--no-fast-forward" => args.fast_forward = Some(FastForwardMode::Off),
+            other if other.starts_with("--fast-forward=") => {
+                args.fast_forward = Some(parse_ff_mode(&other["--fast-forward=".len()..])?)
+            }
             "--list-benchmarks" => {
                 for p in profiles::all() {
                     println!("{:<22} class {}", p.name, p.class.code());
@@ -83,7 +92,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: padcsim [--config FILE.json] [--cores N] [--policy P] \
                      [--instructions N] [--no-prefetch] [--json] [--profile] \
-                     [--no-fast-forward] \
+                     [--fast-forward off|global|horizon] [--no-fast-forward] \
                      (--bench NAME ... | --trace FILE ...) | --print-config | --list-benchmarks"
                 );
                 std::process::exit(0);
@@ -134,7 +143,18 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--resume" => resume_path = Some(value("--resume")),
             "--summary" => summary_path = Some(value("--summary")),
             "--profile" => profile = true,
+            "--fast-forward" => {
+                let v = value("--fast-forward");
+                let mode = v.parse().unwrap_or_else(|e| die(e));
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
             "--no-fast-forward" => padc_sim::set_fast_forward_default(false),
+            other if other.starts_with("--fast-forward=") => {
+                let mode = other["--fast-forward=".len()..]
+                    .parse()
+                    .unwrap_or_else(|e| die(e));
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
             "--list" => {
                 for e in padc_sim::experiments::experiment_registry() {
                     println!("{:<10} {}", e.id, e.paper_ref);
@@ -144,7 +164,8 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
-                     [--resume FILE] [--summary PATH] [--profile] [--no-fast-forward] \
+                     [--resume FILE] [--summary PATH] [--profile] \
+                     [--fast-forward off|global|horizon] [--no-fast-forward] \
                      [--list] [<experiment-id>...]"
                 );
                 std::process::exit(0);
@@ -258,13 +279,20 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
     } else {
         0.0
     };
+    // `core_skip_pct=` is machine-read by scripts/perf_gate.sh; keep the
+    // key=value form stable.
     eprintln!(
         "profile: {} cycles ({} stepped + {} fast-forwarded in {} jumps, {skipped_pct:.1}% skipped); \
+         core-cycles: {} ticked + {} replayed in {} resyncs (core_skip_pct={:.1}); \
          wall {:.3}s (controller {:.3}s, cores {:.3}s)",
         total,
         p.cycles_stepped,
         p.ff_cycles_skipped,
         p.ff_jumps,
+        p.core_cycles_ticked,
+        p.core_cycles_skipped,
+        p.horizon_resyncs,
+        100.0 * p.core_skip_ratio(),
         p.wall_ns as f64 / 1e9,
         p.controller_ns as f64 / 1e9,
         p.cores_ns as f64 / 1e9,
@@ -317,8 +345,8 @@ fn main() {
         return;
     }
 
-    if args.no_fast_forward {
-        padc_sim::set_fast_forward_default(false);
+    if let Some(mode) = args.fast_forward {
+        padc_sim::set_fast_forward_mode_default(mode);
     }
     if args.profile {
         padc_sim::profile::set_timing_enabled(true);

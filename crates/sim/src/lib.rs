@@ -34,4 +34,7 @@ mod system;
 
 pub use config::SimConfig;
 pub use metrics::{CoreReport, Report, Traffic};
-pub use system::{fast_forward_default, set_fast_forward_default, System};
+pub use system::{
+    fast_forward_default, fast_forward_mode_default, set_fast_forward_default,
+    set_fast_forward_mode_default, FastForwardMode, System,
+};

@@ -45,16 +45,41 @@ pub fn timing_enabled() -> bool {
 pub struct SimProfile {
     /// Cycles advanced by executing a full [`System::step`](crate::System::step).
     pub cycles_stepped: u64,
-    /// Fast-forward jumps taken.
+    /// Fast-forward jumps taken (global jumps in `global` and `horizon`
+    /// modes).
     pub ff_jumps: u64,
     /// Cycles skipped by fast-forward jumps (not stepped).
     pub ff_cycles_skipped: u64,
+    /// Core ticks actually executed (every core, every stepped cycle in
+    /// `off`/`global` modes; only *due* cores under `horizon`).
+    pub core_cycles_ticked: u64,
+    /// Per-core cycles elided as replayed stall-counter bumps instead of
+    /// real ticks. In every mode `core_cycles_ticked + core_cycles_skipped
+    /// == cores × total_cycles`; the skip ratio
+    /// ([`SimProfile::core_skip_ratio`]) is the CI perf gate's metric.
+    pub core_cycles_skipped: u64,
+    /// Horizon resyncs: deferred lag-window replays applied when a core
+    /// was woken, became due, or was flushed at run exit.
+    pub horizon_resyncs: u64,
     /// Wall time spent in the controller phase of `step` (timers on only).
     pub controller_ns: u64,
     /// Wall time spent ticking cores (timers on only).
     pub cores_ns: u64,
     /// Wall time of the whole [`System::run`](crate::System::run) call.
     pub wall_ns: u64,
+}
+
+impl SimProfile {
+    /// Fraction of core-cycles skipped rather than ticked (0 when nothing
+    /// ran yet). This is the metric `scripts/perf_gate.sh` guards.
+    pub fn core_skip_ratio(&self) -> f64 {
+        let total = self.core_cycles_ticked + self.core_cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.core_cycles_skipped as f64 / total as f64
+        }
+    }
 }
 
 /// Thread-safe accumulator folding the [`SimProfile`]s of every simulation
@@ -67,6 +92,9 @@ pub struct ProfileAccum {
     cycles_stepped: AtomicU64,
     ff_jumps: AtomicU64,
     ff_cycles_skipped: AtomicU64,
+    core_cycles_ticked: AtomicU64,
+    core_cycles_skipped: AtomicU64,
+    horizon_resyncs: AtomicU64,
     controller_ns: AtomicU64,
     cores_ns: AtomicU64,
     wall_ns: AtomicU64,
@@ -81,6 +109,12 @@ impl ProfileAccum {
         self.ff_jumps.fetch_add(p.ff_jumps, Ordering::Relaxed);
         self.ff_cycles_skipped
             .fetch_add(p.ff_cycles_skipped, Ordering::Relaxed);
+        self.core_cycles_ticked
+            .fetch_add(p.core_cycles_ticked, Ordering::Relaxed);
+        self.core_cycles_skipped
+            .fetch_add(p.core_cycles_skipped, Ordering::Relaxed);
+        self.horizon_resyncs
+            .fetch_add(p.horizon_resyncs, Ordering::Relaxed);
         self.controller_ns
             .fetch_add(p.controller_ns, Ordering::Relaxed);
         self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
@@ -98,13 +132,17 @@ impl ProfileAccum {
         format!(
             concat!(
                 "{{\"runs\":{},\"cycles_stepped\":{},\"ff_jumps\":{},",
-                "\"ff_cycles_skipped\":{},\"controller_ns\":{},",
-                "\"cores_ns\":{},\"wall_ns\":{}}}"
+                "\"ff_cycles_skipped\":{},\"core_cycles_ticked\":{},",
+                "\"core_cycles_skipped\":{},\"horizon_resyncs\":{},",
+                "\"controller_ns\":{},\"cores_ns\":{},\"wall_ns\":{}}}"
             ),
             self.runs.load(Ordering::Relaxed),
             self.cycles_stepped.load(Ordering::Relaxed),
             self.ff_jumps.load(Ordering::Relaxed),
             self.ff_cycles_skipped.load(Ordering::Relaxed),
+            self.core_cycles_ticked.load(Ordering::Relaxed),
+            self.core_cycles_skipped.load(Ordering::Relaxed),
+            self.horizon_resyncs.load(Ordering::Relaxed),
             self.controller_ns.load(Ordering::Relaxed),
             self.cores_ns.load(Ordering::Relaxed),
             self.wall_ns.load(Ordering::Relaxed),
@@ -140,6 +178,9 @@ mod tests {
             cycles_stepped: 10,
             ff_jumps: 2,
             ff_cycles_skipped: 90,
+            core_cycles_ticked: 10,
+            core_cycles_skipped: 90,
+            horizon_resyncs: 0,
             controller_ns: 0,
             cores_ns: 0,
             wall_ns: 5,
@@ -148,6 +189,9 @@ mod tests {
             cycles_stepped: 5,
             ff_jumps: 1,
             ff_cycles_skipped: 10,
+            core_cycles_ticked: 8,
+            core_cycles_skipped: 22,
+            horizon_resyncs: 7,
             controller_ns: 3,
             cores_ns: 4,
             wall_ns: 5,
@@ -156,9 +200,21 @@ mod tests {
         assert_eq!(
             acc.to_json(),
             "{\"runs\":2,\"cycles_stepped\":15,\"ff_jumps\":3,\
-             \"ff_cycles_skipped\":100,\"controller_ns\":3,\
-             \"cores_ns\":4,\"wall_ns\":10}"
+             \"ff_cycles_skipped\":100,\"core_cycles_ticked\":18,\
+             \"core_cycles_skipped\":112,\"horizon_resyncs\":7,\
+             \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10}"
         );
+    }
+
+    #[test]
+    fn core_skip_ratio_handles_empty_and_mixed() {
+        assert_eq!(SimProfile::default().core_skip_ratio(), 0.0);
+        let p = SimProfile {
+            core_cycles_ticked: 25,
+            core_cycles_skipped: 75,
+            ..SimProfile::default()
+        };
+        assert!((p.core_skip_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -14,32 +14,101 @@ use padc_workloads::{BenchProfile, TraceGen};
 use crate::profile::{self, SimProfile};
 use crate::{CoreReport, Report, SimConfig, Traffic};
 
-/// Process-wide default for idle fast-forwarding: unset (fall back to the
-/// `PADC_FAST_FORWARD` environment variable), forced on, or forced off.
-static FF_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
-
-/// Overrides the process-wide fast-forward default used by newly built
-/// [`System`]s (the `--no-fast-forward` CLI flag). Existing systems keep
-/// their setting; use [`System::set_fast_forward`] to change one directly.
-pub fn set_fast_forward_default(enabled: bool) {
-    FF_DEFAULT.store(
-        if enabled { 1 } else { 2 },
-        std::sync::atomic::Ordering::Relaxed,
-    );
+/// How [`System::run`] may skip over provably unobservable cycles.
+///
+/// Every mode produces **bit-identical** reports; they differ only in how
+/// aggressively stall cycles are elided (DESIGN.md §11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FastForwardMode {
+    /// Step every cycle (the reference behaviour).
+    Off,
+    /// Global jumps (PR 3): skip a range only when *every* core is
+    /// simultaneously pure-stalled and the controller proves no
+    /// observable work before the bound.
+    Global,
+    /// Per-core event horizon (default): each idle core lags behind the
+    /// global clock independently until its own wake-up, resynchronizing
+    /// only at observable-interaction points. Strictly supersedes
+    /// `Global` (global jumps still fire when every core lags).
+    #[default]
+    Horizon,
 }
 
-/// The fast-forward default for new [`System`]s: an explicit
-/// [`set_fast_forward_default`] override wins; otherwise on, unless the
-/// `PADC_FAST_FORWARD` environment variable is `0` or `off`.
-pub fn fast_forward_default() -> bool {
-    match FF_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => !matches!(
-            std::env::var("PADC_FAST_FORWARD").as_deref(),
-            Ok("0") | Ok("off")
-        ),
+impl FastForwardMode {
+    /// Canonical flag spelling (`--fast-forward=<this>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FastForwardMode::Off => "off",
+            FastForwardMode::Global => "global",
+            FastForwardMode::Horizon => "horizon",
+        }
     }
+}
+
+impl std::str::FromStr for FastForwardMode {
+    type Err = String;
+
+    /// Parses `off|global|horizon` (plus `0`/`false` → off and
+    /// `1`/`on`/`true` → horizon for `PADC_FAST_FORWARD` compatibility).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "0" | "false" => Ok(FastForwardMode::Off),
+            "global" => Ok(FastForwardMode::Global),
+            "horizon" | "on" | "1" | "true" => Ok(FastForwardMode::Horizon),
+            other => Err(format!(
+                "unknown fast-forward mode '{other}' (expected off|global|horizon)"
+            )),
+        }
+    }
+}
+
+/// Process-wide default fast-forward mode: 0 = unset (fall back to the
+/// `PADC_FAST_FORWARD` environment variable), else 1 + the forced mode.
+static FF_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Overrides the process-wide fast-forward mode used by newly built
+/// [`System`]s (the `--fast-forward` CLI flag). Existing systems keep
+/// their setting; use [`System::set_fast_forward_mode`] to change one
+/// directly.
+pub fn set_fast_forward_mode_default(mode: FastForwardMode) {
+    let v = match mode {
+        FastForwardMode::Off => 1,
+        FastForwardMode::Global => 2,
+        FastForwardMode::Horizon => 3,
+    };
+    FF_DEFAULT.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Boolean shorthand for [`set_fast_forward_mode_default`] kept for the
+/// `--no-fast-forward` flag: `true` selects the default `Horizon` mode,
+/// `false` disables fast-forwarding.
+pub fn set_fast_forward_default(enabled: bool) {
+    set_fast_forward_mode_default(if enabled {
+        FastForwardMode::Horizon
+    } else {
+        FastForwardMode::Off
+    });
+}
+
+/// The fast-forward mode for new [`System`]s: an explicit
+/// [`set_fast_forward_mode_default`] override wins; otherwise the
+/// `PADC_FAST_FORWARD` environment variable (`off`/`0`, `global`,
+/// `horizon`/`on`/`1`) is honoured; otherwise `Horizon`.
+pub fn fast_forward_mode_default() -> FastForwardMode {
+    match FF_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => FastForwardMode::Off,
+        2 => FastForwardMode::Global,
+        3 => FastForwardMode::Horizon,
+        _ => std::env::var("PADC_FAST_FORWARD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(FastForwardMode::Horizon),
+    }
+}
+
+/// True when the default mode fast-forwards at all (not `Off`).
+pub fn fast_forward_default() -> bool {
+    fast_forward_mode_default() != FastForwardMode::Off
 }
 
 /// Per-core accounting kept by the memory subsystem.
@@ -419,6 +488,187 @@ impl MemorySystem for MemSubsystem {
     }
 }
 
+/// Per-core event-horizon scheduling: the bookkeeping for
+/// [`FastForwardMode::Horizon`] and the invariants that make it
+/// bit-identical to cycle-by-cycle stepping.
+///
+/// # The equivalence argument
+///
+/// The global clock `System::now` still advances monotonically, but an
+/// *idle* core is allowed to lag behind it: its pure-stall ticks are not
+/// executed when they are due, only replayed later as stall-counter
+/// bumps ([`Core::skip_idle_cycles`]). A *busy* core is always ticked at
+/// the global clock, in core-index order, exactly as in `Off` mode. Four
+/// invariants make the skew unobservable:
+///
+/// - **I1 (no missed ticks).** `due[c]` is the next global cycle at which
+///   core `c` must execute a real tick; the stepping loop never passes
+///   `due[c]` without ticking `c` (checked by a `debug_assert` in
+///   `HorizonState::is_due`).
+/// - **I2 (lag windows are classified).** Whenever `behind[c] < due[c]`,
+///   `idle[c]` holds the [`padc_cpu::IdleState`] taken at `behind[c]`,
+///   and core `c` has been neither ticked nor completed since. Nothing
+///   else mutates a [`Core`], and the only time-dependent input to
+///   [`Core::idle_state`] is the head-retirement comparison
+///   `done_at <= now`, which flips exactly at `wake_at` — the first
+///   cycle *excluded* from the window — so the classification is
+///   constant across the whole window and the deferred replay is equal
+///   to having ticked every cycle in it.
+/// - **I3 (isolation).** A pure-stall tick touches only the core's own
+///   stall counters: it calls neither [`MemorySystem::access`] nor
+///   anything on the shared state (caches, MSHRs, controller, accuracy
+///   tracker) — and no core ever reads another core's private state.
+///   Cores interact *only* through the memory subsystem, so a lagging
+///   core is invisible to every other component until one of its resync
+///   points:
+///   - a **completion** for the core ([`Core::complete`] mutates it and
+///     changes its classification, so the window is closed — replayed —
+///     immediately before the completion is delivered, and the core is
+///     marked due so its next tick re-classifies);
+///   - its own **`wake_at`** (the first self-driven state change);
+///   - the next **PAR-interval rollover**
+///     ([`AccuracyTracker::next_rollover`]): rollovers re-derive the
+///     drop thresholds, criticality and rank the controller acts on, so
+///     `due[c]` is capped at the rollover to keep every skew window
+///     inside one accuracy interval. (Pure-stall ticks never touch the
+///     tracker, so this cap is defensive layering, not load-bearing —
+///     it costs one replayed tick per core per interval.)
+/// - **I4 (controller exactness).** The controller, tracker, and trace
+///   sources are stepped at the global clock whenever *any* core is due
+///   (cycle-exactly), and a global jump over a fully-lagging window is
+///   taken only when bounded by `min(due)`,
+///   [`MemoryController::next_event`], the PAR rollover, and
+///   `max_cycles` — the same early-but-never-late bounds PR 3's global
+///   jump uses (DESIGN.md §11).
+///
+/// Together: every observable interaction (memory access, completion
+/// delivery, tracker update, retirement past the instruction target)
+/// happens at exactly the same global cycle, with exactly the same
+/// operand state, as in `Off` mode — so reports are byte-identical
+/// (enforced by `crates/sim/tests/fastforward.rs` and the determinism
+/// gate).
+mod horizon {
+    use padc_cpu::{Core, IdleState};
+    use padc_types::Cycle;
+
+    use crate::profile::SimProfile;
+
+    /// Skew bookkeeping for every core (see the module docs).
+    pub(super) struct HorizonState {
+        /// `due[c]`: next global cycle at which core `c` must execute a
+        /// real tick. `due[c] <= now` means "in lockstep"; `due[c] > now`
+        /// means the core lags and `[behind[c], due[c])` is a proven
+        /// pure-stall window.
+        due: Vec<Cycle>,
+        /// `behind[c]`: first cycle whose tick has been neither executed
+        /// nor replayed for core `c`.
+        behind: Vec<Cycle>,
+        /// Replay classification covering `[behind[c], due[c])` (I2).
+        idle: Vec<Option<IdleState>>,
+    }
+
+    impl HorizonState {
+        pub(super) fn new(cores: usize, now: Cycle) -> Self {
+            HorizonState {
+                due: vec![now; cores],
+                behind: vec![now; cores],
+                idle: vec![None; cores],
+            }
+        }
+
+        /// True when core `c` must be ticked at `now` (I1).
+        pub(super) fn is_due(&self, c: usize, now: Cycle) -> bool {
+            debug_assert!(
+                self.due[c] >= now,
+                "I1 violated: core {c} missed its due tick"
+            );
+            self.due[c] <= now
+        }
+
+        /// True when every core lags past `now` (a global jump may fire).
+        pub(super) fn all_lagging(&self, now: Cycle) -> bool {
+            self.due.iter().all(|&d| d > now)
+        }
+
+        /// Earliest due tick across all cores (a global-jump bound).
+        pub(super) fn min_due(&self) -> Cycle {
+            self.due.iter().copied().min().unwrap_or(Cycle::MAX)
+        }
+
+        /// Replays core `c`'s deferred pure-stall ticks up to (not
+        /// including) `to` (I2: one `skip_idle_cycles` call equals the
+        /// elided ticks).
+        pub(super) fn catch_up(
+            &mut self,
+            c: usize,
+            to: Cycle,
+            core: &mut Core,
+            profile: &mut SimProfile,
+        ) {
+            let from = self.behind[c];
+            if from >= to {
+                return;
+            }
+            let idle = self.idle[c]
+                .as_ref()
+                .expect("I2 violated: lagging core carries no idle classification");
+            core.skip_idle_cycles(idle, to - from);
+            profile.core_cycles_skipped += to - from;
+            profile.horizon_resyncs += 1;
+            self.behind[c] = to;
+        }
+
+        /// Forces core `c` back into lockstep at `now` (completion
+        /// delivery): replay the lag window, then mark the core due so
+        /// its tick at `now` runs for real and re-classifies.
+        pub(super) fn wake(
+            &mut self,
+            c: usize,
+            now: Cycle,
+            core: &mut Core,
+            profile: &mut SimProfile,
+        ) {
+            self.catch_up(c, now, core, profile);
+            self.due[c] = now;
+        }
+
+        /// Re-classifies core `c` right after its real tick at `now`:
+        /// either it stays in lockstep (busy) or a new lag window opens,
+        /// bounded by its own wake-up and the next PAR rollover (I3).
+        pub(super) fn reclassify(
+            &mut self,
+            c: usize,
+            now: Cycle,
+            core: &Core,
+            par_rollover: Cycle,
+        ) {
+            self.behind[c] = now + 1;
+            match core.idle_state(now + 1) {
+                None => {
+                    self.idle[c] = None;
+                    self.due[c] = now + 1;
+                }
+                Some(idle) => {
+                    let wake = idle.wake_at.unwrap_or(Cycle::MAX);
+                    debug_assert!(wake > now + 1, "wake_at inside the classified window");
+                    self.due[c] = wake.min(par_rollover);
+                    self.idle[c] = Some(idle);
+                }
+            }
+            debug_assert!(self.due[c] > now);
+        }
+
+        /// Replays every core's outstanding lag window up to `to` (run
+        /// exit: live stats must match a cycle-exact run that stopped at
+        /// the same cycle).
+        pub(super) fn flush(&mut self, to: Cycle, cores: &mut [Core], profile: &mut SimProfile) {
+            for (c, core) in cores.iter_mut().enumerate() {
+                self.catch_up(c, to, core, profile);
+            }
+        }
+    }
+}
+
 /// The full simulated system: cores + traces + memory subsystem.
 ///
 /// Construct with a [`SimConfig`] and one [`BenchProfile`] per core, then
@@ -433,9 +683,10 @@ pub struct System {
     core_snapshots: Vec<Option<CoreStats>>,
     mem_snapshots: Vec<Option<PerCore>>,
     benchmark_names: Vec<String>,
-    /// Idle fast-forwarding enabled for [`System::run`] (bit-identical to
-    /// cycle-by-cycle stepping; see DESIGN.md §11).
-    ff_enabled: bool,
+    /// Fast-forward mode for [`System::run`] (every mode is bit-identical
+    /// to cycle-by-cycle stepping; see DESIGN.md §11 and the `horizon`
+    /// module in this file).
+    ff_mode: FastForwardMode,
     profile: SimProfile,
 }
 
@@ -542,7 +793,7 @@ impl System {
             core_snapshots: vec![None; cfg.cores],
             mem_snapshots: vec![None; cfg.cores],
             cfg,
-            ff_enabled: fast_forward_default(),
+            ff_mode: fast_forward_mode_default(),
             profile: SimProfile::default(),
         };
         if sys.cfg.fdp {
@@ -568,6 +819,14 @@ impl System {
 
     /// Advances the whole system by one CPU cycle.
     pub fn step(&mut self) {
+        self.step_inner(None);
+    }
+
+    /// One global-clock step. With `hz` set (horizon mode), only *due*
+    /// cores execute a real tick; lagging cores are left untouched until
+    /// a resync point replays their stall window (see the `horizon`
+    /// module docs). With `hz == None` every core ticks (`Off`/`Global`).
+    fn step_inner(&mut self, mut hz: Option<&mut horizon::HorizonState>) {
         let now = self.now;
         self.profile.cycles_stepped += 1;
         let timing = profile::timing_enabled();
@@ -578,7 +837,15 @@ impl System {
         }
         for comp in &out.completions {
             for w in self.mem.on_completion(comp, now) {
-                self.cores[w.core.index()].complete(w.token, now + 1);
+                let c = w.core.index();
+                // A completion invalidates the core's idle classification
+                // (it sets `done_at` / releases a pending load), so the
+                // lag window is replayed before the core is mutated and
+                // the core re-enters lockstep at this exact cycle.
+                if let Some(hz) = hz.as_deref_mut() {
+                    hz.wake(c, now, &mut self.cores[c], &mut self.profile);
+                }
+                self.cores[c].complete(w.token, now + 1);
             }
         }
         if self.mem.tracker.tick(now) {
@@ -589,13 +856,23 @@ impl System {
         }
         let t1 = timing.then(std::time::Instant::now);
         for c in 0..self.cfg.cores {
+            if let Some(hz) = hz.as_deref_mut() {
+                if !hz.is_due(c, now) {
+                    continue;
+                }
+                hz.catch_up(c, now, &mut self.cores[c], &mut self.profile);
+            }
             self.cores[c].tick(now, &mut self.traces[c], &mut self.mem);
+            self.profile.core_cycles_ticked += 1;
             if self.finish_cycle[c].is_none()
                 && self.cores[c].stats().retired_instructions >= self.cfg.max_instructions
             {
                 self.finish_cycle[c] = Some(now + 1);
                 self.core_snapshots[c] = Some(*self.cores[c].stats());
                 self.mem_snapshots[c] = Some(self.mem.pc[c]);
+            }
+            if let Some(hz) = hz.as_deref_mut() {
+                hz.reclassify(c, now, &self.cores[c], self.mem.tracker.next_rollover());
             }
         }
         if let Some(t1) = t1 {
@@ -650,6 +927,33 @@ impl System {
         }
         self.profile.ff_jumps += 1;
         self.profile.ff_cycles_skipped += skipped;
+        self.profile.core_cycles_skipped += skipped * self.cfg.cores as u64;
+        self.now = target;
+        skipped
+    }
+
+    /// Attempts one global jump in horizon mode: fires only when *every*
+    /// core lags past `now`, bounded by the earliest due tick, the
+    /// controller's next event, the PAR rollover, and `max_cycles`. The
+    /// cores' deferred replays are *not* applied here — their lag windows
+    /// simply span the jump and are replayed at their next resync, which
+    /// is what lets the skipped span be counted per-core exactly once.
+    fn try_horizon_jump(&mut self, hz: &horizon::HorizonState) -> u64 {
+        let now = self.now;
+        if now >= self.cfg.max_cycles || self.finished() || !hz.all_lagging(now) {
+            return 0;
+        }
+        let mut target = self.mem.tracker.next_rollover().min(hz.min_due());
+        if let Some(ev) = self.mem.controller.next_event(now, &self.mem.tracker) {
+            target = target.min(ev);
+        }
+        target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return 0;
+        }
+        let skipped = target - now;
+        self.profile.ff_jumps += 1;
+        self.profile.ff_cycles_skipped += skipped;
         self.now = target;
         skipped
     }
@@ -659,15 +963,30 @@ impl System {
         self.finish_cycle.iter().all(Option::is_some)
     }
 
-    /// Enables or disables idle fast-forwarding for this system (defaults
-    /// to [`fast_forward_default`] at construction).
-    pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.ff_enabled = enabled;
+    /// Sets this system's fast-forward mode (defaults to
+    /// [`fast_forward_mode_default`] at construction).
+    pub fn set_fast_forward_mode(&mut self, mode: FastForwardMode) {
+        self.ff_mode = mode;
     }
 
-    /// True when [`System::run`] will take idle fast-forward jumps.
+    /// This system's fast-forward mode.
+    pub fn fast_forward_mode(&self) -> FastForwardMode {
+        self.ff_mode
+    }
+
+    /// Boolean shorthand for [`System::set_fast_forward_mode`]: `true`
+    /// selects `Horizon`, `false` selects `Off`.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff_mode = if enabled {
+            FastForwardMode::Horizon
+        } else {
+            FastForwardMode::Off
+        };
+    }
+
+    /// True when [`System::run`] fast-forwards at all (mode is not `Off`).
     pub fn fast_forward_enabled(&self) -> bool {
-        self.ff_enabled
+        self.ff_mode != FastForwardMode::Off
     }
 
     /// The hot-path profile accumulated so far (see [`crate::profile`]).
@@ -685,10 +1004,27 @@ impl System {
     /// `max_cycles` safety cap triggers) and reports.
     pub fn run(&mut self) -> Report {
         let start = std::time::Instant::now();
-        while !self.finished() && self.now < self.cfg.max_cycles {
-            self.step();
-            if self.ff_enabled {
-                self.try_fast_forward();
+        match self.ff_mode {
+            FastForwardMode::Off => {
+                while !self.finished() && self.now < self.cfg.max_cycles {
+                    self.step();
+                }
+            }
+            FastForwardMode::Global => {
+                while !self.finished() && self.now < self.cfg.max_cycles {
+                    self.step();
+                    self.try_fast_forward();
+                }
+            }
+            FastForwardMode::Horizon => {
+                let mut hz = horizon::HorizonState::new(self.cfg.cores, self.now);
+                while !self.finished() && self.now < self.cfg.max_cycles {
+                    self.step_inner(Some(&mut hz));
+                    self.try_horizon_jump(&hz);
+                }
+                // Live (non-snapshotted) core stats must match a
+                // cycle-exact run that stopped at the same cycle.
+                hz.flush(self.now, &mut self.cores, &mut self.profile);
             }
         }
         self.profile.wall_ns += start.elapsed().as_nanos() as u64;

@@ -1,13 +1,15 @@
 //! Equivalence tests for idle-cycle fast-forwarding (DESIGN.md §11).
 //!
-//! Fast-forward jumps must be invisible in the results: a [`System`] run
-//! with fast-forwarding produces a byte-identical [`Report`] to the same
-//! system stepped cycle by cycle. These tests exercise that contract over
-//! randomized small configurations and pin down the one event source that
-//! is always a jump bound — the accuracy tracker's interval rollover.
+//! Fast-forwarding must be invisible in the results: a [`System`] run in
+//! any [`FastForwardMode`] produces a byte-identical [`Report`] to the
+//! same system stepped cycle by cycle (`Off`). These tests exercise that
+//! contract over randomized multi-core configurations — for both the
+//! global-jump mode and the per-core event horizon — check the core-cycle
+//! accounting invariant, and pin down the one event source that is always
+//! a jump bound: the accuracy tracker's interval rollover.
 
 use padc_core::SchedulingPolicy;
-use padc_sim::{SimConfig, System};
+use padc_sim::{FastForwardMode, SimConfig, System};
 use padc_workloads::{profiles, BenchProfile};
 use proptest::prelude::*;
 
@@ -42,11 +44,28 @@ fn workloads(cores: usize, first: usize) -> Vec<BenchProfile> {
     (0..cores).map(|i| bench(first + i)).collect()
 }
 
+/// Runs one configuration in `mode`, returning the serialized report,
+/// the profile, and the termination cycle.
+fn run_mode(
+    cfg: &SimConfig,
+    cores: usize,
+    first_bench: usize,
+    mode: FastForwardMode,
+) -> (String, padc_sim::profile::SimProfile, u64) {
+    let mut sys = System::new(cfg.clone(), workloads(cores, first_bench));
+    sys.set_fast_forward_mode(mode);
+    let report = sys.run();
+    let json = serde_json::to_string(&report).expect("serialize");
+    (json, *sys.profile(), sys.now())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// The full report — every stat the suite serializes — is
-    /// byte-identical with fast-forwarding on and off.
+    /// byte-identical across all three fast-forward modes, and the
+    /// core-cycle accounting invariant holds in each:
+    /// `core_cycles_ticked + core_cycles_skipped == cores × total_cycles`.
     #[test]
     fn reports_are_byte_identical(seed in 1u64..1_000,
                                   cores in 1usize..4,
@@ -55,26 +74,82 @@ proptest! {
                                   instructions in 2_000u64..10_000) {
         let cfg = small_config(seed, cores, policy_idx, instructions);
 
-        let mut slow = System::new(cfg.clone(), workloads(cores, first_bench));
-        slow.set_fast_forward(false);
-        let slow_report = slow.run();
+        let (off_json, off_p, off_now) =
+            run_mode(&cfg, cores, first_bench, FastForwardMode::Off);
+        let (glob_json, glob_p, glob_now) =
+            run_mode(&cfg, cores, first_bench, FastForwardMode::Global);
+        let (hor_json, hor_p, hor_now) =
+            run_mode(&cfg, cores, first_bench, FastForwardMode::Horizon);
 
-        let mut fast = System::new(cfg, workloads(cores, first_bench));
-        fast.set_fast_forward(true);
-        let fast_report = fast.run();
-
-        let slow_json = serde_json::to_string(&slow_report).expect("serialize");
-        let fast_json = serde_json::to_string(&fast_report).expect("serialize");
-        prop_assert_eq!(slow_json, fast_json);
-        // Both paths must agree on termination time as well.
-        prop_assert_eq!(slow.now(), fast.now());
-        // Sanity: the fast path actually skipped something, otherwise this
-        // test exercises nothing (idle cycles exist in any DRAM-bound run).
-        prop_assert!(fast.profile().ff_cycles_skipped > 0,
-                     "fast-forward never fired");
-        prop_assert_eq!(fast.profile().cycles_stepped, slow.profile().cycles_stepped
-                        - fast.profile().ff_cycles_skipped);
+        prop_assert_eq!(&off_json, &glob_json, "global-jump mode diverged");
+        prop_assert_eq!(&off_json, &hor_json, "horizon mode diverged");
+        // All paths must agree on termination time as well.
+        prop_assert_eq!(off_now, glob_now);
+        prop_assert_eq!(off_now, hor_now);
+        // Sanity: the fast paths actually skipped something, otherwise
+        // this test exercises nothing (idle cycles exist in any
+        // DRAM-bound run).
+        prop_assert!(glob_p.ff_cycles_skipped > 0, "global jumps never fired");
+        prop_assert_eq!(glob_p.cycles_stepped,
+                        off_p.cycles_stepped - glob_p.ff_cycles_skipped);
+        // Core-cycle accounting: every (core, cycle) pair was either
+        // ticked for real or replayed as a stall bump, exactly once.
+        for (name, p) in [("off", &off_p), ("global", &glob_p), ("horizon", &hor_p)] {
+            prop_assert_eq!(
+                p.core_cycles_ticked + p.core_cycles_skipped,
+                cores as u64 * off_now,
+                "core-cycle accounting broken in {} mode", name
+            );
+        }
+        // The per-core horizon strictly supersedes global jumps: every
+        // globally skippable cycle is inside some per-core lag window.
+        prop_assert!(hor_p.core_cycles_skipped >= glob_p.core_cycles_skipped,
+                     "horizon skipped fewer core-cycles than global");
     }
+}
+
+/// An 8-core memory-hog mix (the configuration the CI perf gate guards):
+/// all three modes agree byte-for-byte and the horizon skips strictly
+/// more core-cycles than global jumps alone — the whole point of the
+/// per-core event horizon.
+#[test]
+fn eight_core_memory_hog_mix_agrees_across_modes() {
+    let mut cfg = SimConfig::new(8, SchedulingPolicy::Padc);
+    cfg.seed = 3;
+    cfg.max_instructions = 5_000;
+    cfg.max_cycles = 40_000_000;
+    let benches = [
+        profiles::mcf(),
+        profiles::libquantum(),
+        profiles::lbm(),
+        profiles::milc(),
+        profiles::mcf(),
+        profiles::libquantum(),
+        profiles::lbm(),
+        profiles::milc(),
+    ];
+    let run = |mode: FastForwardMode| {
+        let mut sys = System::new(cfg.clone(), benches.to_vec());
+        sys.set_fast_forward_mode(mode);
+        let report = sys.run();
+        (
+            serde_json::to_string(&report).expect("serialize"),
+            *sys.profile(),
+        )
+    };
+    let (off_json, off_p) = run(FastForwardMode::Off);
+    let (glob_json, glob_p) = run(FastForwardMode::Global);
+    let (hor_json, hor_p) = run(FastForwardMode::Horizon);
+    assert_eq!(off_json, glob_json);
+    assert_eq!(off_json, hor_json);
+    assert!(
+        hor_p.core_skip_ratio() > glob_p.core_skip_ratio(),
+        "horizon ({:.3}) should beat global ({:.3}) on an 8-core mix",
+        hor_p.core_skip_ratio(),
+        glob_p.core_skip_ratio()
+    );
+    assert!(hor_p.horizon_resyncs > 0, "horizon never lagged a core");
+    assert_eq!(off_p.core_cycles_skipped, 0);
 }
 
 /// PAR interval rollovers are an explicit fast-forward event source: both

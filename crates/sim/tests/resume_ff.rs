@@ -1,0 +1,88 @@
+//! Resume × fast-forward-mode coverage: `--resume` must re-emit settled
+//! rows byte-identically even when the resumed artifact was produced
+//! under a *different* `--fast-forward` mode, and freshly re-run rows
+//! must match the original bytes too (fast-forwarding is invisible in
+//! results, so mode changes between runs cannot poison an artifact).
+//!
+//! Single `#[test]` on purpose: the suite runs below flip the
+//! process-wide fast-forward default, which would race against parallel
+//! tests in the same binary.
+
+use padc_harness::{HarnessConfig, ResumeArtifact};
+use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig};
+use padc_sim::FastForwardMode;
+
+const IDS: [&str; 2] = ["fig1", "tab5"];
+
+/// Runs the two-experiment suite at smoke scale, optionally resuming from
+/// `artifact`, and returns (jsonl bytes, ok count, skipped count).
+fn suite_bytes(artifact: Option<&ResumeArtifact>) -> (Vec<u8>, usize, usize) {
+    let selected = IDS
+        .iter()
+        .map(|id| find(id).expect("registered experiment id"))
+        .collect();
+    let mut jobs = suite_jobs(selected, ExpConfig::smoke(), None);
+    if let Some(artifact) = artifact {
+        for job in &mut jobs {
+            if let Some(row) = artifact.row(&job.id) {
+                job.cached_row = Some(row.to_string());
+            }
+        }
+    }
+    let cfg = HarnessConfig {
+        workers: 2,
+        budget: None,
+        progress: false,
+    };
+    let mut jsonl = Vec::new();
+    let mut progress = Vec::new();
+    let summary =
+        padc_harness::run_suite(&jobs, &cfg, Some(&mut jsonl), &mut progress).expect("suite I/O");
+    (jsonl, summary.ok(), summary.skipped())
+}
+
+#[test]
+fn resume_across_fast_forward_modes_is_byte_identical() {
+    // Reference artifact: produced cycle-by-cycle.
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Off);
+    let (reference, ok, _) = suite_bytes(None);
+    assert_eq!(ok, IDS.len());
+
+    // A fully settled off-mode artifact resumed under horizon: zero
+    // executions, bytes re-emitted verbatim.
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Horizon);
+    let artifact = ResumeArtifact::parse(std::str::from_utf8(&reference).expect("utf8"));
+    assert_eq!(artifact.len(), IDS.len());
+    let (resumed, ok, skipped) = suite_bytes(Some(&artifact));
+    assert_eq!(
+        resumed, reference,
+        "settled rows were not re-emitted verbatim"
+    );
+    assert_eq!((ok, skipped), (0, IDS.len()));
+
+    // A partial artifact (first row only): the missing experiment re-runs
+    // under horizon, yet the full artifact still matches the off-mode
+    // bytes — fast-forwarding is invisible in results.
+    let first_line_end = reference.iter().position(|&b| b == b'\n').expect("row") + 1;
+    let partial =
+        ResumeArtifact::parse(std::str::from_utf8(&reference[..first_line_end]).expect("utf8"));
+    assert_eq!(partial.len(), 1);
+    let (mixed, ok, skipped) = suite_bytes(Some(&partial));
+    assert_eq!(
+        mixed, reference,
+        "horizon-mode re-run diverged from off-mode bytes"
+    );
+    assert_eq!((ok, skipped), (1, 1));
+
+    // Same partial resume under global jumps.
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Global);
+    let (mixed, ok, skipped) = suite_bytes(Some(&partial));
+    assert_eq!(
+        mixed, reference,
+        "global-mode re-run diverged from off-mode bytes"
+    );
+    assert_eq!((ok, skipped), (1, 1));
+
+    // Leave the process default at the shipped default.
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Horizon);
+}

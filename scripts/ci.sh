@@ -1,29 +1,44 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, docs, the full test
-# suite, and the EXPERIMENTS.md drift check. Everything runs offline
-# (external deps are vendored; see vendor/README.md).
+# Local CI gate: shellcheck, formatting, lints, release build, docs, the
+# full test suite, and the EXPERIMENTS.md drift check. Everything runs
+# offline (external deps are vendored; see vendor/README.md). Each step
+# prints its elapsed seconds so CI logs show where the time budget goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --check
+total_start=$SECONDS
 
-echo "== cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# Runs one gate step and prints its wall time.
+step() {
+    local name=$1
+    shift
+    echo "== $name"
+    local t0=$SECONDS
+    "$@"
+    echo "   -- ${name}: $((SECONDS - t0))s"
+}
 
-echo "== cargo build --release --workspace"
-cargo build --release --workspace
+shellcheck_step() {
+    if command -v shellcheck >/dev/null 2>&1; then
+        shellcheck scripts/*.sh
+    else
+        echo "   shellcheck not installed; skipping (offline container)"
+    fi
+}
 
-echo "== cargo doc --no-deps (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+doc_step() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+}
 
-echo "== cargo test -q"
-cargo test -q
+step "shellcheck scripts/*.sh" shellcheck_step
+step "cargo fmt --check" cargo fmt --check
+step "cargo clippy --workspace --all-targets -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
+step "cargo build --release --workspace" cargo build --release --workspace
+step "cargo doc --no-deps (warnings denied)" doc_step
+step "cargo test -q" cargo test -q
+step "cargo test --doc" cargo test --doc -q
+step "EXPERIMENTS.md drift check" \
+    python3 scripts/make_experiments_md.py --check repro_full.jsonl
 
-echo "== cargo test --doc"
-cargo test --doc -q
-
-echo "== EXPERIMENTS.md drift check"
-python3 scripts/make_experiments_md.py --check repro_full.jsonl
-
-echo "== ci.sh: all green"
+echo "== ci.sh: all green in $((SECONDS - total_start))s"

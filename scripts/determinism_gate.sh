@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 # Determinism gate: the suite's JSONL artifact must be byte-identical
 # across worker counts (the unified scheduler emits rows in registry
-# order with no timing data), across idle fast-forwarding on vs off
-# (jumps must be invisible in results, DESIGN.md §11), and `--resume`
-# on a settled artifact must execute zero experiments while reproducing
-# it byte for byte.
+# order with no timing data) and across all three fast-forward modes
+# (off / global / horizon — skipped cycles must be invisible in results,
+# DESIGN.md §11); `--resume` on a settled artifact must execute zero
+# experiments while reproducing it byte for byte, even when the artifact
+# was produced under a different fast-forward mode.
 #
 # Runs a smoke-scale subset so the gate stays under a minute; any byte
 # difference is a hard failure. No run uses --profile: profiled
 # payloads carry wall times and are legitimately nondeterministic.
+#
+# Set DET_GATE_OUT to keep the produced artifacts in a known directory
+# (CI uploads it on failure); otherwise a temp dir is used and cleaned.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUBSET=(fig1 fig2 tab5 tab6 tab7 cost)
-OUT="$(mktemp -d)"
-trap 'rm -rf "$OUT"' EXIT
+if [ -n "${DET_GATE_OUT:-}" ]; then
+    OUT="$DET_GATE_OUT"
+    mkdir -p "$OUT"
+else
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+fi
 
 cargo build --release --workspace --quiet
 REPRO=target/release/repro
@@ -45,15 +54,33 @@ if ! grep -q '"ok": 0,' "$OUT/summary.json"; then
 fi
 echo "   zero executions, artifact byte-identical"
 
-echo "== fast-forward: default vs --no-fast-forward on ${SUBSET[*]} (smoke scale)"
-"$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/ffon.jsonl" "${SUBSET[@]}" >/dev/null
-"$REPRO" --smoke --jobs 8 --no-progress --no-fast-forward \
-    --jsonl "$OUT/ffoff.jsonl" "${SUBSET[@]}" >/dev/null
-if ! cmp "$OUT/ffon.jsonl" "$OUT/ffoff.jsonl"; then
-    echo "FAIL: JSONL differs with fast-forwarding disabled" >&2
-    diff "$OUT/ffon.jsonl" "$OUT/ffoff.jsonl" >&2 || true
+echo "== fast-forward: off vs global vs horizon on ${SUBSET[*]} (smoke scale)"
+for mode in off global horizon; do
+    "$REPRO" --smoke --jobs 8 --no-progress --fast-forward "$mode" \
+        --jsonl "$OUT/ff-$mode.jsonl" "${SUBSET[@]}" >/dev/null
+done
+for mode in global horizon; do
+    if ! cmp "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl"; then
+        echo "FAIL: JSONL differs between --fast-forward off and $mode" >&2
+        diff "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl" >&2 || true
+        exit 1
+    fi
+done
+echo "   byte-identical across all three modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
+
+echo "== resume across modes: off-mode artifact resumed under horizon"
+"$REPRO" --smoke --jobs 8 --no-progress --fast-forward horizon \
+    --resume "$OUT/ff-off.jsonl" --jsonl "$OUT/cross.jsonl" \
+    --summary "$OUT/cross-summary.json" "${SUBSET[@]}" >/dev/null
+if ! cmp "$OUT/cross.jsonl" "$OUT/ff-off.jsonl"; then
+    echo "FAIL: cross-mode resume did not re-emit settled rows verbatim" >&2
     exit 1
 fi
-echo "   byte-identical ($(wc -c <"$OUT/ffon.jsonl") bytes, $(wc -l <"$OUT/ffon.jsonl") rows)"
+if ! grep -q '"ok": 0,' "$OUT/cross-summary.json"; then
+    echo "FAIL: cross-mode resume executed experiments on a settled artifact:" >&2
+    cat "$OUT/cross-summary.json" >&2
+    exit 1
+fi
+echo "   zero executions, artifact byte-identical"
 
 echo "== determinism_gate.sh: all green"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI perf gate: the fast-forward core-cycle skip ratio on a smoke-scale
+# 8-core memory-hog mix must not regress below the floor recorded in
+# BENCH_fastforward.json (minus tolerance). This catches changes that
+# silently break horizon/idle classification (e.g. a core that always
+# reports busy): results would stay byte-identical — so the determinism
+# gate would pass — while the multi-core speedup quietly evaporates.
+#
+# Set PERF_GATE_OUT to keep the report and profile output in a known
+# directory (CI uploads it on failure); otherwise a temp dir is used.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -n "${PERF_GATE_OUT:-}" ]; then
+    OUT="$PERF_GATE_OUT"
+    mkdir -p "$OUT"
+else
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+fi
+
+cargo build --release --workspace --quiet
+SIM=target/release/padcsim
+
+# The 8-core memory-hog mix from BENCH_fastforward.json, smoke-scaled.
+MIX=(--bench mcf_06 --bench libquantum_06 --bench swim_00 --bench GemsFDTD_06
+     --bench lbm_06 --bench milc_06 --bench leslie3d_06 --bench soplex_06)
+INSTRUCTIONS=60000
+
+floor=$(python3 - <<'EOF'
+import json
+gate = json.load(open("BENCH_fastforward.json"))["ci_gate"]
+print(gate["min_core_skip_pct"] - gate["tolerance_pct"])
+EOF
+)
+
+echo "== perf: 8-core memory-hog mix, --fast-forward horizon, floor ${floor}%"
+"$SIM" "${MIX[@]}" --policy padc --instructions "$INSTRUCTIONS" \
+    --fast-forward horizon --profile \
+    >"$OUT/report.txt" 2>"$OUT/profile.txt"
+grep '^profile:' "$OUT/profile.txt"
+
+skip=$(grep -o 'core_skip_pct=[0-9.]*' "$OUT/profile.txt" | head -n1 | cut -d= -f2)
+if [ -z "$skip" ]; then
+    echo "FAIL: no core_skip_pct in --profile output" >&2
+    exit 1
+fi
+if ! awk -v s="$skip" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
+    echo "FAIL: core skip ratio ${skip}% fell below the ${floor}% floor" >&2
+    echo "      (floor = ci_gate.min_core_skip_pct - ci_gate.tolerance_pct" >&2
+    echo "       from BENCH_fastforward.json; re-measure and update it only" >&2
+    echo "       if the regression is understood and intended)" >&2
+    exit 1
+fi
+echo "   core skip ratio ${skip}% >= floor ${floor}%"
+echo "== perf_gate.sh: all green"
