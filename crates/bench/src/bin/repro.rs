@@ -4,14 +4,21 @@
 //! ```text
 //! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
 //!       [--summary PATH] [--json|--csv|--bars COL] [--no-progress]
-//!       [--profile] [--fast-forward off|global|horizon] [<experiment-id>...]
+//!       [--profile] [--exec planned|monolithic]
+//!       [--fast-forward off|global|horizon] [<experiment-id>...]
 //! repro --list
 //! ```
 //!
 //! With no ids, every registered experiment runs (`all` is accepted as an
-//! alias). With no scale flag, experiments run at `ExpConfig::full()`
-//! scale (the paper's workload counts); `--quick`/`--smoke` shrink runs
-//! for fast iteration.
+//! alias). With no scale flag, experiments run at
+//! `ExpConfig::at(Scale::Full)` scale (the paper's workload counts);
+//! `--quick`/`--smoke` shrink runs for fast iteration.
+//!
+//! `--exec` selects how planned experiments execute their simulation
+//! units: `planned` (default) fans them out as first-class sub-jobs on
+//! the shared worker pool, `monolithic` runs them inline in plan order —
+//! the compatibility path the determinism gate byte-diffs against the
+//! planned artifact. Both modes produce identical JSONL bytes.
 //!
 //! Execution goes through the `padc-harness` unified scheduler:
 //! experiments run on a worker pool (`--jobs N`, default
@@ -45,15 +52,16 @@
 use std::io::Write as _;
 use std::time::Duration;
 
-use padc_bench::{find, registry, suite_jobs_profiled, table_stash, Experiment};
+use padc_bench::{find, registry, suite_jobs_with, table_stash, Experiment, SuiteOptions};
 use padc_harness::{run_suite, HarnessConfig, JobStatus, ResumeArtifact};
-use padc_sim::experiments::ExpConfig;
+use padc_sim::experiments::{single_run_stats, ExecMode, ExpConfig, Scale};
 
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
          \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress]\n\
-         \x20            [--profile] [--fast-forward off|global|horizon] [<id>...]\n\
+         \x20            [--profile] [--exec planned|monolithic]\n\
+         \x20            [--fast-forward off|global|horizon] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
     );
@@ -74,7 +82,7 @@ fn flag_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ExpConfig::full();
+    let mut cfg = ExpConfig::at(Scale::Full);
     let mut json = false;
     let mut csv = false;
     let mut bars: Option<String> = None;
@@ -85,12 +93,13 @@ fn main() {
     let mut budget: Option<Duration> = None;
     let mut progress = true;
     let mut profile = false;
+    let mut exec = ExecMode::default();
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--quick" => cfg = ExpConfig::quick(),
-            "--smoke" => cfg = ExpConfig::smoke(),
+            "--quick" => cfg = ExpConfig::at(Scale::Quick),
+            "--smoke" => cfg = ExpConfig::at(Scale::Smoke),
             "--json" => json = true,
             "--csv" => csv = true,
             "--bars" => bars = Some(flag_value(&mut iter, "--bars")),
@@ -114,6 +123,13 @@ fn main() {
             }
             "--no-progress" => progress = false,
             "--profile" => profile = true,
+            "--exec" => {
+                let v = flag_value(&mut iter, "--exec");
+                exec = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--fast-forward" => {
                 let v = flag_value(&mut iter, "--fast-forward");
                 let mode = v.parse().unwrap_or_else(|e| {
@@ -206,7 +222,12 @@ fn main() {
         padc_sim::profile::set_timing_enabled(true);
     }
     let stash = table_stash();
-    let mut jobs = suite_jobs_profiled(selected, cfg, Some(stash.clone()), profile);
+    let mut jobs = suite_jobs_with(
+        selected,
+        cfg,
+        Some(stash.clone()),
+        SuiteOptions { profile, exec },
+    );
     if let Some(artifact) = &artifact {
         for job in &mut jobs {
             if let Some(row) = artifact.row(&job.id) {
@@ -310,6 +331,16 @@ fn main() {
         summary.wall_seconds
     )
     .expect("stderr");
+    let (requested, computed) = single_run_stats();
+    if requested > 0 {
+        // Machine-readable memo telemetry: `requested - computed` is the
+        // cross-experiment dedup win (perf_gate.sh parses this line).
+        writeln!(
+            stderr,
+            "single_run_memo: requested={requested} computed={computed}"
+        )
+        .expect("stderr");
+    }
     if failed > 0 {
         for o in &summary.outcomes {
             if matches!(o.status, JobStatus::Panicked | JobStatus::OverBudget) {

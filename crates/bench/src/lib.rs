@@ -7,5 +7,6 @@
 //! `padc_bench::{registry, find}` callers.
 
 pub use padc_sim::experiments::registry::{
-    find, registry, suite_jobs, suite_jobs_profiled, table_stash, Experiment, TableStash,
+    find, registry, suite_jobs, suite_jobs_profiled, suite_jobs_with, table_stash, Experiment,
+    SuiteOptions, TableStash,
 };

@@ -192,6 +192,13 @@ pub struct Summary {
     pub workers: usize,
     /// End-to-end wall-clock seconds.
     pub wall_seconds: f64,
+    /// Sub-job units executed through the shared pool (planned experiment
+    /// units and per-workload fan-out; inline executions don't count).
+    pub subjobs_executed: u64,
+    /// Peak number of sub-job units in flight simultaneously. Cannot
+    /// exceed `workers` — units only run on suite worker threads — which
+    /// the concurrency CI gate asserts.
+    pub subjobs_peak_concurrent: u64,
 }
 
 impl Summary {
@@ -230,6 +237,14 @@ impl Summary {
         out.push_str(&format!("  \"failed\": {},\n", self.failed()));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"wall_seconds\": {:.3},\n", self.wall_seconds));
+        out.push_str(&format!(
+            "  \"subjobs_executed\": {},\n",
+            self.subjobs_executed
+        ));
+        out.push_str(&format!(
+            "  \"subjobs_peak_concurrent\": {},\n",
+            self.subjobs_peak_concurrent
+        ));
         out.push_str("  \"jobs\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             out.push_str("    {\"id\":");
@@ -491,6 +506,8 @@ pub fn run_suite(
             .collect(),
         workers,
         wall_seconds: started.elapsed().as_secs_f64(),
+        subjobs_executed: pool.stats.executed(),
+        subjobs_peak_concurrent: pool.stats.peak_concurrent(),
     })
 }
 
@@ -759,6 +776,35 @@ mod tests {
             .nth(1)
             .unwrap()
             .starts_with("{\"id\":\"after\",\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn subjob_concurrency_never_exceeds_the_worker_count() {
+        // Three jobs each fanning 8 units through a 2-worker pool: every
+        // unit runs on a suite worker, so at most 2 are ever in flight,
+        // and all 24 are accounted as executed.
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|j| {
+                JobSpec::new(format!("job{j}"), "t", move || {
+                    let parts = subjob_map(8, |i| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        i + j
+                    });
+                    format!("{}", parts.len())
+                })
+            })
+            .collect();
+        let (_, summary) = collect_jsonl(&jobs, &quiet(2));
+        assert_eq!(summary.subjobs_executed, 3 * 8);
+        assert!(
+            summary.subjobs_peak_concurrent <= 2,
+            "peak {} exceeds the 2-worker bound",
+            summary.subjobs_peak_concurrent
+        );
+        assert!(summary.subjobs_peak_concurrent >= 1);
+        let json = summary.to_json();
+        assert!(json.contains("\"subjobs_executed\": 24"), "{json}");
+        assert!(json.contains("\"subjobs_peak_concurrent\":"), "{json}");
     }
 
     #[test]

@@ -31,7 +31,43 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Pool-level sub-job accounting: how many units executed, and the peak
+/// number in flight at once. The peak can never exceed the suite's worker
+/// count (units only run on suite workers) — the concurrency-bound CI
+/// gate asserts exactly that from the suite [`Summary`](crate::Summary).
+#[derive(Default)]
+pub struct SubJobStats {
+    executed: AtomicU64,
+    active: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl SubJobStats {
+    /// Marks one unit entering execution.
+    fn begin(&self) {
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// Marks one unit finished.
+    fn end(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total units executed through the pool.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of units in flight simultaneously.
+    pub fn peak_concurrent(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
 
 /// Lifetime-erased view of one batch's unit runner (`|index| ...`).
 type BatchRunner = dyn Fn(usize) + Sync;
@@ -49,6 +85,8 @@ struct Batch {
     state: Mutex<BatchState>,
     /// Signalled when `remaining` reaches zero.
     done: Condvar,
+    /// The owning pool's counters; units report begin/end through these.
+    stats: Arc<SubJobStats>,
 }
 
 struct BatchState {
@@ -77,7 +115,9 @@ impl SubJob {
         // batch's `remaining` hits zero, so the runner is still alive.
         let runner = unsafe { &*self.batch.runner };
         let index = self.index;
+        self.batch.stats.begin();
         let result = panic::catch_unwind(AssertUnwindSafe(|| runner(index)));
+        self.batch.stats.end();
         let mut st = self.batch.state.lock().expect("batch state poisoned");
         if let Err(payload) = result {
             st.panic.get_or_insert(payload);
@@ -95,6 +135,9 @@ pub(crate) struct SubJobPool {
     queue: Mutex<PoolQueue>,
     /// Signalled on enqueue and on close.
     available: Condvar,
+    /// Executed/peak-concurrency accounting, surfaced in the suite
+    /// [`Summary`](crate::Summary).
+    pub(crate) stats: Arc<SubJobStats>,
 }
 
 struct PoolQueue {
@@ -111,6 +154,7 @@ impl SubJobPool {
                 closed: false,
             }),
             available: Condvar::new(),
+            stats: Arc::new(SubJobStats::default()),
         }
     }
 
@@ -290,6 +334,7 @@ where
             panic: None,
         }),
         done: Condvar::new(),
+        stats: Arc::clone(&pool.stats),
     });
     pool.enqueue_batch(&batch, n);
     pool.help_until_done(&batch);

@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 
 use padc_harness::{run_suite, HarnessConfig, JobSpec, JobStatus};
-use padc_sim::experiments::{experiment_registry, suite_jobs, ExpConfig};
+use padc_sim::experiments::{experiment_registry, suite_jobs, ExpConfig, Scale};
 
 fn quiet(workers: usize) -> HarnessConfig {
     HarnessConfig {
@@ -34,7 +34,7 @@ fn registry_enumerates_every_entry_point_exactly_once() {
         "registry ids must be unique"
     );
 
-    let jobs = suite_jobs(experiment_registry(), ExpConfig::smoke(), None);
+    let jobs = suite_jobs(experiment_registry(), ExpConfig::at(Scale::Smoke), None);
     let job_ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
     assert_eq!(
         job_ids, expected,
@@ -59,7 +59,7 @@ fn jsonl_is_byte_identical_across_worker_counts() {
                 .into_iter()
                 .filter(|e| matches!(e.id, "fig1" | "fig2" | "tab5" | "tab6" | "cost"))
                 .collect(),
-            ExpConfig::smoke(),
+            ExpConfig::at(Scale::Smoke),
             None,
         )
     };
@@ -90,7 +90,7 @@ fn injected_panicking_job_does_not_abort_the_suite() {
             .into_iter()
             .filter(|e| matches!(e.id, "fig2" | "cost"))
             .collect(),
-        ExpConfig::smoke(),
+        ExpConfig::at(Scale::Smoke),
         None,
     );
     jobs.insert(

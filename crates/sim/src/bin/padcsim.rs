@@ -110,14 +110,17 @@ fn parse_args() -> Result<Args, String> {
 /// this entry point is the minimal suite-runner — use `repro` for table
 /// rendering and bar charts.
 fn run_suite_mode(args: &[String]) -> ! {
-    use padc_sim::experiments::{registry::find, suite_jobs_profiled, ExpConfig};
+    use padc_sim::experiments::{
+        registry::find, single_run_stats, suite_jobs_with, ExecMode, ExpConfig, Scale, SuiteOptions,
+    };
 
-    let mut cfg = ExpConfig::full();
+    let mut cfg = ExpConfig::at(Scale::Full);
     let mut workers = 0usize;
     let mut jsonl_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
     let mut profile = false;
+    let mut exec = ExecMode::default();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     let die = |msg: String| -> ! {
@@ -131,8 +134,8 @@ fn run_suite_mode(args: &[String]) -> ! {
                 .unwrap_or_else(|| die(format!("{name} expects a value")))
         };
         match flag.as_str() {
-            "--quick" => cfg = ExpConfig::quick(),
-            "--smoke" => cfg = ExpConfig::smoke(),
+            "--quick" => cfg = ExpConfig::at(Scale::Quick),
+            "--smoke" => cfg = ExpConfig::at(Scale::Smoke),
             "--jobs" | "-j" => {
                 let v = value("--jobs");
                 workers = v
@@ -143,6 +146,10 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--resume" => resume_path = Some(value("--resume")),
             "--summary" => summary_path = Some(value("--summary")),
             "--profile" => profile = true,
+            "--exec" => {
+                let v = value("--exec");
+                exec = v.parse().unwrap_or_else(|e| die(e));
+            }
             "--fast-forward" => {
                 let v = value("--fast-forward");
                 let mode = v.parse().unwrap_or_else(|e| die(e));
@@ -165,6 +172,7 @@ fn run_suite_mode(args: &[String]) -> ! {
                 println!(
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
                      [--resume FILE] [--summary PATH] [--profile] \
+                     [--exec planned|monolithic] \
                      [--fast-forward off|global|horizon] [--no-fast-forward] \
                      [--list] [<experiment-id>...]"
                 );
@@ -221,7 +229,7 @@ fn run_suite_mode(args: &[String]) -> ! {
     if profile {
         padc_sim::profile::set_timing_enabled(true);
     }
-    let mut jobs = suite_jobs_profiled(selected, cfg, None, profile);
+    let mut jobs = suite_jobs_with(selected, cfg, None, SuiteOptions { profile, exec });
     if let Some(artifact) = &artifact {
         for job in &mut jobs {
             if let Some(row) = artifact.row(&job.id) {
@@ -267,6 +275,12 @@ fn run_suite_mode(args: &[String]) -> ! {
         summary.workers,
         summary.wall_seconds
     );
+    let (requested, computed) = single_run_stats();
+    if requested > 0 {
+        // Machine-readable memo telemetry: `requested - computed` is the
+        // cross-experiment dedup win (perf_gate.sh parses this line).
+        eprintln!("single_run_memo: requested={requested} computed={computed}");
+    }
     std::process::exit(if summary.failed() > 0 { 1 } else { 0 });
 }
 

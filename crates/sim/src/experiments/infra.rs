@@ -1,12 +1,24 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use padc_core::SchedulingPolicy;
 use padc_workloads::{BenchProfile, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::{metrics, Report, SimConfig, System};
+
+/// Preset experiment scales, from paper-scale runs down to test smoke.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// Paper-scale workload counts at a laptop-friendly instruction budget.
+    Full,
+    /// Reduced scale for quick looks.
+    Quick,
+    /// Tiny scale for the test suite.
+    Smoke,
+}
 
 /// Scale knobs shared by all experiments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -33,49 +45,77 @@ pub struct ExpConfig {
 }
 
 impl ExpConfig {
-    /// Paper-scale workload counts at a laptop-friendly instruction budget.
-    pub fn full() -> Self {
-        ExpConfig {
-            instructions: 400_000,
-            instructions_single: 800_000,
-            workloads_2core: 32,
-            workloads_4core: 24,
-            workloads_8core: 12,
-            workloads_sweep: 8,
-            seed: 1,
+    /// The configuration for a preset [`Scale`].
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => ExpConfig {
+                instructions: 400_000,
+                instructions_single: 800_000,
+                workloads_2core: 32,
+                workloads_4core: 24,
+                workloads_8core: 12,
+                workloads_sweep: 8,
+                seed: 1,
+            },
+            Scale::Quick => ExpConfig {
+                instructions: 120_000,
+                instructions_single: 250_000,
+                workloads_2core: 10,
+                workloads_4core: 8,
+                workloads_8core: 5,
+                workloads_sweep: 4,
+                seed: 1,
+            },
+            Scale::Smoke => ExpConfig {
+                instructions: 25_000,
+                instructions_single: 30_000,
+                workloads_2core: 2,
+                workloads_4core: 2,
+                workloads_8core: 1,
+                workloads_sweep: 1,
+                seed: 1,
+            },
         }
+    }
+
+    /// Returns the config with a different workload/trace seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different multi-core instruction budget.
+    /// The single-core budget is raised to at least the same value so
+    /// `IPC_alone` runs never retire fewer instructions than the shared
+    /// runs they normalize.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.instructions = instructions;
+        self.instructions_single = self.instructions_single.max(instructions);
+        self
+    }
+
+    /// Paper-scale workload counts at a laptop-friendly instruction budget.
+    #[deprecated(note = "use ExpConfig::at(Scale::Full)")]
+    pub fn full() -> Self {
+        Self::at(Scale::Full)
     }
 
     /// Reduced scale for quick looks.
+    #[deprecated(note = "use ExpConfig::at(Scale::Quick)")]
     pub fn quick() -> Self {
-        ExpConfig {
-            instructions: 120_000,
-            instructions_single: 250_000,
-            workloads_2core: 10,
-            workloads_4core: 8,
-            workloads_8core: 5,
-            workloads_sweep: 4,
-            seed: 1,
-        }
+        Self::at(Scale::Quick)
     }
 
     /// Tiny scale for the test suite.
+    #[deprecated(note = "use ExpConfig::at(Scale::Smoke)")]
     pub fn smoke() -> Self {
-        ExpConfig {
-            instructions: 25_000,
-            instructions_single: 30_000,
-            workloads_2core: 2,
-            workloads_4core: 2,
-            workloads_8core: 1,
-            workloads_sweep: 1,
-            seed: 1,
-        }
+        Self::at(Scale::Smoke)
     }
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        Self::full()
+        Self::at(Scale::Full)
     }
 }
 
@@ -213,12 +253,47 @@ impl fmt::Display for ExpTable {
 
 /// A named system variant evaluated in a figure: a label plus a
 /// configuration recipe.
+///
+/// The recipe is a clonable closure, so sweep arms can capture their sweep
+/// parameter (row-buffer size, L2 capacity, prefetcher kind, ...) instead
+/// of hand-rolling one `fn` per point.
 #[derive(Clone)]
 pub struct PolicyArm {
     /// Bar label, matching the paper's legends.
     pub label: &'static str,
+    build: Arc<dyn Fn(usize) -> SimConfig + Send + Sync>,
+}
+
+impl PolicyArm {
+    /// Creates an arm from a label and a config recipe.
+    pub fn new(
+        label: &'static str,
+        build: impl Fn(usize) -> SimConfig + Send + Sync + 'static,
+    ) -> Self {
+        PolicyArm {
+            label,
+            build: Arc::new(build),
+        }
+    }
+
     /// Builds the `SimConfig` for this arm given a core count.
-    pub build: fn(usize) -> SimConfig,
+    pub fn build(&self, cores: usize) -> SimConfig {
+        (self.build)(cores)
+    }
+
+    /// Returns a new arm applying `mutate` on top of this arm's recipe —
+    /// how sweep points wrap the standard arms with a captured parameter.
+    pub fn mutated(&self, mutate: impl Fn(&mut SimConfig) + Send + Sync + 'static) -> Self {
+        let base = self.build.clone();
+        PolicyArm {
+            label: self.label,
+            build: Arc::new(move |n| {
+                let mut cfg = base(n);
+                mutate(&mut cfg);
+                cfg
+            }),
+        }
+    }
 }
 
 impl fmt::Debug for PolicyArm {
@@ -230,80 +305,413 @@ impl fmt::Debug for PolicyArm {
 /// The paper's standard five-arm comparison (Figs. 6–17).
 pub(crate) fn standard_arms() -> Vec<PolicyArm> {
     vec![
-        PolicyArm {
-            label: "no-pref",
-            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching(),
-        },
-        PolicyArm {
-            label: "demand-first",
-            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
-        },
-        PolicyArm {
-            label: "demand-pref-equal",
-            build: |n| SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual),
-        },
-        PolicyArm {
-            label: "aps-only",
-            build: |n| SimConfig::new(n, SchedulingPolicy::ApsOnly),
-        },
-        PolicyArm {
-            label: "aps-apd (PADC)",
-            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
-        },
+        PolicyArm::new("no-pref", |n| {
+            SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching()
+        }),
+        PolicyArm::new("demand-first", |n| {
+            SimConfig::new(n, SchedulingPolicy::DemandFirst)
+        }),
+        PolicyArm::new("demand-pref-equal", |n| {
+            SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual)
+        }),
+        PolicyArm::new("aps-only", |n| SimConfig::new(n, SchedulingPolicy::ApsOnly)),
+        PolicyArm::new("aps-apd (PADC)", |n| {
+            SimConfig::new(n, SchedulingPolicy::Padc)
+        }),
     ]
 }
+
+/// The canonical `IPC_alone` arm (§5.2): single-core, demand-first.
+/// Labelled "demand-first" so the memo shares entries with the
+/// demand-first arm of the single-core grids (identical configuration).
+pub(crate) fn alone_arm() -> PolicyArm {
+    PolicyArm::new("demand-first", |n| {
+        SimConfig::new(n, SchedulingPolicy::DemandFirst)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The plan/execute/reduce contract.
+// ---------------------------------------------------------------------------
+
+/// Deterministic identity of one planned simulation.
+///
+/// Two units with equal keys are byte-for-byte the same simulation: the
+/// arm label names a config recipe, `variant` disambiguates recipes that
+/// reuse a label within one experiment (sweep points, open vs closed row),
+/// and benchmarks/instructions/seed pin the inputs. Nothing else
+/// (wall-clock, worker id, execution order) enters the key, which is what
+/// makes planned execution safe to reorder, dedupe, and memoize.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct UnitKey {
+    /// Policy-arm label (the paper legend).
+    pub arm: String,
+    /// Config variant within the experiment (`""` when the arm label
+    /// already determines the config; e.g. `"row=2KB"` for sweep points).
+    pub variant: String,
+    /// Benchmark names in core order (one entry for alone runs).
+    pub benchmarks: Vec<String>,
+    /// Instruction budget per core.
+    pub instructions: u64,
+    /// Workload/trace seed.
+    pub seed: u64,
+}
+
+impl UnitKey {
+    /// Key of a multiprogrammed run of `w` under `arm`.
+    pub fn workload(arm: &str, variant: &str, w: &Workload, exp: &ExpConfig) -> Self {
+        UnitKey {
+            arm: arm.to_string(),
+            variant: variant.to_string(),
+            benchmarks: w.benchmarks.iter().map(|b| b.name.clone()).collect(),
+            instructions: exp.instructions,
+            seed: exp.seed,
+        }
+    }
+
+    /// Key of a single-core run of `bench` under `arm` (grid cells and
+    /// `IPC_alone` normalization runs; note the single-core instruction
+    /// budget).
+    pub fn single(arm: &str, bench: &BenchProfile, exp: &ExpConfig) -> Self {
+        UnitKey {
+            arm: arm.to_string(),
+            variant: "alone".to_string(),
+            benchmarks: vec![bench.name.clone()],
+            instructions: exp.instructions_single,
+            seed: exp.seed,
+        }
+    }
+
+    /// Key of the canonical §5.2 `IPC_alone` run of `bench`.
+    pub fn alone(bench: &BenchProfile, exp: &ExpConfig) -> Self {
+        Self::single(alone_arm().label, bench, exp)
+    }
+}
+
+/// One planned simulation: a deterministic key plus the work recipe.
+#[derive(Clone)]
+pub struct SimUnit {
+    /// The unit's deterministic identity.
+    pub key: UnitKey,
+    work: UnitWork,
+}
+
+#[derive(Clone)]
+enum UnitWork {
+    /// Multiprogrammed run: arm recipe applied to a workload.
+    Workload { arm: PolicyArm, workload: Workload },
+    /// Single-core run (memoized process-wide; see `run_single_at`).
+    Single { arm: PolicyArm, bench: BenchProfile },
+}
+
+impl SimUnit {
+    /// Plans a multiprogrammed run of `w` under `arm`.
+    pub fn workload(arm: &PolicyArm, variant: &str, w: &Workload, exp: &ExpConfig) -> Self {
+        SimUnit {
+            key: UnitKey::workload(arm.label, variant, w, exp),
+            work: UnitWork::Workload {
+                arm: arm.clone(),
+                workload: w.clone(),
+            },
+        }
+    }
+
+    /// Plans a single-core run of `bench` under `arm`.
+    ///
+    /// Single-core results memoize process-wide keyed by *(label, bench,
+    /// instructions, seed)* — the label must determine the single-core
+    /// config, so only pass arms whose recipe is label-stable (the
+    /// standard arms and the canonical alone arm qualify; sweep-mutated
+    /// arms must **not** be planned as single units).
+    pub fn single(arm: &PolicyArm, bench: &BenchProfile, exp: &ExpConfig) -> Self {
+        SimUnit {
+            key: UnitKey::single(arm.label, bench, exp),
+            work: UnitWork::Single {
+                arm: arm.clone(),
+                bench: bench.clone(),
+            },
+        }
+    }
+
+    /// Plans the canonical §5.2 `IPC_alone` run of `bench` (single-core,
+    /// demand-first) used to normalize every multi-core metric.
+    pub fn alone(bench: &BenchProfile, exp: &ExpConfig) -> Self {
+        Self::single(&alone_arm(), bench, exp)
+    }
+
+    /// Runs the simulation this unit names. Deterministic: depends only on
+    /// the key and the arm recipe.
+    pub fn execute(&self) -> Report {
+        match &self.work {
+            UnitWork::Single { arm, bench } => {
+                run_single_at(arm, bench, self.key.instructions, self.key.seed)
+            }
+            UnitWork::Workload { arm, workload } => {
+                let mut cfg = arm.build(workload.cores());
+                cfg.max_instructions = self.key.instructions;
+                cfg.seed = self.key.seed;
+                System::new(cfg, workload.benchmarks.clone()).run()
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SimUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimUnit({:?})", self.key)
+    }
+}
+
+/// The report of one executed [`SimUnit`].
+#[derive(Clone, Debug)]
+pub struct UnitResult {
+    /// The unit's identity.
+    pub key: UnitKey,
+    /// The simulation report.
+    pub report: Report,
+}
+
+/// How planned units execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Units fan out onto the shared harness worker pool (inline when no
+    /// pool is installed). The default.
+    #[default]
+    Planned,
+    /// Units run inline on the calling thread, in plan order — the
+    /// compatibility path the determinism gate byte-diffs against.
+    Monolithic,
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "planned" => Ok(ExecMode::Planned),
+            "monolithic" => Ok(ExecMode::Monolithic),
+            other => Err(format!(
+                "unknown exec mode {other:?} (expected planned|monolithic)"
+            )),
+        }
+    }
+}
+
+/// Executes every planned unit, returning results in plan order.
+///
+/// `Planned` mode schedules the units as first-class sub-jobs on the
+/// shared `padc-harness` pool (so `--jobs N` load-balances across all
+/// units of all experiments); `Monolithic` runs them inline. Both modes
+/// produce identical results — units are independent simulations.
+pub fn execute_units(units: &[SimUnit], mode: ExecMode) -> Vec<UnitResult> {
+    let reports: Vec<Report> = match mode {
+        ExecMode::Planned => parallel_map(units.len(), |i| units[i].execute()),
+        ExecMode::Monolithic => units.iter().map(|u| u.execute()).collect(),
+    };
+    units
+        .iter()
+        .zip(reports)
+        .map(|(u, report)| UnitResult {
+            key: u.key.clone(),
+            report,
+        })
+        .collect()
+}
+
+/// Key-indexed view over a slice of unit results, for `reduce` phases.
+pub struct UnitResults<'a> {
+    by_key: HashMap<&'a UnitKey, &'a Report>,
+}
+
+impl<'a> UnitResults<'a> {
+    /// Indexes `results` by key.
+    pub fn new(results: &'a [UnitResult]) -> Self {
+        UnitResults {
+            by_key: results.iter().map(|r| (&r.key, &r.report)).collect(),
+        }
+    }
+
+    /// The report for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan did not produce a unit with this key — a bug in
+    /// the experiment's plan/reduce pairing, not a runtime condition.
+    pub fn get(&self, key: &UnitKey) -> &'a Report {
+        self.by_key
+            .get(key)
+            .unwrap_or_else(|| panic!("reduce requested unplanned unit {key:?}"))
+    }
+
+    /// `IPC_alone` of one benchmark (canonical §5.2 run).
+    pub fn alone_ipc(&self, bench: &BenchProfile, exp: &ExpConfig) -> f64 {
+        self.get(&UnitKey::alone(bench, exp)).per_core[0].ipc()
+    }
+
+    /// `IPC_alone` for each benchmark of a workload.
+    pub fn alone_ipcs(&self, w: &Workload, exp: &ExpConfig) -> Vec<f64> {
+        w.benchmarks
+            .iter()
+            .map(|b| self.alone_ipc(b, exp))
+            .collect()
+    }
+}
+
+/// Plans the deduplicated set of `IPC_alone` units for a workload set:
+/// one unit per *distinct* benchmark, in first-appearance order. The
+/// process-wide memo then dedupes further across experiments, so each
+/// normalization run is computed exactly once per suite.
+pub fn plan_alone_units(workloads: &[Workload], exp: &ExpConfig) -> Vec<SimUnit> {
+    let mut seen = HashSet::new();
+    let mut units = Vec::new();
+    for w in workloads {
+        for b in &w.benchmarks {
+            if seen.insert(b.name.clone()) {
+                units.push(SimUnit::alone(b, exp));
+            }
+        }
+    }
+    units
+}
+
+/// How an experiment executes: the legacy monolithic closure, or the
+/// two-phase plan/reduce contract.
+pub enum ExpKind {
+    /// One opaque runner (non-grid experiments: fig2, fig4, cost, tab6).
+    Monolithic(fn(&ExpConfig) -> Vec<ExpTable>),
+    /// Plan independent simulation units, execute them on the shared
+    /// pool, reduce the results into tables after a per-experiment unit
+    /// barrier (so table bytes never depend on scheduling).
+    Planned(PlannedExperiment),
+}
+
+/// Plan phase: enumerates an experiment's independent simulation units.
+pub type PlanFn = Arc<dyn Fn(&ExpConfig) -> Vec<SimUnit> + Send + Sync>;
+
+/// Reduce phase: folds unit results (in plan order) into tables.
+pub type ReduceFn = Arc<dyn Fn(&ExpConfig, &[UnitResult]) -> Vec<ExpTable> + Send + Sync>;
+
+/// The two phases of a planned experiment.
+pub struct PlannedExperiment {
+    /// Enumerates the experiment's independent simulation units.
+    pub plan: PlanFn,
+    /// Folds unit results (in plan order) into tables.
+    pub reduce: ReduceFn,
+}
+
+impl ExpKind {
+    /// Builds a planned kind from the two phases.
+    pub fn planned(
+        plan: impl Fn(&ExpConfig) -> Vec<SimUnit> + Send + Sync + 'static,
+        reduce: impl Fn(&ExpConfig, &[UnitResult]) -> Vec<ExpTable> + Send + Sync + 'static,
+    ) -> Self {
+        ExpKind::Planned(PlannedExperiment {
+            plan: Arc::new(plan),
+            reduce: Arc::new(reduce),
+        })
+    }
+
+    /// Runs the experiment: plan → execute (per `mode`) → reduce, or the
+    /// monolithic closure.
+    pub fn tables(&self, exp: &ExpConfig, mode: ExecMode) -> Vec<ExpTable> {
+        match self {
+            ExpKind::Monolithic(run) => run(exp),
+            ExpKind::Planned(p) => {
+                let units = (p.plan)(exp);
+                let results = execute_units(&units, mode);
+                (p.reduce)(exp, &results)
+            }
+        }
+    }
+
+    /// Whether this experiment uses the plan/execute/reduce contract.
+    pub fn is_planned(&self) -> bool {
+        matches!(self, ExpKind::Planned(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-run memo.
+// ---------------------------------------------------------------------------
 
 /// Process-wide memo of single-core runs: the same (arm, benchmark,
 /// scale) tuple recurs across many experiments (the per-benchmark grids
 /// of Figs. 6-8 / Tables 5 and 7, and every `IPC_alone` normalization),
-/// and runs are deterministic, so each is computed once.
+/// and runs are deterministic, so each is computed once. Entries are
+/// claim-based (`Arc<OnceLock>`): the first requester computes, any
+/// concurrent requester for the same key blocks on that one computation
+/// instead of duplicating it — "scheduled exactly once" across the suite.
 type MemoKey = (String, String, u64, u64);
+type MemoCell = Arc<OnceLock<Report>>;
 
-fn single_run_memo() -> &'static Mutex<HashMap<MemoKey, Report>> {
-    static MEMO: OnceLock<Mutex<HashMap<MemoKey, Report>>> = OnceLock::new();
+fn single_run_memo() -> &'static Mutex<HashMap<MemoKey, MemoCell>> {
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, MemoCell>>> = OnceLock::new();
     MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+static SINGLE_RUNS_REQUESTED: AtomicU64 = AtomicU64::new(0);
+static SINGLE_RUNS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(requested, computed)` counters of the single-run memo.
+/// `computed` counts actual simulations; `requested - computed` is the
+/// dedup win. Monotonic over the process lifetime.
+pub fn single_run_stats() -> (u64, u64) {
+    (
+        SINGLE_RUNS_REQUESTED.load(Ordering::Relaxed),
+        SINGLE_RUNS_COMPUTED.load(Ordering::Relaxed),
+    )
+}
+
 /// Runs one benchmark alone on a single-core system under the arm's
-/// configuration, returning its (memoized) report.
-pub(crate) fn run_single(arm: &PolicyArm, bench: &BenchProfile, exp: &ExpConfig) -> Report {
+/// configuration at an explicit (instructions, seed), memoized.
+fn run_single_at(arm: &PolicyArm, bench: &BenchProfile, instructions: u64, seed: u64) -> Report {
+    SINGLE_RUNS_REQUESTED.fetch_add(1, Ordering::Relaxed);
     let key = (
         arm.label.to_string(),
         bench.name.clone(),
-        exp.instructions_single,
-        exp.seed,
+        instructions,
+        seed,
     );
-    if let Some(r) = single_run_memo().lock().expect("memo poisoned").get(&key) {
-        return r.clone();
-    }
-    let mut cfg = (arm.build)(1);
-    cfg.max_instructions = exp.instructions_single;
-    cfg.seed = exp.seed;
-    let r = System::new(cfg, vec![bench.clone()]).run();
-    single_run_memo()
-        .lock()
-        .expect("memo poisoned")
-        .insert(key, r.clone());
-    r
+    let cell = {
+        let mut memo = single_run_memo().lock().expect("memo poisoned");
+        memo.entry(key).or_default().clone()
+    };
+    cell.get_or_init(|| {
+        SINGLE_RUNS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+        let mut cfg = arm.build(1);
+        cfg.max_instructions = instructions;
+        cfg.seed = seed;
+        System::new(cfg, vec![bench.clone()]).run()
+    })
+    .clone()
 }
 
-/// Runs a multiprogrammed workload under the arm's configuration.
+/// Runs one benchmark alone on a single-core system under the arm's
+/// configuration, returning its (memoized) report. Test-only since the
+/// plan/execute/reduce redesign: production paths go through
+/// [`SimUnit::execute`]; the legacy-transcription byte tests keep this as
+/// the independent reference implementation.
+#[cfg(test)]
+pub(crate) fn run_single(arm: &PolicyArm, bench: &BenchProfile, exp: &ExpConfig) -> Report {
+    run_single_at(arm, bench, exp.instructions_single, exp.seed)
+}
+
+/// Runs a multiprogrammed workload under the arm's configuration
+/// (test-only reference path; see [`run_single`]).
+#[cfg(test)]
 pub(crate) fn run_workload(arm: &PolicyArm, w: &Workload, exp: &ExpConfig) -> Report {
-    let mut cfg = (arm.build)(w.cores());
+    let mut cfg = arm.build(w.cores());
     cfg.max_instructions = exp.instructions;
     cfg.seed = exp.seed;
     System::new(cfg, w.benchmarks.clone()).run()
 }
 
 /// `IPC_alone` for each benchmark of a workload — measured on a single-core
-/// system with the demand-first policy, as §5.2 specifies.
+/// system with the demand-first policy, as §5.2 specifies (test-only
+/// reference path; see [`run_single`]).
+#[cfg(test)]
 pub(crate) fn alone_ipcs(w: &Workload, exp: &ExpConfig) -> Vec<f64> {
-    // Labelled "demand-first" so the memo shares entries with the
-    // demand-first arm of the single-core grids (identical configuration).
-    let arm = PolicyArm {
-        label: "demand-first",
-        build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
-    };
+    let arm = alone_arm();
     w.benchmarks
         .iter()
         .map(|b| run_single(&arm, b, exp).per_core[0].ipc())
@@ -319,32 +727,27 @@ pub(crate) struct WorkloadOutcome {
     pub traffic_total: f64,
 }
 
-/// Runs `workloads` under `arm` (in parallel across workloads) and averages
-/// WS/HS/UF and total traffic.
-pub(crate) fn average_over_workloads(
-    arm: &PolicyArm,
-    workloads: &[Workload],
-    alone: &[Vec<f64>],
-    exp: &ExpConfig,
-) -> WorkloadOutcome {
-    let results: Vec<WorkloadOutcome> = parallel_map(workloads.len(), |i| {
-        let w = &workloads[i];
-        let r = run_workload(arm, w, exp);
+impl WorkloadOutcome {
+    /// Computes the outcome of one report against its alone-IPC baseline.
+    pub(crate) fn from_report(r: &Report, alone: &[f64]) -> Self {
         let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
         WorkloadOutcome {
-            ws: metrics::weighted_speedup(&ipcs, &alone[i]),
-            hs: metrics::harmonic_speedup(&ipcs, &alone[i]),
-            uf: metrics::unfairness(&ipcs, &alone[i]),
+            ws: metrics::weighted_speedup(&ipcs, alone),
+            hs: metrics::harmonic_speedup(&ipcs, alone),
+            uf: metrics::unfairness(&ipcs, alone),
             traffic_total: r.traffic().total() as f64,
         }
-    });
+    }
+}
+
+/// Averages outcomes across workloads (UF clamped: it can be infinite if
+/// a core starves completely).
+pub(crate) fn average_outcomes(results: &[WorkloadOutcome]) -> WorkloadOutcome {
     let n = results.len().max(1) as f64;
     let mut acc = WorkloadOutcome::default();
-    for r in &results {
+    for r in results {
         acc.ws += r.ws / n;
         acc.hs += r.hs / n;
-        // UF can be infinite if a core starves completely; clamp for
-        // averaging.
         acc.uf += r.uf.min(100.0) / n;
         acc.traffic_total += r.traffic_total / n;
     }
@@ -437,9 +840,105 @@ mod tests {
 
     #[test]
     fn exp_config_scales_are_ordered() {
-        assert!(ExpConfig::smoke().instructions < ExpConfig::quick().instructions);
-        assert!(ExpConfig::quick().instructions <= ExpConfig::full().instructions);
-        assert!(ExpConfig::full().workloads_4core >= 24);
-        assert!(ExpConfig::full().instructions_single >= ExpConfig::full().instructions);
+        let smoke = ExpConfig::at(Scale::Smoke);
+        let quick = ExpConfig::at(Scale::Quick);
+        let full = ExpConfig::at(Scale::Full);
+        assert!(smoke.instructions < quick.instructions);
+        assert!(quick.instructions <= full.instructions);
+        assert!(full.workloads_4core >= 24);
+        assert!(full.instructions_single >= full.instructions);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_scales() {
+        assert_eq!(ExpConfig::full(), ExpConfig::at(Scale::Full));
+        assert_eq!(ExpConfig::quick(), ExpConfig::at(Scale::Quick));
+        assert_eq!(ExpConfig::smoke(), ExpConfig::at(Scale::Smoke));
+        assert_eq!(ExpConfig::default(), ExpConfig::at(Scale::Full));
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let cfg = ExpConfig::at(Scale::Smoke)
+            .with_seed(7)
+            .with_instructions(50_000);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.instructions, 50_000);
+        // The single-core budget never drops below the multi-core budget.
+        assert_eq!(cfg.instructions_single, 50_000);
+        let cfg = ExpConfig::at(Scale::Full).with_instructions(100);
+        assert_eq!(cfg.instructions_single, 800_000);
+    }
+
+    #[test]
+    fn policy_arm_closures_capture_parameters() {
+        let sizes = [2 * 1024u64, 128 * 1024];
+        let arms: Vec<PolicyArm> = sizes
+            .iter()
+            .map(|&size| {
+                PolicyArm::new("demand-first", move |n| {
+                    let mut cfg = SimConfig::new(n, SchedulingPolicy::DemandFirst);
+                    cfg.dram.row_bytes = size;
+                    cfg
+                })
+            })
+            .collect();
+        assert_eq!(arms[0].build(4).dram.row_bytes, 2 * 1024);
+        assert_eq!(arms[1].build(4).dram.row_bytes, 128 * 1024);
+        let wrapped = arms[0].mutated(|cfg| cfg.dram.row_bytes = 4096);
+        assert_eq!(wrapped.build(2).dram.row_bytes, 4096);
+        assert_eq!(arms[0].build(2).dram.row_bytes, 2 * 1024, "base unchanged");
+    }
+
+    #[test]
+    fn unit_keys_identify_simulations() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let w = Workload::from_names(&["milc_06", "swim_00"]);
+        let k1 = UnitKey::workload("aps-only", "", &w, &exp);
+        let k2 = UnitKey::workload("aps-only", "", &w, &exp);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, UnitKey::workload("aps-only", "row=2KB", &w, &exp));
+        assert_ne!(k1, UnitKey::workload("aps-only", "", &w, &exp.with_seed(2)));
+        let b = &w.benchmarks[0];
+        assert_eq!(UnitKey::alone(b, &exp).arm, "demand-first");
+        assert_eq!(
+            UnitKey::alone(b, &exp).instructions,
+            exp.instructions_single
+        );
+    }
+
+    #[test]
+    fn plan_alone_units_dedupes_across_workloads() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let workloads = vec![
+            Workload::from_names(&["milc_06", "swim_00"]),
+            Workload::from_names(&["swim_00", "lbm_06"]),
+        ];
+        let units = plan_alone_units(&workloads, &exp);
+        let names: Vec<_> = units.iter().map(|u| u.key.benchmarks[0].clone()).collect();
+        assert_eq!(names, vec!["milc_06", "swim_00", "lbm_06"]);
+    }
+
+    #[test]
+    fn single_run_memo_computes_each_key_once() {
+        let exp = ExpConfig::at(Scale::Smoke).with_seed(0xC0FFEE);
+        let b = padc_workloads::profiles::by_name("milc_06").expect("catalog");
+        let (_, computed_before) = single_run_stats();
+        let r1 = SimUnit::alone(&b, &exp).execute();
+        let (_, computed_mid) = single_run_stats();
+        let r2 = SimUnit::alone(&b, &exp).execute();
+        let (requested, computed_after) = single_run_stats();
+        assert_eq!(computed_mid, computed_before + 1, "first request computes");
+        assert_eq!(computed_after, computed_mid, "second request reuses");
+        assert!(requested >= 2);
+        assert_eq!(r1.per_core[0].ipc(), r2.per_core[0].ipc());
+    }
+
+    #[test]
+    fn exec_mode_parses() {
+        assert_eq!("planned".parse::<ExecMode>(), Ok(ExecMode::Planned));
+        assert_eq!("monolithic".parse::<ExecMode>(), Ok(ExecMode::Monolithic));
+        assert!("inline".parse::<ExecMode>().is_err());
     }
 }

@@ -1,54 +1,87 @@
 //! Interactions with other mechanisms: alternative prefetchers (Fig. 28),
 //! DDPF and FDP (Figs. 29, 30), permutation-based interleaving (Fig. 31),
 //! runahead execution (Fig. 32), and the hardware-cost tables (1, 2, 6).
+//!
+//! The mechanism comparisons are (workload, arm) grids like the
+//! aggregates, so they use the plan/execute/reduce contract; each arm is
+//! a [`PolicyArm`] closure combining a base policy with a configuration
+//! mutation. The cost tables (1, 2, 6) are pure computations and stay on
+//! the monolithic path.
 
 use padc_core::{cost, DropThresholds, SchedulingPolicy};
 use padc_dram::MappingScheme;
 use padc_prefetch::PrefetcherKind;
-use padc_workloads::random_workloads;
+use padc_workloads::{random_workloads, Workload};
 
 use crate::SimConfig;
 
-use super::infra::{alone_ipcs, parallel_map, ExpConfig, ExpTable};
+use super::infra::{
+    plan_alone_units, ExecMode, ExpConfig, ExpKind, ExpTable, PolicyArm, SimUnit, UnitKey,
+    UnitResult, UnitResults,
+};
 
-/// One arm of a mechanism comparison: label, base policy, prefetching
-/// on/off, and a configuration mutation.
-type MechanismArm = (String, SchedulingPolicy, bool, fn(&mut SimConfig));
+/// Builds one mechanism arm: base policy, prefetching on/off, and a
+/// configuration mutation captured by the arm's recipe closure.
+fn mech_arm(
+    label: &'static str,
+    policy: SchedulingPolicy,
+    prefetch: bool,
+    mutate: fn(&mut SimConfig),
+) -> PolicyArm {
+    PolicyArm::new(label, move |n| {
+        let mut cfg = SimConfig::new(n, policy);
+        if !prefetch {
+            cfg = cfg.without_prefetching();
+        }
+        mutate(&mut cfg);
+        cfg
+    })
+}
 
 /// Builds an arm list with a shared mutation applied on top of base
 /// policies.
 fn arms_with(
     labels_policies: &[(&'static str, SchedulingPolicy, bool)],
     mutate: fn(&mut SimConfig),
-) -> Vec<MechanismArm> {
+) -> Vec<PolicyArm> {
     labels_policies
         .iter()
-        .map(|(l, p, pf)| (l.to_string(), *p, *pf, mutate))
+        .map(|(l, p, pf)| mech_arm(l, *p, *pf, mutate))
         .collect()
 }
 
-fn run_arm_set(
-    id: &str,
-    title: &str,
-    cores: usize,
-    count: usize,
-    arms: Vec<MechanismArm>,
+/// The 4-core workload set shared by the mechanism comparisons.
+fn mech_workloads(exp: &ExpConfig) -> Vec<Workload> {
+    random_workloads(exp.workloads_sweep, 4, exp.seed)
+}
+
+/// Plans one arm set: deduplicated alone units, then one unit per
+/// (arm, workload) pair tagged with `variant`.
+fn plan_arm_set(arms: &[PolicyArm], variant: &str, exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = mech_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for arm in arms {
+        for w in &workloads {
+            units.push(SimUnit::workload(arm, variant, w, exp));
+        }
+    }
+    units
+}
+
+/// One reduced table row: WS/HS/UF/traffic means over the workload set.
+fn arm_set_row(
+    idx: &UnitResults<'_>,
+    workloads: &[Workload],
+    alone: &[Vec<f64>],
+    arm_label: &str,
+    variant: &str,
     exp: &ExpConfig,
-) -> ExpTable {
-    let workloads = random_workloads(count, cores, exp.seed);
-    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
-    let mut t = ExpTable::new(id, title, &["WS", "HS", "UF", "traffic(lines)"]);
-    for (label, policy, prefetch, mutate) in arms {
-        let results: Vec<(f64, f64, f64, f64)> = parallel_map(workloads.len(), |i| {
-            let w = &workloads[i];
-            let mut cfg = SimConfig::new(w.cores(), policy);
-            if !prefetch {
-                cfg = cfg.without_prefetching();
-            }
-            cfg.max_instructions = exp.instructions;
-            cfg.seed = exp.seed;
-            mutate(&mut cfg);
-            let r = crate::System::new(cfg, w.benchmarks.clone()).run();
+) -> Vec<f64> {
+    let results: Vec<(f64, f64, f64, f64)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let r = idx.get(&UnitKey::workload(arm_label, variant, w, exp));
             let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
             (
                 crate::metrics::weighted_speedup(&ipcs, &alone[i]),
@@ -56,24 +89,51 @@ fn run_arm_set(
                 crate::metrics::unfairness(&ipcs, &alone[i]).min(100.0),
                 r.traffic().total() as f64,
             )
-        });
-        let n = results.len().max(1) as f64;
+        })
+        .collect();
+    let n = results.len().max(1) as f64;
+    vec![
+        results.iter().map(|r| r.0).sum::<f64>() / n,
+        results.iter().map(|r| r.1).sum::<f64>() / n,
+        results.iter().map(|r| r.2).sum::<f64>() / n,
+        results.iter().map(|r| r.3).sum::<f64>() / n,
+    ]
+}
+
+fn reduce_arm_set(
+    id: &str,
+    title: &str,
+    arms: &[PolicyArm],
+    variant: &str,
+    exp: &ExpConfig,
+    idx: &UnitResults<'_>,
+) -> ExpTable {
+    let workloads = mech_workloads(exp);
+    let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
+    let mut t = ExpTable::new(id, title, &["WS", "HS", "UF", "traffic(lines)"]);
+    for arm in arms {
         t.push(
-            label,
-            vec![
-                results.iter().map(|r| r.0).sum::<f64>() / n,
-                results.iter().map(|r| r.1).sum::<f64>() / n,
-                results.iter().map(|r| r.2).sum::<f64>() / n,
-                results.iter().map(|r| r.3).sum::<f64>() / n,
-            ],
+            arm.label,
+            arm_set_row(idx, &workloads, &alone, arm.label, variant, exp),
         );
     }
     t
 }
 
-/// Fig. 28: PADC under the stride, C/DC, and Markov prefetchers (plus the
-/// stream default), 4-core averages.
-pub fn fig28_prefetchers(exp: &ExpConfig) -> Vec<ExpTable> {
+/// Plan/reduce kind for a single-table arm-set comparison.
+fn arm_set_kind(id: &'static str, title: &'static str, arms: fn() -> Vec<PolicyArm>) -> ExpKind {
+    ExpKind::planned(
+        move |exp| plan_arm_set(&arms(), "", exp),
+        move |exp, results| {
+            let idx = UnitResults::new(results);
+            vec![reduce_arm_set(id, title, &arms(), "", exp, &idx)]
+        },
+    )
+}
+
+/// The stride / C/DC / Markov variants of Fig. 28 and their shared base
+/// arm list.
+fn fig28_sets() -> Vec<(&'static str, Vec<PolicyArm>)> {
     fn set_stride(cfg: &mut SimConfig) {
         cfg.prefetcher = cfg.prefetcher.map(|_| PrefetcherKind::Stride);
     }
@@ -93,27 +153,54 @@ pub fn fig28_prefetchers(exp: &ExpConfig) -> Vec<ExpTable> {
         ),
         ("PADC", SchedulingPolicy::Padc, true),
     ];
-    let mut out = Vec::new();
-    for (name, mutate) in [
-        ("stride", set_stride as fn(&mut SimConfig)),
-        ("cdc", set_cdc),
-        ("markov", set_markov),
-    ] {
-        out.push(run_arm_set(
-            &format!("fig28-{name}"),
-            &format!("PADC under the {name} prefetcher, 4-core"),
-            4,
-            exp.workloads_sweep,
-            arms_with(&base, mutate),
-            exp,
-        ));
-    }
-    out
+    vec![
+        ("stride", arms_with(&base, set_stride)),
+        ("cdc", arms_with(&base, set_cdc)),
+        ("markov", arms_with(&base, set_markov)),
+    ]
 }
 
-/// Fig. 29: DDPF and FDP combined with demand-first scheduling and with
-/// APS; APD for comparison.
-pub fn fig29_ddpf_fdp_demand_first(exp: &ExpConfig) -> ExpTable {
+fn fig28_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = mech_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for (name, arms) in fig28_sets() {
+        for arm in &arms {
+            for w in &workloads {
+                units.push(SimUnit::workload(arm, name, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn fig28_reduce(exp: &ExpConfig, results: &[UnitResult]) -> Vec<ExpTable> {
+    let idx = UnitResults::new(results);
+    fig28_sets()
+        .into_iter()
+        .map(|(name, arms)| {
+            reduce_arm_set(
+                &format!("fig28-{name}"),
+                &format!("PADC under the {name} prefetcher, 4-core"),
+                &arms,
+                name,
+                exp,
+                &idx,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 28: PADC under the stride, C/DC, and Markov prefetchers (plus the
+/// stream default), 4-core averages.
+pub fn fig28_prefetchers(exp: &ExpConfig) -> Vec<ExpTable> {
+    fig28_kind().tables(exp, ExecMode::Planned)
+}
+
+pub(crate) fn fig28_kind() -> ExpKind {
+    ExpKind::planned(fig28_plan, fig28_reduce)
+}
+
+fn fig29_arms() -> Vec<PolicyArm> {
     fn none(_: &mut SimConfig) {}
     fn ddpf(cfg: &mut SimConfig) {
         cfg.ddpf = true;
@@ -124,47 +211,37 @@ pub fn fig29_ddpf_fdp_demand_first(exp: &ExpConfig) -> ExpTable {
     fn apd(cfg: &mut SimConfig) {
         cfg.controller.apd = true;
     }
-    let arms: Vec<MechanismArm> = vec![
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-first-ddpf".into(),
+    vec![
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm(
+            "demand-first-ddpf",
             SchedulingPolicy::DemandFirst,
             true,
             ddpf,
         ),
-        (
-            "demand-first-fdp".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            fdp,
-        ),
-        (
-            "demand-first-apd".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            apd,
-        ),
-        ("aps-ddpf".into(), SchedulingPolicy::ApsOnly, true, ddpf),
-        ("aps-fdp".into(), SchedulingPolicy::ApsOnly, true, fdp),
-        ("aps-apd (PADC)".into(), SchedulingPolicy::Padc, true, none),
-    ];
-    run_arm_set(
+        mech_arm("demand-first-fdp", SchedulingPolicy::DemandFirst, true, fdp),
+        mech_arm("demand-first-apd", SchedulingPolicy::DemandFirst, true, apd),
+        mech_arm("aps-ddpf", SchedulingPolicy::ApsOnly, true, ddpf),
+        mech_arm("aps-fdp", SchedulingPolicy::ApsOnly, true, fdp),
+        mech_arm("aps-apd (PADC)", SchedulingPolicy::Padc, true, none),
+    ]
+}
+
+/// Fig. 29: DDPF and FDP combined with demand-first scheduling and with
+/// APS; APD for comparison.
+pub fn fig29_ddpf_fdp_demand_first(exp: &ExpConfig) -> ExpTable {
+    fig29_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig29_kind() -> ExpKind {
+    arm_set_kind(
         "fig29",
         "DDPF / FDP / APD with demand-first and APS, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        fig29_arms,
     )
 }
 
-/// Fig. 30: DDPF and FDP combined with demand-prefetch-equal scheduling.
-pub fn fig30_ddpf_fdp_equal(exp: &ExpConfig) -> ExpTable {
+fn fig30_arms() -> Vec<PolicyArm> {
     fn none(_: &mut SimConfig) {}
     fn ddpf(cfg: &mut SimConfig) {
         cfg.ddpf = true;
@@ -172,226 +249,187 @@ pub fn fig30_ddpf_fdp_equal(exp: &ExpConfig) -> ExpTable {
     fn fdp(cfg: &mut SimConfig) {
         cfg.fdp = true;
     }
-    let arms: Vec<MechanismArm> = vec![
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-pref-equal".into(),
+    vec![
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm(
+            "demand-pref-equal",
             SchedulingPolicy::DemandPrefetchEqual,
             true,
             none,
         ),
-        (
-            "demand-pref-equal-ddpf".into(),
+        mech_arm(
+            "demand-pref-equal-ddpf",
             SchedulingPolicy::DemandPrefetchEqual,
             true,
             ddpf,
         ),
-        (
-            "demand-pref-equal-fdp".into(),
+        mech_arm(
+            "demand-pref-equal-fdp",
             SchedulingPolicy::DemandPrefetchEqual,
             true,
             fdp,
         ),
-        ("aps".into(), SchedulingPolicy::ApsOnly, true, none),
-        ("aps-apd (PADC)".into(), SchedulingPolicy::Padc, true, none),
-    ];
-    run_arm_set(
+        mech_arm("aps", SchedulingPolicy::ApsOnly, true, none),
+        mech_arm("aps-apd (PADC)", SchedulingPolicy::Padc, true, none),
+    ]
+}
+
+/// Fig. 30: DDPF and FDP combined with demand-prefetch-equal scheduling.
+pub fn fig30_ddpf_fdp_equal(exp: &ExpConfig) -> ExpTable {
+    fig30_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig30_kind() -> ExpKind {
+    arm_set_kind(
         "fig30",
         "DDPF / FDP with demand-prefetch-equal, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        fig30_arms,
     )
 }
 
-/// Fig. 31: permutation-based page interleaving with and without PADC.
-pub fn fig31_permutation(exp: &ExpConfig) -> ExpTable {
+fn fig31_arms() -> Vec<PolicyArm> {
     fn none(_: &mut SimConfig) {}
     fn perm(cfg: &mut SimConfig) {
         cfg.mapping = MappingScheme::Permutation;
     }
-    let arms: Vec<MechanismArm> = vec![
-        ("no-pref".into(), SchedulingPolicy::DemandFirst, false, none),
-        (
-            "no-pref-perm".into(),
-            SchedulingPolicy::DemandFirst,
-            false,
-            perm,
-        ),
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-first-perm".into(),
+    vec![
+        mech_arm("no-pref", SchedulingPolicy::DemandFirst, false, none),
+        mech_arm("no-pref-perm", SchedulingPolicy::DemandFirst, false, perm),
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm(
+            "demand-first-perm",
             SchedulingPolicy::DemandFirst,
             true,
             perm,
         ),
-        (
-            "aps-only-perm".into(),
-            SchedulingPolicy::ApsOnly,
-            true,
-            perm,
-        ),
-        ("PADC".into(), SchedulingPolicy::Padc, true, none),
-        ("PADC-perm".into(), SchedulingPolicy::Padc, true, perm),
-    ];
-    run_arm_set(
+        mech_arm("aps-only-perm", SchedulingPolicy::ApsOnly, true, perm),
+        mech_arm("PADC", SchedulingPolicy::Padc, true, none),
+        mech_arm("PADC-perm", SchedulingPolicy::Padc, true, perm),
+    ]
+}
+
+/// Fig. 31: permutation-based page interleaving with and without PADC.
+pub fn fig31_permutation(exp: &ExpConfig) -> ExpTable {
+    fig31_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig31_kind() -> ExpKind {
+    arm_set_kind(
         "fig31",
         "Permutation-based page interleaving, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        fig31_arms,
     )
 }
 
-/// Fig. 32: runahead execution with and without PADC.
-pub fn fig32_runahead(exp: &ExpConfig) -> ExpTable {
+fn fig32_arms() -> Vec<PolicyArm> {
     fn none(_: &mut SimConfig) {}
     fn ra(cfg: &mut SimConfig) {
         cfg.core.runahead = true;
     }
-    let arms: Vec<MechanismArm> = vec![
-        ("no-pref".into(), SchedulingPolicy::DemandFirst, false, none),
-        (
-            "no-pref-ra".into(),
-            SchedulingPolicy::DemandFirst,
-            false,
-            ra,
-        ),
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-first-ra".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            ra,
-        ),
-        ("aps-only-ra".into(), SchedulingPolicy::ApsOnly, true, ra),
-        ("PADC".into(), SchedulingPolicy::Padc, true, none),
-        ("PADC-ra".into(), SchedulingPolicy::Padc, true, ra),
-    ];
-    run_arm_set(
-        "fig32",
-        "Runahead execution, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
-    )
+    vec![
+        mech_arm("no-pref", SchedulingPolicy::DemandFirst, false, none),
+        mech_arm("no-pref-ra", SchedulingPolicy::DemandFirst, false, ra),
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm("demand-first-ra", SchedulingPolicy::DemandFirst, true, ra),
+        mech_arm("aps-only-ra", SchedulingPolicy::ApsOnly, true, ra),
+        mech_arm("PADC", SchedulingPolicy::Padc, true, none),
+        mech_arm("PADC-ra", SchedulingPolicy::Padc, true, ra),
+    ]
+}
+
+/// Fig. 32: runahead execution with and without PADC.
+pub fn fig32_runahead(exp: &ExpConfig) -> ExpTable {
+    fig32_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig32_kind() -> ExpKind {
+    arm_set_kind("fig32", "Runahead execution, 4-core", fig32_arms)
+}
+
+fn ext_batch_arms() -> Vec<PolicyArm> {
+    fn none(_: &mut SimConfig) {}
+    fn batch(cfg: &mut SimConfig) {
+        cfg.controller.batching = true;
+    }
+    vec![
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm("PADC", SchedulingPolicy::Padc, true, none),
+        mech_arm("PADC-rank", SchedulingPolicy::PadcRank, true, none),
+        mech_arm("PADC-batch", SchedulingPolicy::Padc, true, batch),
+        mech_arm("PADC-rank-batch", SchedulingPolicy::PadcRank, true, batch),
+    ]
 }
 
 /// Extension (beyond the paper): PAR-BS-style request batching layered on
 /// PADC, compared against plain PADC and PADC-rank on the 4-core system.
 pub fn ext_batching(exp: &ExpConfig) -> ExpTable {
-    fn none(_: &mut SimConfig) {}
-    fn batch(cfg: &mut SimConfig) {
-        cfg.controller.batching = true;
-    }
-    let arms: Vec<MechanismArm> = vec![
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        ("PADC".into(), SchedulingPolicy::Padc, true, none),
-        ("PADC-rank".into(), SchedulingPolicy::PadcRank, true, none),
-        ("PADC-batch".into(), SchedulingPolicy::Padc, true, batch),
-        (
-            "PADC-rank-batch".into(),
-            SchedulingPolicy::PadcRank,
-            true,
-            batch,
-        ),
-    ];
-    run_arm_set(
+    ext_batch_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn ext_batch_kind() -> ExpKind {
+    arm_set_kind(
         "ext-batch",
         "Extension: PAR-BS batching on top of PADC, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        ext_batch_arms,
     )
+}
+
+fn ext_timing_arms() -> Vec<PolicyArm> {
+    fn none(_: &mut SimConfig) {}
+    fn ext(cfg: &mut SimConfig) {
+        cfg.dram.extended = Some(padc_dram::ExtendedTiming::default());
+    }
+    vec![
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm("demand-first-ext", SchedulingPolicy::DemandFirst, true, ext),
+        mech_arm("PADC", SchedulingPolicy::Padc, true, none),
+        mech_arm("PADC-ext", SchedulingPolicy::Padc, true, ext),
+    ]
 }
 
 /// Extension (beyond the paper): the full DDR3 constraint set
 /// (tRAS/tWR/tRTP/tFAW/refresh) versus the paper's three-latency model.
 pub fn ext_timing(exp: &ExpConfig) -> ExpTable {
-    fn none(_: &mut SimConfig) {}
-    fn ext(cfg: &mut SimConfig) {
-        cfg.dram.extended = Some(padc_dram::ExtendedTiming::default());
-    }
-    let arms: Vec<MechanismArm> = vec![
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-first-ext".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            ext,
-        ),
-        ("PADC".into(), SchedulingPolicy::Padc, true, none),
-        ("PADC-ext".into(), SchedulingPolicy::Padc, true, ext),
-    ];
-    run_arm_set(
+    ext_timing_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn ext_timing_kind() -> ExpKind {
+    arm_set_kind(
         "ext-timing",
         "Extension: full DDR3 timing constraints vs the paper's model, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        ext_timing_arms,
     )
+}
+
+fn ext_wdrain_arms() -> Vec<PolicyArm> {
+    fn none(_: &mut SimConfig) {}
+    fn wd(cfg: &mut SimConfig) {
+        cfg.controller.write_drain = true;
+    }
+    vec![
+        mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
+        mech_arm(
+            "demand-first-wdrain",
+            SchedulingPolicy::DemandFirst,
+            true,
+            wd,
+        ),
+        mech_arm("PADC", SchedulingPolicy::Padc, true, none),
+        mech_arm("PADC-wdrain", SchedulingPolicy::Padc, true, wd),
+    ]
 }
 
 /// Extension (beyond the paper): watermark-based write-drain scheduling
 /// versus the paper's writebacks-as-demands treatment.
 pub fn ext_write_drain(exp: &ExpConfig) -> ExpTable {
-    fn none(_: &mut SimConfig) {}
-    fn wd(cfg: &mut SimConfig) {
-        cfg.controller.write_drain = true;
-    }
-    let arms: Vec<MechanismArm> = vec![
-        (
-            "demand-first".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            none,
-        ),
-        (
-            "demand-first-wdrain".into(),
-            SchedulingPolicy::DemandFirst,
-            true,
-            wd,
-        ),
-        ("PADC".into(), SchedulingPolicy::Padc, true, none),
-        ("PADC-wdrain".into(), SchedulingPolicy::Padc, true, wd),
-    ];
-    run_arm_set(
+    ext_wdrain_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn ext_wdrain_kind() -> ExpKind {
+    arm_set_kind(
         "ext-wdrain",
         "Extension: watermark write-drain vs writebacks-as-demands, 4-core",
-        4,
-        exp.workloads_sweep,
-        arms,
-        exp,
+        ext_wdrain_arms,
     )
 }
 
@@ -449,10 +487,11 @@ pub fn tab6_thresholds(_exp: &ExpConfig) -> ExpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Scale;
 
     #[test]
     fn cost_table_matches_paper_totals() {
-        let t = tab1_2_cost(&ExpConfig::smoke());
+        let t = tab1_2_cost(&ExpConfig::at(Scale::Smoke));
         assert_eq!(t.get("4-core", "total"), Some(34_720.0));
         let pct = t.get("4-core", "%L2").unwrap();
         assert!((pct - 0.2).abs() < 0.05, "{pct}");
@@ -460,8 +499,27 @@ mod tests {
 
     #[test]
     fn threshold_table_matches_table6() {
-        let t = tab6_thresholds(&ExpConfig::smoke());
+        let t = tab6_thresholds(&ExpConfig::at(Scale::Smoke));
         assert_eq!(t.get("0-10%", "drop_threshold"), Some(100.0));
         assert_eq!(t.get("70-100%", "drop_threshold"), Some(100_000.0));
+    }
+
+    #[test]
+    fn fig28_plan_shares_alone_units_across_its_three_tables() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let units = fig28_plan(&exp);
+        let alone_count = units.iter().filter(|u| u.key.variant == "alone").count();
+        let workloads = mech_workloads(&exp);
+        let distinct: std::collections::HashSet<_> = workloads
+            .iter()
+            .flat_map(|w| w.benchmarks.iter().map(|b| b.name.clone()))
+            .collect();
+        assert_eq!(
+            alone_count,
+            distinct.len(),
+            "alone units planned once, not per table"
+        );
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(keys.len(), units.len(), "duplicate unit keys in fig28 plan");
     }
 }

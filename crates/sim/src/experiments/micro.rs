@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn fig2_reproduces_the_policy_contrast() {
-        let t = fig2_scheduling_example(&ExpConfig::smoke());
+        let t = fig2_scheduling_example(&ExpConfig::at(crate::experiments::Scale::Smoke));
         // Under demand-first, the conflicting demand finishes first...
         let df_y = t.get("demand-first", "Y (dem, row B)").unwrap();
         let df_x = t.get("demand-first", "X (pref, row A)").unwrap();

@@ -6,6 +6,14 @@
 //! aligned text. The `padc-bench` crate's `repro` binary maps subcommands
 //! (`fig6`, `case2`, `tab7`, ...) onto these functions.
 //!
+//! Experiments execute through the two-phase plan/execute/reduce contract
+//! ([`ExpKind`]): `plan` enumerates independent, deterministically-keyed
+//! [`SimUnit`]s, the harness executes them (fanning out onto the shared
+//! worker pool in [`ExecMode::Planned`]), and `reduce` folds the unit
+//! results into tables after a per-experiment barrier — so result bytes
+//! never depend on scheduling. A few non-grid experiments (fig2, fig4,
+//! cost, tab6) keep the legacy monolithic path.
+//!
 //! Absolute numbers will not match the paper (its substrate was a
 //! proprietary x86 simulator running SPEC traces; ours is a synthetic-trace
 //! reproduction — see DESIGN.md), but the *shapes* — which policy wins
@@ -19,7 +27,10 @@ pub mod registry;
 mod single;
 mod sweeps;
 
-pub use infra::{ExpConfig, ExpTable, PolicyArm};
+pub use infra::{
+    execute_units, plan_alone_units, single_run_stats, ExecMode, ExpConfig, ExpKind, ExpTable,
+    PlannedExperiment, PolicyArm, Scale, SimUnit, UnitKey, UnitResult, UnitResults,
+};
 pub use mechanisms::{
     ext_batching, ext_timing, ext_write_drain, fig28_prefetchers, fig29_ddpf_fdp_demand_first,
     fig30_ddpf_fdp_equal, fig31_permutation, fig32_runahead, tab1_2_cost, tab6_thresholds,
@@ -32,8 +43,8 @@ pub use multi::{
     tab9_identical_libquantum, CaseStudy,
 };
 pub use registry::{
-    find, registry as experiment_registry, suite_jobs, suite_jobs_profiled, table_stash,
-    Experiment, TableStash,
+    find, registry as experiment_registry, suite_jobs, suite_jobs_profiled, suite_jobs_with,
+    table_stash, Experiment, SuiteOptions, TableStash,
 };
 pub use single::{
     fig1_motivation, fig6_single_core_ipc, fig7_spl, fig8_traffic, tab5_characteristics, tab7_rbhu,

@@ -1,6 +1,13 @@
 //! Multi-core experiments: case studies (§6.3.1–6.3.5), system-size
 //! aggregates (Figs. 9, 16, 17), ranking (Figs. 19, 20), dual controllers
 //! (Figs. 21, 22), and shared last-level caches (Figs. 26, 27).
+//!
+//! Every experiment here is a grid of independent simulations, so all of
+//! them use the plan/execute/reduce contract: `plan` enumerates one
+//! [`SimUnit`] per (workload, policy-arm) pair plus the deduplicated
+//! `IPC_alone` normalization units, and `reduce` folds the reports into
+//! the paper's tables. The public per-figure functions execute the same
+//! plan inline (or on the shared pool when called under the harness).
 
 use padc_core::SchedulingPolicy;
 use padc_workloads::{random_workloads, Workload};
@@ -8,8 +15,8 @@ use padc_workloads::{random_workloads, Workload};
 use crate::{metrics, SimConfig};
 
 use super::infra::{
-    alone_ipcs, average_over_workloads, parallel_map, run_workload, standard_arms, ExpConfig,
-    ExpTable, PolicyArm,
+    average_outcomes, plan_alone_units, standard_arms, ExecMode, ExpConfig, ExpKind, ExpTable,
+    PolicyArm, SimUnit, UnitKey, UnitResult, UnitResults, WorkloadOutcome,
 };
 
 /// The paper's three 4-core case studies (§6.3.1–6.3.3).
@@ -43,13 +50,25 @@ impl CaseStudy {
     }
 }
 
-/// Runs one case study: returns (individual speedups, system metrics,
-/// per-application traffic breakdown) — the paper's paired figures (10–15).
-pub fn case_study(case: CaseStudy, exp: &ExpConfig) -> Vec<ExpTable> {
+/// Plans one workload under each arm, after its alone-normalization units.
+fn single_workload_plan(w: &Workload, arms: &[PolicyArm], exp: &ExpConfig) -> Vec<SimUnit> {
+    let mut units = plan_alone_units(std::slice::from_ref(w), exp);
+    for arm in arms {
+        units.push(SimUnit::workload(arm, "", w, exp));
+    }
+    units
+}
+
+fn case_plan(case: CaseStudy, exp: &ExpConfig) -> Vec<SimUnit> {
     let w = Workload::from_names(&case.benchmarks());
-    let alone = alone_ipcs(&w, exp);
+    single_workload_plan(&w, &standard_arms(), exp)
+}
+
+fn case_reduce(case: CaseStudy, exp: &ExpConfig, results: &[UnitResult]) -> Vec<ExpTable> {
+    let w = Workload::from_names(&case.benchmarks());
+    let idx = UnitResults::new(results);
+    let alone = idx.alone_ipcs(&w, exp);
     let arms = standard_arms();
-    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
 
     let mut speedups = ExpTable::new(
         &format!("{}-is", case.id()),
@@ -66,8 +85,8 @@ pub fn case_study(case: CaseStudy, exp: &ExpConfig) -> Vec<ExpTable> {
         "Per-arm traffic breakdown (lines)",
         &["demand", "pref-useful", "pref-useless"],
     );
-    for (a, arm) in arms.iter().enumerate() {
-        let r = &reports[a];
+    for arm in &arms {
+        let r = idx.get(&UnitKey::workload(arm.label, "", &w, exp));
         let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
         let is = metrics::individual_speedups(&ipcs, &alone);
         speedups.push(arm.label, is);
@@ -93,248 +112,309 @@ pub fn case_study(case: CaseStudy, exp: &ExpConfig) -> Vec<ExpTable> {
     vec![speedups, system, traffic]
 }
 
-/// Shared implementation for the N-core aggregate figures.
-fn aggregate(
-    id: &str,
-    title: &str,
+/// Runs one case study: returns (individual speedups, system metrics,
+/// per-application traffic breakdown) — the paper's paired figures (10–15).
+pub fn case_study(case: CaseStudy, exp: &ExpConfig) -> Vec<ExpTable> {
+    case_kind(case).tables(exp, ExecMode::Planned)
+}
+
+/// Plan/reduce kind for one case study.
+pub(crate) fn case_kind(case: CaseStudy) -> ExpKind {
+    ExpKind::planned(
+        move |exp| case_plan(case, exp),
+        move |exp, results| case_reduce(case, exp, results),
+    )
+}
+
+/// Shared shape of the N-core aggregate figures: a workload-count knob, a
+/// core count, and an arm list, reduced to per-arm WS/HS/UF/traffic means.
+#[derive(Clone, Copy)]
+struct AggSpec {
+    id: &'static str,
+    title: &'static str,
     cores: usize,
-    count: usize,
-    arms: &[PolicyArm],
-    exp: &ExpConfig,
-) -> ExpTable {
-    let workloads = random_workloads(count, cores, exp.seed);
-    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
-    let mut t = ExpTable::new(id, title, &["WS", "HS", "UF", "traffic(lines)"]);
-    for arm in arms {
-        let o = average_over_workloads(arm, &workloads, &alone, exp);
-        t.push(arm.label, vec![o.ws, o.hs, o.uf, o.traffic_total]);
+    count: fn(&ExpConfig) -> usize,
+    arms: fn() -> Vec<PolicyArm>,
+}
+
+impl AggSpec {
+    fn workloads(&self, exp: &ExpConfig) -> Vec<Workload> {
+        random_workloads((self.count)(exp), self.cores, exp.seed)
     }
-    t
+
+    fn plan(&self, exp: &ExpConfig) -> Vec<SimUnit> {
+        let workloads = self.workloads(exp);
+        let mut units = plan_alone_units(&workloads, exp);
+        for arm in (self.arms)() {
+            for w in &workloads {
+                units.push(SimUnit::workload(&arm, "", w, exp));
+            }
+        }
+        units
+    }
+
+    fn reduce(&self, exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+        let workloads = self.workloads(exp);
+        let idx = UnitResults::new(results);
+        let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
+        let mut t = ExpTable::new(self.id, self.title, &["WS", "HS", "UF", "traffic(lines)"]);
+        for arm in (self.arms)() {
+            let outcomes: Vec<WorkloadOutcome> = workloads
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let r = idx.get(&UnitKey::workload(arm.label, "", w, exp));
+                    WorkloadOutcome::from_report(r, &alone[i])
+                })
+                .collect();
+            let o = average_outcomes(&outcomes);
+            t.push(arm.label, vec![o.ws, o.hs, o.uf, o.traffic_total]);
+        }
+        t
+    }
+
+    fn kind(self) -> ExpKind {
+        ExpKind::planned(
+            move |exp| self.plan(exp),
+            move |exp, results| vec![self.reduce(exp, results)],
+        )
+    }
+
+    fn table(self, exp: &ExpConfig) -> ExpTable {
+        let units = self.plan(exp);
+        let results = super::infra::execute_units(&units, ExecMode::Planned);
+        self.reduce(exp, &results)
+    }
+}
+
+fn fig9_spec() -> AggSpec {
+    AggSpec {
+        id: "fig9",
+        title: "2-core average system performance and traffic",
+        cores: 2,
+        count: |e| e.workloads_2core,
+        arms: standard_arms,
+    }
 }
 
 /// Fig. 9: 2-core averages over the workload set.
 pub fn fig9_2core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig9",
-        "2-core average system performance and traffic",
-        2,
-        exp.workloads_2core,
-        &standard_arms(),
-        exp,
-    )
+    fig9_spec().table(exp)
+}
+
+pub(crate) fn fig9_kind() -> ExpKind {
+    fig9_spec().kind()
+}
+
+fn fig16_spec() -> AggSpec {
+    AggSpec {
+        id: "fig16",
+        title: "4-core average system performance and traffic",
+        cores: 4,
+        count: |e| e.workloads_4core,
+        arms: standard_arms,
+    }
 }
 
 /// Fig. 16: 4-core averages.
 pub fn fig16_4core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig16",
-        "4-core average system performance and traffic",
-        4,
-        exp.workloads_4core,
-        &standard_arms(),
-        exp,
-    )
+    fig16_spec().table(exp)
+}
+
+pub(crate) fn fig16_kind() -> ExpKind {
+    fig16_spec().kind()
+}
+
+fn fig17_spec() -> AggSpec {
+    AggSpec {
+        id: "fig17",
+        title: "8-core average system performance and traffic",
+        cores: 8,
+        count: |e| e.workloads_8core,
+        arms: standard_arms,
+    }
 }
 
 /// Fig. 17: 8-core averages.
 pub fn fig17_8core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig17",
-        "8-core average system performance and traffic",
-        8,
-        exp.workloads_8core,
-        &standard_arms(),
-        exp,
-    )
+    fig17_spec().table(exp)
+}
+
+pub(crate) fn fig17_kind() -> ExpKind {
+    fig17_spec().kind()
 }
 
 fn ranking_arms() -> Vec<PolicyArm> {
     vec![
-        PolicyArm {
-            label: "demand-first",
-            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
-        },
-        PolicyArm {
-            label: "PADC",
-            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
-        },
-        PolicyArm {
-            label: "PADC-rank",
-            build: |n| SimConfig::new(n, SchedulingPolicy::PadcRank),
-        },
+        PolicyArm::new("demand-first", |n| {
+            SimConfig::new(n, SchedulingPolicy::DemandFirst)
+        }),
+        PolicyArm::new("PADC", |n| SimConfig::new(n, SchedulingPolicy::Padc)),
+        PolicyArm::new("PADC-rank", |n| {
+            SimConfig::new(n, SchedulingPolicy::PadcRank)
+        }),
     ]
+}
+
+fn fig19_spec() -> AggSpec {
+    AggSpec {
+        id: "fig19",
+        title: "PADC with request ranking, 4-core (WS/HS/UF/traffic)",
+        cores: 4,
+        count: |e| e.workloads_4core,
+        arms: ranking_arms,
+    }
 }
 
 /// Fig. 19: PADC with shortest-job-first ranking, 4-core.
 pub fn fig19_ranking_4core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig19",
-        "PADC with request ranking, 4-core (WS/HS/UF/traffic)",
-        4,
-        exp.workloads_4core,
-        &ranking_arms(),
-        exp,
-    )
+    fig19_spec().table(exp)
+}
+
+pub(crate) fn fig19_kind() -> ExpKind {
+    fig19_spec().kind()
+}
+
+fn fig20_spec() -> AggSpec {
+    AggSpec {
+        id: "fig20",
+        title: "PADC with request ranking, 8-core (WS/HS/UF/traffic)",
+        cores: 8,
+        count: |e| e.workloads_8core,
+        arms: ranking_arms,
+    }
 }
 
 /// Fig. 20: PADC with ranking, 8-core.
 pub fn fig20_ranking_8core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig20",
-        "PADC with request ranking, 8-core (WS/HS/UF/traffic)",
-        8,
-        exp.workloads_8core,
-        &ranking_arms(),
-        exp,
-    )
+    fig20_spec().table(exp)
+}
+
+pub(crate) fn fig20_kind() -> ExpKind {
+    fig20_spec().kind()
 }
 
 fn dual_controller_arms() -> Vec<PolicyArm> {
-    fn with_two_channels(mut cfg: SimConfig) -> SimConfig {
-        cfg.dram.channels = 2;
-        cfg
+    standard_arms()
+        .into_iter()
+        .map(|arm| arm.mutated(|cfg| cfg.dram.channels = 2))
+        .collect()
+}
+
+fn fig21_spec() -> AggSpec {
+    AggSpec {
+        id: "fig21",
+        title: "Dual memory controllers, 4-core",
+        cores: 4,
+        count: |e| e.workloads_4core,
+        arms: dual_controller_arms,
     }
-    vec![
-        PolicyArm {
-            label: "no-pref",
-            build: |n| {
-                with_two_channels(
-                    SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching(),
-                )
-            },
-        },
-        PolicyArm {
-            label: "demand-first",
-            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::DemandFirst)),
-        },
-        PolicyArm {
-            label: "demand-pref-equal",
-            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual)),
-        },
-        PolicyArm {
-            label: "aps-only",
-            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
-        },
-        PolicyArm {
-            label: "aps-apd (PADC)",
-            build: |n| with_two_channels(SimConfig::new(n, SchedulingPolicy::Padc)),
-        },
-    ]
 }
 
 /// Fig. 21: dual memory controllers, 4-core.
 pub fn fig21_dual_controller_4core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig21",
-        "Dual memory controllers, 4-core",
-        4,
-        exp.workloads_4core,
-        &dual_controller_arms(),
-        exp,
-    )
+    fig21_spec().table(exp)
+}
+
+pub(crate) fn fig21_kind() -> ExpKind {
+    fig21_spec().kind()
+}
+
+fn fig22_spec() -> AggSpec {
+    AggSpec {
+        id: "fig22",
+        title: "Dual memory controllers, 8-core",
+        cores: 8,
+        count: |e| e.workloads_8core,
+        arms: dual_controller_arms,
+    }
 }
 
 /// Fig. 22: dual memory controllers, 8-core.
 pub fn fig22_dual_controller_8core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig22",
-        "Dual memory controllers, 8-core",
-        8,
-        exp.workloads_8core,
-        &dual_controller_arms(),
-        exp,
-    )
+    fig22_spec().table(exp)
+}
+
+pub(crate) fn fig22_kind() -> ExpKind {
+    fig22_spec().kind()
 }
 
 fn shared_l2_arms() -> Vec<PolicyArm> {
-    fn shared(mut cfg: SimConfig) -> SimConfig {
-        cfg.shared_l2 = true;
-        cfg
+    standard_arms()
+        .into_iter()
+        .map(|arm| arm.mutated(|cfg| cfg.shared_l2 = true))
+        .collect()
+}
+
+fn fig26_spec() -> AggSpec {
+    AggSpec {
+        id: "fig26",
+        title: "Shared L2 (2MB/16-way), 4-core",
+        cores: 4,
+        count: |e| e.workloads_4core,
+        arms: shared_l2_arms,
     }
-    vec![
-        PolicyArm {
-            label: "no-pref",
-            build: |n| {
-                shared(SimConfig::new(n, SchedulingPolicy::DemandFirst).without_prefetching())
-            },
-        },
-        PolicyArm {
-            label: "demand-first",
-            build: |n| shared(SimConfig::new(n, SchedulingPolicy::DemandFirst)),
-        },
-        PolicyArm {
-            label: "demand-pref-equal",
-            build: |n| shared(SimConfig::new(n, SchedulingPolicy::DemandPrefetchEqual)),
-        },
-        PolicyArm {
-            label: "aps-only",
-            build: |n| shared(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
-        },
-        PolicyArm {
-            label: "aps-apd (PADC)",
-            build: |n| shared(SimConfig::new(n, SchedulingPolicy::Padc)),
-        },
-    ]
 }
 
 /// Fig. 26: shared last-level cache, 4-core.
 pub fn fig26_shared_l2_4core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig26",
-        "Shared L2 (2MB/16-way), 4-core",
-        4,
-        exp.workloads_4core,
-        &shared_l2_arms(),
-        exp,
-    )
+    fig26_spec().table(exp)
+}
+
+pub(crate) fn fig26_kind() -> ExpKind {
+    fig26_spec().kind()
+}
+
+fn fig27_spec() -> AggSpec {
+    AggSpec {
+        id: "fig27",
+        title: "Shared L2 (4MB/32-way), 8-core",
+        cores: 8,
+        count: |e| e.workloads_8core,
+        arms: shared_l2_arms,
+    }
 }
 
 /// Fig. 27: shared last-level cache, 8-core.
 pub fn fig27_shared_l2_8core(exp: &ExpConfig) -> ExpTable {
-    aggregate(
-        "fig27",
-        "Shared L2 (4MB/32-way), 8-core",
-        8,
-        exp.workloads_8core,
-        &shared_l2_arms(),
-        exp,
-    )
+    fig27_spec().table(exp)
 }
 
-/// Table 8: effect of urgent-request prioritization on the mixed case
-/// study — individual speedups, UF, WS, HS for APS/PADC with and without
-/// urgency.
-pub fn tab8_urgency(exp: &ExpConfig) -> ExpTable {
+pub(crate) fn fig27_kind() -> ExpKind {
+    fig27_spec().kind()
+}
+
+fn tab8_arms() -> Vec<PolicyArm> {
     fn no_urgency(mut cfg: SimConfig) -> SimConfig {
         cfg.controller.urgency = false;
         cfg
     }
-    let arms = [
-        PolicyArm {
-            label: "demand-first",
-            build: |n| SimConfig::new(n, SchedulingPolicy::DemandFirst),
-        },
-        PolicyArm {
-            label: "aps-no-urgent",
-            build: |n| no_urgency(SimConfig::new(n, SchedulingPolicy::ApsOnly)),
-        },
-        PolicyArm {
-            label: "aps",
-            build: |n| SimConfig::new(n, SchedulingPolicy::ApsOnly),
-        },
-        PolicyArm {
-            label: "aps-apd-no-urgent",
-            build: |n| no_urgency(SimConfig::new(n, SchedulingPolicy::Padc)),
-        },
-        PolicyArm {
-            label: "aps-apd (PADC)",
-            build: |n| SimConfig::new(n, SchedulingPolicy::Padc),
-        },
-    ];
-    let case = CaseStudy::Mixed;
-    let w = Workload::from_names(&case.benchmarks());
-    let alone = alone_ipcs(&w, exp);
-    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
+    vec![
+        PolicyArm::new("demand-first", |n| {
+            SimConfig::new(n, SchedulingPolicy::DemandFirst)
+        }),
+        PolicyArm::new("aps-no-urgent", |n| {
+            no_urgency(SimConfig::new(n, SchedulingPolicy::ApsOnly))
+        }),
+        PolicyArm::new("aps", |n| SimConfig::new(n, SchedulingPolicy::ApsOnly)),
+        PolicyArm::new("aps-apd-no-urgent", |n| {
+            no_urgency(SimConfig::new(n, SchedulingPolicy::Padc))
+        }),
+        PolicyArm::new("aps-apd (PADC)", |n| {
+            SimConfig::new(n, SchedulingPolicy::Padc)
+        }),
+    ]
+}
+
+fn tab8_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let w = Workload::from_names(&CaseStudy::Mixed.benchmarks());
+    single_workload_plan(&w, &tab8_arms(), exp)
+}
+
+fn tab8_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+    let w = Workload::from_names(&CaseStudy::Mixed.benchmarks());
+    let idx = UnitResults::new(results);
+    let alone = idx.alone_ipcs(&w, exp);
     let mut t = ExpTable::new(
         "tab8",
         "Effect of prioritizing urgent requests (mixed 4-core workload)",
@@ -348,8 +428,9 @@ pub fn tab8_urgency(exp: &ExpConfig) -> ExpTable {
             "HS",
         ],
     );
-    for (a, arm) in arms.iter().enumerate() {
-        let ipcs: Vec<f64> = reports[a].per_core.iter().map(|c| c.ipc()).collect();
+    for arm in &tab8_arms() {
+        let r = idx.get(&UnitKey::workload(arm.label, "", &w, exp));
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
         let mut row = metrics::individual_speedups(&ipcs, &alone);
         row.push(metrics::unfairness(&ipcs, &alone));
         row.push(metrics::weighted_speedup(&ipcs, &alone));
@@ -359,14 +440,36 @@ pub fn tab8_urgency(exp: &ExpConfig) -> ExpTable {
     t
 }
 
-fn identical_apps(id: &str, title: &str, bench: &str, exp: &ExpConfig) -> ExpTable {
+/// Table 8: effect of urgent-request prioritization on the mixed case
+/// study — individual speedups, UF, WS, HS for APS/PADC with and without
+/// urgency.
+pub fn tab8_urgency(exp: &ExpConfig) -> ExpTable {
+    tab8_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn tab8_kind() -> ExpKind {
+    ExpKind::planned(tab8_plan, |exp, results| vec![tab8_reduce(exp, results)])
+}
+
+fn identical_plan(bench: &str, exp: &ExpConfig) -> Vec<SimUnit> {
     let w = Workload::from_names(&[bench; 4]);
-    let alone = alone_ipcs(&w, exp);
-    let arms = standard_arms();
-    let reports = parallel_map(arms.len(), |a| run_workload(&arms[a], &w, exp));
+    single_workload_plan(&w, &standard_arms(), exp)
+}
+
+fn identical_reduce(
+    id: &str,
+    title: &str,
+    bench: &str,
+    exp: &ExpConfig,
+    results: &[UnitResult],
+) -> ExpTable {
+    let w = Workload::from_names(&[bench; 4]);
+    let idx = UnitResults::new(results);
+    let alone = idx.alone_ipcs(&w, exp);
     let mut t = ExpTable::new(id, title, &["IS0", "IS1", "IS2", "IS3", "WS", "HS", "UF"]);
-    for (a, arm) in arms.iter().enumerate() {
-        let ipcs: Vec<f64> = reports[a].per_core.iter().map(|c| c.ipc()).collect();
+    for arm in &standard_arms() {
+        let r = idx.get(&UnitKey::workload(arm.label, "", &w, exp));
+        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
         let mut row = metrics::individual_speedups(&ipcs, &alone);
         row.push(metrics::weighted_speedup(&ipcs, &alone));
         row.push(metrics::harmonic_speedup(&ipcs, &alone));
@@ -374,35 +477,49 @@ fn identical_apps(id: &str, title: &str, bench: &str, exp: &ExpConfig) -> ExpTab
         t.push(arm.label, row);
     }
     t
+}
+
+fn identical_kind(id: &'static str, title: &'static str, bench: &'static str) -> ExpKind {
+    ExpKind::planned(
+        move |exp| identical_plan(bench, exp),
+        move |exp, results| vec![identical_reduce(id, title, bench, exp, results)],
+    )
 }
 
 /// Table 9: four copies of libquantum on the 4-core system.
 pub fn tab9_identical_libquantum(exp: &ExpConfig) -> ExpTable {
-    identical_apps(
+    tab9_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn tab9_kind() -> ExpKind {
+    identical_kind(
         "tab9",
         "Four identical prefetch-friendly applications (libquantum x4)",
         "libquantum_06",
-        exp,
     )
 }
 
 /// Table 10: four copies of milc on the 4-core system.
 pub fn tab10_identical_milc(exp: &ExpConfig) -> ExpTable {
-    identical_apps(
+    tab10_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn tab10_kind() -> ExpKind {
+    identical_kind(
         "tab10",
         "Four identical prefetch-unfriendly applications (milc x4)",
         "milc_06",
-        exp,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Scale;
 
     #[test]
     fn case_study_produces_three_tables() {
-        let tables = case_study(CaseStudy::Mixed, &ExpConfig::smoke());
+        let tables = case_study(CaseStudy::Mixed, &ExpConfig::at(Scale::Smoke));
         assert_eq!(tables.len(), 3);
         assert_eq!(tables[0].rows.len(), 5);
         assert!(tables[1].get("aps-apd (PADC)", "WS").unwrap() > 0.0);
@@ -410,7 +527,7 @@ mod tests {
 
     #[test]
     fn identical_apps_have_similar_speedups_under_padc() {
-        let t = tab9_identical_libquantum(&ExpConfig::smoke());
+        let t = tab9_identical_libquantum(&ExpConfig::at(Scale::Smoke));
         let padc: Vec<f64> = (0..4)
             .map(|i| t.get("aps-apd (PADC)", &format!("IS{i}")).unwrap())
             .collect();
@@ -421,8 +538,73 @@ mod tests {
 
     #[test]
     fn two_core_aggregate_runs_at_smoke_scale() {
-        let t = fig9_2core(&ExpConfig::smoke());
+        let t = fig9_2core(&ExpConfig::at(Scale::Smoke));
         assert_eq!(t.rows.len(), 5);
         assert!(t.get("demand-first", "WS").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn aggregate_plans_one_unit_per_workload_arm_pair_plus_alone() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let spec = fig16_spec();
+        let units = spec.plan(&exp);
+        let workloads = spec.workloads(&exp);
+        let arm_count = (spec.arms)().len();
+        let distinct: std::collections::HashSet<String> = workloads
+            .iter()
+            .flat_map(|w| w.benchmarks.iter().map(|b| b.name.clone()))
+            .collect();
+        assert_eq!(
+            units.len(),
+            distinct.len() + arm_count * workloads.len(),
+            "plan = dedup'd alone units + one unit per (workload, arm)"
+        );
+        // Keys are unique — the reduce index must be able to address every
+        // unit unambiguously.
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(keys.len(), units.len());
+    }
+
+    #[test]
+    fn planned_fig16_matches_legacy_monolithic_computation() {
+        use super::super::infra::{alone_ipcs, run_workload};
+        let exp = ExpConfig::at(Scale::Smoke);
+        let spec = fig16_spec();
+        // Transcription of the pre-redesign monolithic `aggregate` body:
+        // sequential alone normalization, then per-arm workload runs.
+        let workloads = spec.workloads(&exp);
+        let alone: Vec<Vec<f64>> = workloads.iter().map(|w| alone_ipcs(w, &exp)).collect();
+        let mut legacy = ExpTable::new(spec.id, spec.title, &["WS", "HS", "UF", "traffic(lines)"]);
+        for arm in (spec.arms)() {
+            let outcomes: Vec<WorkloadOutcome> = workloads
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let r = run_workload(&arm, w, &exp);
+                    WorkloadOutcome::from_report(&r, &alone[i])
+                })
+                .collect();
+            let o = average_outcomes(&outcomes);
+            legacy.push(arm.label, vec![o.ws, o.hs, o.uf, o.traffic_total]);
+        }
+        let planned = fig16_kind().tables(&exp, ExecMode::Planned).remove(0);
+        assert_eq!(
+            serde_json::to_string(&planned).unwrap(),
+            serde_json::to_string(&legacy).unwrap(),
+            "plan/execute/reduce must reproduce the legacy monolithic tables byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn planned_fig16_matches_monolithic_execution() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let planned = fig16_kind().tables(&exp, ExecMode::Planned);
+        let monolithic = fig16_kind().tables(&exp, ExecMode::Monolithic);
+        let a = serde_json::to_string(&planned).unwrap();
+        let b = serde_json::to_string(&monolithic).unwrap();
+        assert_eq!(
+            a, b,
+            "planned and monolithic paths must agree byte-for-byte"
+        );
     }
 }

@@ -7,22 +7,43 @@
 //! benches enumerate the *same* experiment list. `padc-bench` re-exports
 //! these items, so existing `padc_bench::{registry, find}` callers are
 //! unaffected.
+//!
+//! Since the plan/execute/reduce redesign an entry carries an [`ExpKind`]
+//! instead of a monolithic runner: grid experiments expose their plan of
+//! independent [`SimUnit`](super::SimUnit)s, which the suite jobs fan out
+//! onto the shared harness pool, while the few non-grid experiments
+//! (fig2, fig4, cost, tab6) keep the monolithic path.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use padc_harness::JobSpec;
 
-use super::{self as exp, CaseStudy, ExpConfig, ExpTable};
+use super::infra::ExecMode;
+use super::{self as exp, CaseStudy, ExpConfig, ExpKind, ExpTable};
 
-/// Every reproducible artifact: id, paper reference, and runner.
+/// Every reproducible artifact: id, paper reference, and how it executes.
 pub struct Experiment {
     /// Harness id (`fig6`, `case2`, `tab7`, ...).
     pub id: &'static str,
     /// What the paper calls it.
     pub paper_ref: &'static str,
-    /// Executes the experiment.
-    pub run: fn(&ExpConfig) -> Vec<ExpTable>,
+    /// The execution contract: planned (plan/execute/reduce) or monolithic.
+    pub kind: ExpKind,
+}
+
+impl Experiment {
+    /// Runs the experiment in the default (planned) execution mode.
+    pub fn tables(&self, cfg: &ExpConfig) -> Vec<ExpTable> {
+        self.tables_with(cfg, ExecMode::default())
+    }
+
+    /// Runs the experiment in an explicit execution mode. Both modes
+    /// produce identical tables; `Monolithic` is the inline compatibility
+    /// path the determinism gate byte-diffs against.
+    pub fn tables_with(&self, cfg: &ExpConfig, mode: ExecMode) -> Vec<ExpTable> {
+        self.kind.tables(cfg, mode)
+    }
 }
 
 macro_rules! single_table {
@@ -30,7 +51,7 @@ macro_rules! single_table {
         fn runner(c: &ExpConfig) -> Vec<ExpTable> {
             vec![$f(c)]
         }
-        runner
+        ExpKind::Monolithic(runner)
     }};
 }
 
@@ -40,182 +61,182 @@ pub fn registry() -> Vec<Experiment> {
         Experiment {
             id: "fig1",
             paper_ref: "Figure 1 (motivation: rigid policies)",
-            run: single_table!(exp::fig1_motivation),
+            kind: exp::single::fig1_kind(),
         },
         Experiment {
             id: "fig2",
             paper_ref: "Figure 2 (scheduling example timelines)",
-            run: single_table!(exp::fig2_scheduling_example),
+            kind: single_table!(exp::fig2_scheduling_example),
         },
         Experiment {
             id: "fig4",
             paper_ref: "Figure 4 (service-time histogram; accuracy phases)",
-            run: exp::fig4_service_time_and_phases,
+            kind: ExpKind::Monolithic(exp::fig4_service_time_and_phases),
         },
         Experiment {
             id: "fig6",
             paper_ref: "Figure 6 (single-core IPC, 5 policies)",
-            run: single_table!(exp::fig6_single_core_ipc),
+            kind: exp::single::fig6_kind(),
         },
         Experiment {
             id: "fig7",
             paper_ref: "Figure 7 (stall time per load)",
-            run: single_table!(exp::fig7_spl),
+            kind: exp::single::fig7_kind(),
         },
         Experiment {
             id: "fig8",
             paper_ref: "Figure 8 (bus traffic breakdown)",
-            run: single_table!(exp::fig8_traffic),
+            kind: exp::single::fig8_kind(),
         },
         Experiment {
             id: "tab5",
             paper_ref: "Table 5 (benchmark characteristics)",
-            run: single_table!(exp::tab5_characteristics),
+            kind: exp::single::tab5_kind(),
         },
         Experiment {
             id: "tab7",
             paper_ref: "Table 7 (RBHU)",
-            run: single_table!(exp::tab7_rbhu),
+            kind: exp::single::tab7_kind(),
         },
         Experiment {
             id: "fig9",
             paper_ref: "Figure 9 (2-core aggregate)",
-            run: single_table!(exp::fig9_2core),
+            kind: exp::multi::fig9_kind(),
         },
         Experiment {
             id: "case1",
             paper_ref: "Figures 10-11 (case study I: all prefetch-friendly)",
-            run: |c| exp::case_study(CaseStudy::AllFriendly, c),
+            kind: exp::multi::case_kind(CaseStudy::AllFriendly),
         },
         Experiment {
             id: "case2",
             paper_ref: "Figures 12-13 (case study II: all prefetch-unfriendly)",
-            run: |c| exp::case_study(CaseStudy::AllUnfriendly, c),
+            kind: exp::multi::case_kind(CaseStudy::AllUnfriendly),
         },
         Experiment {
             id: "case3",
             paper_ref: "Figures 14-15 (case study III: mixed)",
-            run: |c| exp::case_study(CaseStudy::Mixed, c),
+            kind: exp::multi::case_kind(CaseStudy::Mixed),
         },
         Experiment {
             id: "tab8",
             paper_ref: "Table 8 (urgency ablation)",
-            run: single_table!(exp::tab8_urgency),
+            kind: exp::multi::tab8_kind(),
         },
         Experiment {
             id: "tab9",
             paper_ref: "Table 9 (4x libquantum)",
-            run: single_table!(exp::tab9_identical_libquantum),
+            kind: exp::multi::tab9_kind(),
         },
         Experiment {
             id: "tab10",
             paper_ref: "Table 10 (4x milc)",
-            run: single_table!(exp::tab10_identical_milc),
+            kind: exp::multi::tab10_kind(),
         },
         Experiment {
             id: "fig16",
             paper_ref: "Figure 16 (4-core aggregate)",
-            run: single_table!(exp::fig16_4core),
+            kind: exp::multi::fig16_kind(),
         },
         Experiment {
             id: "fig17",
             paper_ref: "Figure 17 (8-core aggregate)",
-            run: single_table!(exp::fig17_8core),
+            kind: exp::multi::fig17_kind(),
         },
         Experiment {
             id: "fig19",
             paper_ref: "Figure 19 (ranking, 4-core)",
-            run: single_table!(exp::fig19_ranking_4core),
+            kind: exp::multi::fig19_kind(),
         },
         Experiment {
             id: "fig20",
             paper_ref: "Figure 20 (ranking, 8-core)",
-            run: single_table!(exp::fig20_ranking_8core),
+            kind: exp::multi::fig20_kind(),
         },
         Experiment {
             id: "fig21",
             paper_ref: "Figure 21 (dual controllers, 4-core)",
-            run: single_table!(exp::fig21_dual_controller_4core),
+            kind: exp::multi::fig21_kind(),
         },
         Experiment {
             id: "fig22",
             paper_ref: "Figure 22 (dual controllers, 8-core)",
-            run: single_table!(exp::fig22_dual_controller_8core),
+            kind: exp::multi::fig22_kind(),
         },
         Experiment {
             id: "fig23",
             paper_ref: "Figure 23 (row-buffer size sweep)",
-            run: single_table!(exp::fig23_row_buffer_sweep),
+            kind: exp::sweeps::fig23_kind(),
         },
         Experiment {
             id: "fig24",
             paper_ref: "Figure 24 (closed-row policy)",
-            run: single_table!(exp::fig24_closed_row),
+            kind: exp::sweeps::fig24_kind(),
         },
         Experiment {
             id: "fig25",
             paper_ref: "Figure 25 (L2 size sweep)",
-            run: single_table!(exp::fig25_cache_sweep),
+            kind: exp::sweeps::fig25_kind(),
         },
         Experiment {
             id: "fig26",
             paper_ref: "Figure 26 (shared L2, 4-core)",
-            run: single_table!(exp::fig26_shared_l2_4core),
+            kind: exp::multi::fig26_kind(),
         },
         Experiment {
             id: "fig27",
             paper_ref: "Figure 27 (shared L2, 8-core)",
-            run: single_table!(exp::fig27_shared_l2_8core),
+            kind: exp::multi::fig27_kind(),
         },
         Experiment {
             id: "fig28",
             paper_ref: "Figure 28 (stride / C/DC / Markov prefetchers)",
-            run: exp::fig28_prefetchers,
+            kind: exp::mechanisms::fig28_kind(),
         },
         Experiment {
             id: "fig29",
             paper_ref: "Figure 29 (DDPF/FDP with demand-first and APS)",
-            run: single_table!(exp::fig29_ddpf_fdp_demand_first),
+            kind: exp::mechanisms::fig29_kind(),
         },
         Experiment {
             id: "fig30",
             paper_ref: "Figure 30 (DDPF/FDP with demand-pref-equal)",
-            run: single_table!(exp::fig30_ddpf_fdp_equal),
+            kind: exp::mechanisms::fig30_kind(),
         },
         Experiment {
             id: "fig31",
             paper_ref: "Figure 31 (permutation-based interleaving)",
-            run: single_table!(exp::fig31_permutation),
+            kind: exp::mechanisms::fig31_kind(),
         },
         Experiment {
             id: "fig32",
             paper_ref: "Figure 32 (runahead execution)",
-            run: single_table!(exp::fig32_runahead),
+            kind: exp::mechanisms::fig32_kind(),
         },
         Experiment {
             id: "ext-batch",
             paper_ref: "Extension: PAR-BS batching on PADC",
-            run: single_table!(exp::ext_batching),
+            kind: exp::mechanisms::ext_batch_kind(),
         },
         Experiment {
             id: "ext-timing",
             paper_ref: "Extension: full DDR3 timing constraints",
-            run: single_table!(exp::ext_timing),
+            kind: exp::mechanisms::ext_timing_kind(),
         },
         Experiment {
             id: "ext-wdrain",
             paper_ref: "Extension: watermark write-drain scheduling",
-            run: single_table!(exp::ext_write_drain),
+            kind: exp::mechanisms::ext_wdrain_kind(),
         },
         Experiment {
             id: "cost",
             paper_ref: "Tables 1-2 (hardware cost)",
-            run: single_table!(exp::tab1_2_cost),
+            kind: single_table!(exp::tab1_2_cost),
         },
         Experiment {
             id: "tab6",
             paper_ref: "Table 6 (drop thresholds)",
-            run: single_table!(exp::tab6_thresholds),
+            kind: single_table!(exp::tab6_thresholds),
         },
     ]
 }
@@ -235,7 +256,17 @@ pub fn table_stash() -> TableStash {
     Arc::new(Mutex::new(HashMap::new()))
 }
 
-/// Adapts registry entries into harness jobs.
+/// Options for [`suite_jobs_with`].
+#[derive(Clone, Copy, Default)]
+pub struct SuiteOptions {
+    /// Append a hot-path `"profile"` object to each payload.
+    pub profile: bool,
+    /// How planned experiments execute their units.
+    pub exec: ExecMode,
+}
+
+/// Adapts registry entries into harness jobs (planned execution, no
+/// profiling).
 ///
 /// Each job runs its experiment at `cfg` scale and returns the payload
 /// `{"paper_ref":...,"tables":[...]}` as compact JSON. When `stash` is
@@ -246,36 +277,63 @@ pub fn suite_jobs(
     cfg: ExpConfig,
     stash: Option<TableStash>,
 ) -> Vec<JobSpec> {
-    suite_jobs_profiled(experiments, cfg, stash, false)
+    suite_jobs_with(experiments, cfg, stash, SuiteOptions::default())
 }
 
-/// [`suite_jobs`], optionally appending a hot-path `"profile"` object to
-/// each payload (`padcsim --suite --profile`).
-///
-/// When `profile` is set, every job installs a fresh
-/// [`ProfileAccum`](crate::profile::ProfileAccum) as the harness task
-/// context for the duration of its experiment, so each `System::run` the
-/// experiment performs — including runs fanned out over `subjob_map` —
-/// folds its counters into that experiment's accumulator. Profiled
-/// payloads are **not** byte-stable across runs (wall-clock fields), which
-/// is why the determinism gates exercise the unprofiled path.
+/// [`suite_jobs`] with profiling toggled (`padcsim --suite --profile`).
 pub fn suite_jobs_profiled(
     experiments: Vec<Experiment>,
     cfg: ExpConfig,
     stash: Option<TableStash>,
     profile: bool,
 ) -> Vec<JobSpec> {
+    suite_jobs_with(
+        experiments,
+        cfg,
+        stash,
+        SuiteOptions {
+            profile,
+            ..SuiteOptions::default()
+        },
+    )
+}
+
+/// The fully-parameterized job adapter.
+///
+/// In the default `Planned` mode each experiment's units fan out as
+/// first-class sub-jobs on the shared worker pool, so `--jobs N`
+/// load-balances across all units of all experiments; the experiment's
+/// `reduce` runs after its own unit barrier, so payload bytes never
+/// depend on scheduling. `Monolithic` mode runs every unit inline in plan
+/// order — the compatibility path for non-grid experiments and for the
+/// determinism gate's planned-vs-monolithic byte-diff.
+///
+/// When `opts.profile` is set, every job installs a fresh
+/// [`ProfileAccum`](crate::profile::ProfileAccum) as the harness task
+/// context for the duration of its experiment, so each `System::run` the
+/// experiment performs — including runs fanned out over `subjob_map` —
+/// folds its counters into that experiment's accumulator. Profiled
+/// payloads are **not** byte-stable across runs (wall-clock fields), which
+/// is why the determinism gates exercise the unprofiled path.
+pub fn suite_jobs_with(
+    experiments: Vec<Experiment>,
+    cfg: ExpConfig,
+    stash: Option<TableStash>,
+    opts: SuiteOptions,
+) -> Vec<JobSpec> {
     experiments
         .into_iter()
         .map(|e| {
             let stash = stash.clone();
             JobSpec::new(e.id, e.paper_ref, move || {
-                let (tables, prof) = if profile {
+                let (tables, prof) = if opts.profile {
                     let acc = crate::profile::new_accum();
-                    let tables = padc_harness::with_task_context(acc.clone(), || (e.run)(&cfg));
+                    let tables = padc_harness::with_task_context(acc.clone(), || {
+                        e.tables_with(&cfg, opts.exec)
+                    });
                     (tables, Some(acc.to_json()))
                 } else {
-                    ((e.run)(&cfg), None)
+                    (e.tables_with(&cfg, opts.exec), None)
                 };
                 let payload = payload_json(e.paper_ref, &tables, prof.as_deref());
                 if let Some(s) = &stash {
@@ -307,6 +365,7 @@ fn payload_json(paper_ref: &str, tables: &[ExpTable], profile: Option<&str>) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Scale;
 
     #[test]
     fn registry_covers_all_paper_artifacts() {
@@ -337,13 +396,38 @@ mod tests {
     }
 
     #[test]
+    fn grid_experiments_are_planned_and_pure_ones_are_not() {
+        for id in ["fig1", "fig6", "fig9", "fig16", "fig23", "fig28", "tab8"] {
+            assert!(
+                find(id).unwrap().kind.is_planned(),
+                "{id} should be planned"
+            );
+        }
+        for id in ["fig2", "fig4", "cost", "tab6"] {
+            assert!(
+                !find(id).unwrap().kind.is_planned(),
+                "{id} should be monolithic"
+            );
+        }
+    }
+
+    #[test]
     fn tiny_experiments_run_end_to_end() {
-        let cfg = ExpConfig::smoke();
+        let cfg = ExpConfig::at(Scale::Smoke);
         for id in ["fig2", "cost", "tab6"] {
             let e = find(id).unwrap();
-            let tables = (e.run)(&cfg);
+            let tables = e.tables(&cfg);
             assert!(!tables.is_empty(), "{id} produced no tables");
         }
+    }
+
+    #[test]
+    fn planned_and_monolithic_modes_produce_identical_tables() {
+        let cfg = ExpConfig::at(Scale::Smoke);
+        let e = find("fig9").unwrap();
+        let planned = serde_json::to_string(&e.tables_with(&cfg, ExecMode::Planned)).unwrap();
+        let monolithic = serde_json::to_string(&e.tables_with(&cfg, ExecMode::Monolithic)).unwrap();
+        assert_eq!(planned, monolithic);
     }
 
     #[test]
@@ -351,7 +435,7 @@ mod tests {
         let stash = table_stash();
         let jobs = suite_jobs(
             vec![find("cost").unwrap()],
-            ExpConfig::smoke(),
+            ExpConfig::at(Scale::Smoke),
             Some(stash.clone()),
         );
         assert_eq!(jobs.len(), 1);
@@ -369,7 +453,12 @@ mod tests {
 
     #[test]
     fn profiled_jobs_append_a_profile_object() {
-        let jobs = suite_jobs_profiled(vec![find("fig1").unwrap()], ExpConfig::smoke(), None, true);
+        let jobs = suite_jobs_profiled(
+            vec![find("fig1").unwrap()],
+            ExpConfig::at(Scale::Smoke),
+            None,
+            true,
+        );
         let payload = (jobs[0].run)();
         assert!(payload.starts_with("{\"paper_ref\":"));
         let parsed = serde_json::parse(&payload).expect("payload is valid JSON");

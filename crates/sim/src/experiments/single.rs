@@ -1,10 +1,20 @@
 //! Single-core experiments: Figs. 1, 6, 7, 8 and Tables 5, 7.
+//!
+//! These are (benchmark, arm) grids. Each grid cell is planned as one
+//! [`SimUnit::single`] in benchmark-major order; because single-core
+//! units memoize process-wide by *(arm label, benchmark, instructions,
+//! seed)*, the five grids share their cells with each other and with
+//! every `IPC_alone` normalization run in the multi-core experiments.
 
 use padc_workloads::{profiles, BenchProfile};
 
 use crate::metrics::gmean;
+use crate::Report;
 
-use super::infra::{parallel_map, run_single, standard_arms, ExpConfig, ExpTable, PolicyArm};
+use super::infra::{
+    standard_arms, ExecMode, ExpConfig, ExpKind, ExpTable, PolicyArm, SimUnit, UnitKey, UnitResult,
+    UnitResults,
+};
 
 /// The ten benchmarks of Fig. 1 (five prefetch-unfriendly, five friendly).
 fn fig1_benchmarks() -> Vec<BenchProfile> {
@@ -49,51 +59,83 @@ fn fig6_benchmarks() -> Vec<BenchProfile> {
     .collect()
 }
 
-/// Runs every standard arm over `benches` on the single-core system,
-/// returning reports indexed `[bench][arm]`.
-fn run_grid(
-    benches: &[BenchProfile],
-    arms: &[PolicyArm],
-    exp: &ExpConfig,
-) -> Vec<Vec<crate::Report>> {
-    parallel_map(benches.len(), |b| {
-        arms.iter()
-            .map(|arm| run_single(arm, &benches[b], exp))
-            .collect()
-    })
+/// Plans one single-core unit per grid cell, benchmark-major (the same
+/// order the legacy `run_grid` executed in).
+fn grid_plan(benches: &[BenchProfile], arms: &[PolicyArm], exp: &ExpConfig) -> Vec<SimUnit> {
+    let mut units = Vec::with_capacity(benches.len() * arms.len());
+    for bench in benches {
+        for arm in arms {
+            units.push(SimUnit::single(arm, bench, exp));
+        }
+    }
+    units
 }
 
-/// Fig. 1: IPC of the stream prefetcher under demand-first and
-/// demand-prefetch-equal, normalized to no prefetching, for ten benchmarks.
-pub fn fig1_motivation(exp: &ExpConfig) -> ExpTable {
+/// Key-indexed grid view for the reduce phases: `report(bench, arm)`
+/// addresses one cell.
+struct GridView<'a> {
+    idx: UnitResults<'a>,
+    exp: ExpConfig,
+}
+
+impl<'a> GridView<'a> {
+    fn new(results: &'a [UnitResult], exp: &ExpConfig) -> Self {
+        GridView {
+            idx: UnitResults::new(results),
+            exp: *exp,
+        }
+    }
+
+    fn report(&self, bench: &BenchProfile, arm: &PolicyArm) -> &'a Report {
+        self.idx.get(&UnitKey::single(arm.label, bench, &self.exp))
+    }
+
+    fn ipc(&self, bench: &BenchProfile, arm: &PolicyArm) -> f64 {
+        self.report(bench, arm).per_core[0].ipc()
+    }
+}
+
+fn fig1_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let benches = fig1_benchmarks();
     let arms = standard_arms();
-    let grid = run_grid(&benches, &arms[0..3], exp); // no-pref, demand-first, equal
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "fig1",
         "Normalized IPC of a stream prefetcher under two rigid policies (vs no-pref)",
         &["demand-first", "demand-pref-equal"],
     );
-    for (b, bench) in benches.iter().enumerate() {
-        let base = grid[b][0].per_core[0].ipc();
+    for bench in &benches {
+        let base = grid.ipc(bench, &arms[0]);
         t.push(
             bench.name.clone(),
             vec![
-                grid[b][1].per_core[0].ipc() / base,
-                grid[b][2].per_core[0].ipc() / base,
+                grid.ipc(bench, &arms[1]) / base,
+                grid.ipc(bench, &arms[2]) / base,
             ],
         );
     }
     t
 }
 
-/// Fig. 6: single-core IPC for all five arms, normalized to demand-first,
-/// for 15 benchmarks plus the gmean over the whole 55-benchmark suite.
-pub fn fig6_single_core_ipc(exp: &ExpConfig) -> ExpTable {
+/// Fig. 1: IPC of the stream prefetcher under demand-first and
+/// demand-prefetch-equal, normalized to no prefetching, for ten benchmarks.
+pub fn fig1_motivation(exp: &ExpConfig) -> ExpTable {
+    fig1_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig1_kind() -> ExpKind {
+    ExpKind::planned(
+        // no-pref, demand-first, equal
+        |exp| grid_plan(&fig1_benchmarks(), &standard_arms()[0..3], exp),
+        |exp, results| vec![fig1_reduce(exp, results)],
+    )
+}
+
+fn fig6_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let shown = fig6_benchmarks();
     let all = profiles::all();
     let arms = standard_arms();
-    let grid = run_grid(&all, &arms, exp);
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "fig6",
         "Single-core normalized IPC (vs demand-first); last row = gmean over 55 benchmarks",
@@ -106,11 +148,9 @@ pub fn fig6_single_core_ipc(exp: &ExpConfig) -> ExpTable {
         ],
     );
     let mut norms: Vec<Vec<f64>> = vec![Vec::new(); arms.len()];
-    for (b, bench) in all.iter().enumerate() {
-        let base = grid[b][1].per_core[0].ipc();
-        let row: Vec<f64> = (0..arms.len())
-            .map(|a| grid[b][a].per_core[0].ipc() / base)
-            .collect();
+    for bench in &all {
+        let base = grid.ipc(bench, &arms[1]);
+        let row: Vec<f64> = arms.iter().map(|a| grid.ipc(bench, a) / base).collect();
         for (a, v) in row.iter().enumerate() {
             norms[a].push(*v);
         }
@@ -122,13 +162,24 @@ pub fn fig6_single_core_ipc(exp: &ExpConfig) -> ExpTable {
     t
 }
 
-/// Fig. 7: stall-time per load (SPL) for the 15 shown benchmarks plus the
-/// arithmetic mean over all 55.
-pub fn fig7_spl(exp: &ExpConfig) -> ExpTable {
+/// Fig. 6: single-core IPC for all five arms, normalized to demand-first,
+/// for 15 benchmarks plus the gmean over the whole 55-benchmark suite.
+pub fn fig6_single_core_ipc(exp: &ExpConfig) -> ExpTable {
+    fig6_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig6_kind() -> ExpKind {
+    ExpKind::planned(
+        |exp| grid_plan(&profiles::all(), &standard_arms(), exp),
+        |exp, results| vec![fig6_reduce(exp, results)],
+    )
+}
+
+fn fig7_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let shown = fig6_benchmarks();
     let all = profiles::all();
     let arms = standard_arms();
-    let grid = run_grid(&all, &arms, exp);
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "fig7",
         "Stall cycles per load (SPL), single core; last row = mean over 55 benchmarks",
@@ -141,9 +192,10 @@ pub fn fig7_spl(exp: &ExpConfig) -> ExpTable {
         ],
     );
     let mut sums = vec![0.0; arms.len()];
-    for (b, bench) in all.iter().enumerate() {
-        let row: Vec<f64> = (0..arms.len())
-            .map(|a| grid[b][a].per_core[0].spl())
+    for bench in &all {
+        let row: Vec<f64> = arms
+            .iter()
+            .map(|a| grid.report(bench, a).per_core[0].spl())
             .collect();
         for (a, v) in row.iter().enumerate() {
             sums[a] += v;
@@ -159,24 +211,34 @@ pub fn fig7_spl(exp: &ExpConfig) -> ExpTable {
     t
 }
 
-/// Fig. 8: bus traffic split into demand / useful-prefetch / useless-
-/// prefetch lines, per arm, summed over all 55 benchmarks (the paper's
-/// `amean55` bars, scaled by the benchmark count).
-pub fn fig8_traffic(exp: &ExpConfig) -> ExpTable {
+/// Fig. 7: stall-time per load (SPL) for the 15 shown benchmarks plus the
+/// arithmetic mean over all 55.
+pub fn fig7_spl(exp: &ExpConfig) -> ExpTable {
+    fig7_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig7_kind() -> ExpKind {
+    ExpKind::planned(
+        |exp| grid_plan(&profiles::all(), &standard_arms(), exp),
+        |exp, results| vec![fig7_reduce(exp, results)],
+    )
+}
+
+fn fig8_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let all = profiles::all();
     let arms = standard_arms();
-    let grid = run_grid(&all, &arms, exp);
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "fig8",
         "Bus traffic in cache lines (mean per benchmark over the 55-benchmark suite)",
         &["demand", "pref-useful", "pref-useless", "total"],
     );
-    for (a, arm) in arms.iter().enumerate() {
+    for arm in &arms {
         let mut demand = 0.0;
         let mut useful = 0.0;
         let mut useless = 0.0;
-        for row in &grid {
-            let tr = row[a].traffic();
+        for bench in &all {
+            let tr = grid.report(bench, arm).traffic();
             demand += tr.demand as f64;
             useful += tr.pref_useful as f64;
             useless += tr.pref_useless as f64;
@@ -195,12 +257,24 @@ pub fn fig8_traffic(exp: &ExpConfig) -> ExpTable {
     t
 }
 
-/// Table 5: benchmark characteristics with and without the stream
-/// prefetcher (IPC, MPKI, RBH, ACC, COV, class) under demand-first.
-pub fn tab5_characteristics(exp: &ExpConfig) -> ExpTable {
+/// Fig. 8: bus traffic split into demand / useful-prefetch / useless-
+/// prefetch lines, per arm, summed over all 55 benchmarks (the paper's
+/// `amean55` bars, scaled by the benchmark count).
+pub fn fig8_traffic(exp: &ExpConfig) -> ExpTable {
+    fig8_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig8_kind() -> ExpKind {
+    ExpKind::planned(
+        |exp| grid_plan(&profiles::all(), &standard_arms(), exp),
+        |exp, results| vec![fig8_reduce(exp, results)],
+    )
+}
+
+fn tab5_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let all = profiles::all();
     let arms = standard_arms();
-    let grid = run_grid(&all, &arms[0..2], exp); // no-pref + demand-first
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "tab5",
         "Benchmark characteristics (no-pref IPC/MPKI; demand-first IPC/MPKI/RBH/ACC/COV; class)",
@@ -208,10 +282,11 @@ pub fn tab5_characteristics(exp: &ExpConfig) -> ExpTable {
             "IPC(np)", "MPKI(np)", "IPC(df)", "MPKI(df)", "RBH", "ACC", "COV", "class",
         ],
     );
-    for (b, bench) in all.iter().enumerate() {
-        let np = &grid[b][0].per_core[0];
-        let df = &grid[b][1].per_core[0];
-        let rbh = grid[b][1].channels[0].row_hit_rate();
+    for bench in &all {
+        let np = &grid.report(bench, &arms[0]).per_core[0];
+        let df_report = grid.report(bench, &arms[1]);
+        let df = &df_report.per_core[0];
+        let rbh = df_report.channels[0].row_hit_rate();
         t.push(
             bench.name.clone(),
             vec![
@@ -229,9 +304,21 @@ pub fn tab5_characteristics(exp: &ExpConfig) -> ExpTable {
     t
 }
 
-/// Table 7: row-buffer hit rate for useful requests (RBHU) under each arm,
-/// for the paper's 13 benchmarks plus the mean over the suite.
-pub fn tab7_rbhu(exp: &ExpConfig) -> ExpTable {
+/// Table 5: benchmark characteristics with and without the stream
+/// prefetcher (IPC, MPKI, RBH, ACC, COV, class) under demand-first.
+pub fn tab5_characteristics(exp: &ExpConfig) -> ExpTable {
+    tab5_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn tab5_kind() -> ExpKind {
+    ExpKind::planned(
+        // no-pref + demand-first
+        |exp| grid_plan(&profiles::all(), &standard_arms()[0..2], exp),
+        |exp, results| vec![tab5_reduce(exp, results)],
+    )
+}
+
+fn tab7_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
     let shown = [
         "swim_00",
         "galgel_00",
@@ -249,7 +336,7 @@ pub fn tab7_rbhu(exp: &ExpConfig) -> ExpTable {
     ];
     let all = profiles::all();
     let arms = standard_arms();
-    let grid = run_grid(&all, &arms, exp);
+    let grid = GridView::new(results, exp);
     let mut t = ExpTable::new(
         "tab7",
         "Row-buffer hit rate for useful (demand + useful prefetch) requests",
@@ -262,9 +349,10 @@ pub fn tab7_rbhu(exp: &ExpConfig) -> ExpTable {
         ],
     );
     let mut sums = vec![0.0; arms.len()];
-    for (b, bench) in all.iter().enumerate() {
-        let row: Vec<f64> = (0..arms.len())
-            .map(|a| grid[b][a].per_core[0].rbhu())
+    for bench in &all {
+        let row: Vec<f64> = arms
+            .iter()
+            .map(|a| grid.report(bench, a).per_core[0].rbhu())
             .collect();
         for (a, v) in row.iter().enumerate() {
             sums[a] += v;
@@ -280,12 +368,26 @@ pub fn tab7_rbhu(exp: &ExpConfig) -> ExpTable {
     t
 }
 
+/// Table 7: row-buffer hit rate for useful requests (RBHU) under each arm,
+/// for the paper's 13 benchmarks plus the mean over the suite.
+pub fn tab7_rbhu(exp: &ExpConfig) -> ExpTable {
+    tab7_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn tab7_kind() -> ExpKind {
+    ExpKind::planned(
+        |exp| grid_plan(&profiles::all(), &standard_arms(), exp),
+        |exp, results| vec![tab7_reduce(exp, results)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Scale;
 
     fn smoke() -> ExpConfig {
-        ExpConfig::smoke()
+        ExpConfig::at(Scale::Smoke)
     }
 
     #[test]
@@ -310,5 +412,19 @@ mod tests {
         assert_eq!(t.rows.len(), 55);
         let milc_class = t.get("milc_06", "class").unwrap();
         assert_eq!(milc_class, 2.0);
+    }
+
+    #[test]
+    fn grid_plans_one_unit_per_cell() {
+        let exp = smoke();
+        let units = match fig6_kind() {
+            ExpKind::Planned(p) => (p.plan)(&exp),
+            ExpKind::Monolithic(_) => panic!("fig6 is planned"),
+        };
+        assert_eq!(units.len(), profiles::all().len() * standard_arms().len());
+        // Every unit is single-core at the single-core budget.
+        assert!(units
+            .iter()
+            .all(|u| u.key.benchmarks.len() == 1 && u.key.instructions == exp.instructions_single));
     }
 }

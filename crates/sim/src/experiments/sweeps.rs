@@ -1,55 +1,50 @@
 //! Parameter sweeps: row-buffer size (Fig. 23), closed-row policy
 //! (Fig. 24), and last-level cache size (Fig. 25).
+//!
+//! Sweeps are the densest grids in the suite: every sweep point re-runs
+//! the standard arms over the 4-core workload set. Each point's arms are
+//! built with [`PolicyArm::mutated`] closures capturing the swept
+//! parameter, and the point's units carry the row label as their
+//! [`UnitKey::variant`] so the reduce phase can address them. The
+//! `IPC_alone` normalization units are planned once for the whole sweep
+//! (they do not depend on the swept parameter).
 
 use padc_dram::RowPolicy;
-use padc_workloads::random_workloads;
+use padc_workloads::{random_workloads, Workload};
 
-use crate::SimConfig;
+use crate::metrics;
 
-use super::infra::{alone_ipcs, parallel_map, standard_arms, ExpConfig, ExpTable, PolicyArm};
+use super::infra::{
+    plan_alone_units, standard_arms, ExecMode, ExpConfig, ExpKind, ExpTable, SimUnit, UnitKey,
+    UnitResult, UnitResults,
+};
 
-/// Runs the standard arms over the 4-core workload set with a config
-/// mutation applied to every arm, returning average WS per arm.
-fn mutated_ws(
-    mutate: &(dyn Fn(&mut SimConfig) + Sync),
-    exp: &ExpConfig,
-) -> Vec<(String, f64, f64)> {
-    let workloads = random_workloads(exp.workloads_sweep, 4, exp.seed);
-    let alone: Vec<Vec<f64>> = parallel_map(workloads.len(), |i| alone_ipcs(&workloads[i], exp));
-    standard_arms()
-        .iter()
-        .map(|arm| {
-            // Wrap the arm with the mutation.
-            let wrapped = PolicyArm {
-                label: arm.label,
-                build: arm.build,
-            };
-            let outcome = average_over_workloads_mutated(&wrapped, mutate, &workloads, &alone, exp);
-            (arm.label.to_string(), outcome.0, outcome.1)
-        })
-        .collect()
+/// The sweep workload set: 4-core mixes shared by all sweep points.
+fn sweep_workloads(exp: &ExpConfig) -> Vec<Workload> {
+    random_workloads(exp.workloads_sweep, 4, exp.seed)
 }
 
-fn average_over_workloads_mutated(
-    arm: &PolicyArm,
-    mutate: &(dyn Fn(&mut SimConfig) + Sync),
-    workloads: &[padc_workloads::Workload],
+/// Mean (WS, traffic) over the sweep workloads for one (arm, variant).
+fn sweep_point_means(
+    idx: &UnitResults<'_>,
+    workloads: &[Workload],
     alone: &[Vec<f64>],
+    arm_label: &str,
+    variant: &str,
     exp: &ExpConfig,
 ) -> (f64, f64) {
-    let results: Vec<(f64, f64)> = parallel_map(workloads.len(), |i| {
-        let w = &workloads[i];
-        let mut cfg = (arm.build)(w.cores());
-        cfg.max_instructions = exp.instructions;
-        cfg.seed = exp.seed;
-        mutate(&mut cfg);
-        let r = crate::System::new(cfg, w.benchmarks.clone()).run();
-        let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
-        (
-            crate::metrics::weighted_speedup(&ipcs, &alone[i]),
-            r.traffic().total() as f64,
-        )
-    });
+    let results: Vec<(f64, f64)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let r = idx.get(&UnitKey::workload(arm_label, variant, w, exp));
+            let ipcs: Vec<f64> = r.per_core.iter().map(|c| c.ipc()).collect();
+            (
+                metrics::weighted_speedup(&ipcs, &alone[i]),
+                r.traffic().total() as f64,
+            )
+        })
+        .collect();
     let n = results.len().max(1) as f64;
     (
         results.iter().map(|r| r.0).sum::<f64>() / n,
@@ -57,18 +52,35 @@ fn average_over_workloads_mutated(
     )
 }
 
-/// Fig. 23: weighted speedup across DRAM row-buffer sizes (2KB–128KB) on
-/// the 4-core system. Columns are the arms, rows the row sizes.
-pub fn fig23_row_buffer_sweep(exp: &ExpConfig) -> ExpTable {
-    let sizes: [u64; 7] = [
-        2 * 1024,
-        4 * 1024,
-        8 * 1024,
-        16 * 1024,
-        32 * 1024,
-        64 * 1024,
-        128 * 1024,
-    ];
+const FIG23_SIZES: [u64; 7] = [
+    2 * 1024,
+    4 * 1024,
+    8 * 1024,
+    16 * 1024,
+    32 * 1024,
+    64 * 1024,
+    128 * 1024,
+];
+
+fn fig23_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = sweep_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for size in FIG23_SIZES {
+        let variant = format!("{}KB", size / 1024);
+        for arm in standard_arms() {
+            let arm = arm.mutated(move |cfg| cfg.dram.row_bytes = size);
+            for w in &workloads {
+                units.push(SimUnit::workload(&arm, &variant, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn fig23_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+    let workloads = sweep_workloads(exp);
+    let idx = UnitResults::new(results);
+    let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
     let mut t = ExpTable::new(
         "fig23",
         "Average 4-core WS vs DRAM row-buffer size",
@@ -80,44 +92,103 @@ pub fn fig23_row_buffer_sweep(exp: &ExpConfig) -> ExpTable {
             "aps-apd (PADC)",
         ],
     );
-    for size in sizes {
-        let results = mutated_ws(&move |cfg: &mut SimConfig| cfg.dram.row_bytes = size, exp);
-        t.push(
-            format!("{}KB", size / 1024),
-            results.iter().map(|r| r.1).collect(),
-        );
+    for size in FIG23_SIZES {
+        let variant = format!("{}KB", size / 1024);
+        let row: Vec<f64> = standard_arms()
+            .iter()
+            .map(|arm| sweep_point_means(&idx, &workloads, &alone, arm.label, &variant, exp).0)
+            .collect();
+        t.push(variant, row);
+    }
+    t
+}
+
+/// Fig. 23: weighted speedup across DRAM row-buffer sizes (2KB–128KB) on
+/// the 4-core system. Columns are the arms, rows the row sizes.
+pub fn fig23_row_buffer_sweep(exp: &ExpConfig) -> ExpTable {
+    fig23_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig23_kind() -> ExpKind {
+    ExpKind::planned(fig23_plan, |exp, results| vec![fig23_reduce(exp, results)])
+}
+
+/// The arms Fig. 24 reports for the open-row baseline.
+const FIG24_OPEN_ARMS: [&str; 2] = ["demand-first", "aps-apd (PADC)"];
+
+fn fig24_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = sweep_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for arm in standard_arms() {
+        if !FIG24_OPEN_ARMS.contains(&arm.label) {
+            continue; // the open-row baseline only reports these two
+        }
+        for w in &workloads {
+            units.push(SimUnit::workload(&arm, "open-row", w, exp));
+        }
+    }
+    for arm in standard_arms() {
+        let arm = arm.mutated(|cfg| cfg.dram.row_policy = RowPolicy::Closed);
+        for w in &workloads {
+            units.push(SimUnit::workload(&arm, "closed-row", w, exp));
+        }
+    }
+    units
+}
+
+fn fig24_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+    let workloads = sweep_workloads(exp);
+    let idx = UnitResults::new(results);
+    let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
+    let mut t = ExpTable::new(
+        "fig24",
+        "Average 4-core WS and traffic under open- vs closed-row policies",
+        &["WS", "traffic(lines)"],
+    );
+    for arm in standard_arms() {
+        if !FIG24_OPEN_ARMS.contains(&arm.label) {
+            continue;
+        }
+        let (ws, tr) = sweep_point_means(&idx, &workloads, &alone, arm.label, "open-row", exp);
+        t.push(format!("{} (open-row)", arm.label), vec![ws, tr]);
+    }
+    for arm in standard_arms() {
+        let (ws, tr) = sweep_point_means(&idx, &workloads, &alone, arm.label, "closed-row", exp);
+        t.push(format!("{} (closed-row)", arm.label), vec![ws, tr]);
     }
     t
 }
 
 /// Fig. 24: the closed-row policy vs the open-row baseline.
 pub fn fig24_closed_row(exp: &ExpConfig) -> ExpTable {
-    let mut t = ExpTable::new(
-        "fig24",
-        "Average 4-core WS and traffic under open- vs closed-row policies",
-        &["WS", "traffic(lines)"],
-    );
-    // Open-row baseline (demand-first and PADC).
-    let open = mutated_ws(&|_: &mut SimConfig| {}, exp);
-    let closed = mutated_ws(
-        &|cfg: &mut SimConfig| cfg.dram.row_policy = RowPolicy::Closed,
-        exp,
-    );
-    for (label, ws, tr) in &open {
-        if label == "demand-first" || label == "aps-apd (PADC)" {
-            t.push(format!("{label} (open-row)"), vec![*ws, *tr]);
-        }
-    }
-    for (label, ws, tr) in &closed {
-        t.push(format!("{label} (closed-row)"), vec![*ws, *tr]);
-    }
-    t
+    fig24_kind().tables(exp, ExecMode::Planned).remove(0)
 }
 
-/// Fig. 25: weighted speedup across per-core L2 sizes (512KB–8MB) on the
-/// 4-core system.
-pub fn fig25_cache_sweep(exp: &ExpConfig) -> ExpTable {
-    let sizes: [u64; 5] = [512, 1024, 2048, 4096, 8192];
+pub(crate) fn fig24_kind() -> ExpKind {
+    ExpKind::planned(fig24_plan, |exp, results| vec![fig24_reduce(exp, results)])
+}
+
+const FIG25_SIZES_KB: [u64; 5] = [512, 1024, 2048, 4096, 8192];
+
+fn fig25_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = sweep_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for kb in FIG25_SIZES_KB {
+        let variant = format!("{kb}KB");
+        for arm in standard_arms() {
+            let arm = arm.mutated(move |cfg| cfg.l2.size_bytes = kb * 1024);
+            for w in &workloads {
+                units.push(SimUnit::workload(&arm, &variant, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn fig25_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+    let workloads = sweep_workloads(exp);
+    let idx = UnitResults::new(results);
+    let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
     let mut t = ExpTable::new(
         "fig25",
         "Average 4-core WS vs per-core L2 capacity",
@@ -129,27 +200,74 @@ pub fn fig25_cache_sweep(exp: &ExpConfig) -> ExpTable {
             "aps-apd (PADC)",
         ],
     );
-    for kb in sizes {
-        let results = mutated_ws(
-            &move |cfg: &mut SimConfig| cfg.l2.size_bytes = kb * 1024,
-            exp,
-        );
-        t.push(format!("{kb}KB"), results.iter().map(|r| r.1).collect());
+    for kb in FIG25_SIZES_KB {
+        let variant = format!("{kb}KB");
+        let row: Vec<f64> = standard_arms()
+            .iter()
+            .map(|arm| sweep_point_means(&idx, &workloads, &alone, arm.label, &variant, exp).0)
+            .collect();
+        t.push(variant, row);
     }
     t
+}
+
+/// Fig. 25: weighted speedup across per-core L2 sizes (512KB–8MB) on the
+/// 4-core system.
+pub fn fig25_cache_sweep(exp: &ExpConfig) -> ExpTable {
+    fig25_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn fig25_kind() -> ExpKind {
+    ExpKind::planned(fig25_plan, |exp, results| vec![fig25_reduce(exp, results)])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Scale;
 
     #[test]
     fn closed_row_table_has_both_policies() {
-        let t = fig24_closed_row(&ExpConfig::smoke());
+        let t = fig24_closed_row(&ExpConfig::at(Scale::Smoke));
         assert!(t.rows.len() >= 7);
         assert!(t
             .rows
             .iter()
             .any(|(l, _)| l.contains("closed-row") && l.contains("PADC")));
+    }
+
+    #[test]
+    fn sweep_plans_cover_every_point_arm_workload_triple() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let units = fig23_plan(&exp);
+        let arms = standard_arms().len();
+        let workloads = sweep_workloads(&exp).len();
+        let points = FIG23_SIZES.len();
+        assert!(
+            units.len() >= arms * workloads * points,
+            "{} units < {} points x {} arms x {} workloads",
+            units.len(),
+            points,
+            arms,
+            workloads
+        );
+        // Sweep points must be distinguishable by variant.
+        let variants: std::collections::HashSet<_> =
+            units.iter().map(|u| u.key.variant.clone()).collect();
+        assert!(variants.len() > points, "variants: {variants:?}");
+        // And keys must be unique for the reduce index.
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(keys.len(), units.len());
+    }
+
+    #[test]
+    fn sweep_arms_capture_their_point() {
+        // Two points of the fig23 sweep must build different configs from
+        // the *same* arm list — the closure captures the size.
+        let arm = standard_arms().remove(1);
+        let small = arm.mutated(|cfg| cfg.dram.row_bytes = 2 * 1024);
+        let large = arm.mutated(|cfg| cfg.dram.row_bytes = 128 * 1024);
+        assert_eq!(small.build(4).dram.row_bytes, 2 * 1024);
+        assert_eq!(large.build(4).dram.row_bytes, 128 * 1024);
     }
 }

@@ -9,7 +9,7 @@
 //! tests in the same binary.
 
 use padc_harness::{HarnessConfig, ResumeArtifact};
-use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig};
+use padc_sim::experiments::{registry::find, suite_jobs, ExpConfig, Scale};
 use padc_sim::FastForwardMode;
 
 const IDS: [&str; 2] = ["fig1", "tab5"];
@@ -21,7 +21,7 @@ fn suite_bytes(artifact: Option<&ResumeArtifact>) -> (Vec<u8>, usize, usize) {
         .iter()
         .map(|id| find(id).expect("registered experiment id"))
         .collect();
-    let mut jobs = suite_jobs(selected, ExpConfig::smoke(), None);
+    let mut jobs = suite_jobs(selected, ExpConfig::at(Scale::Smoke), None);
     if let Some(artifact) = artifact {
         for job in &mut jobs {
             if let Some(row) = artifact.row(&job.id) {

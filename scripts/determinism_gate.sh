@@ -68,6 +68,24 @@ for mode in global horizon; do
 done
 echo "   byte-identical across all three modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
 
+echo "== exec modes: planned vs monolithic on grid/sweep/mechanism experiments"
+# The plan/reduce decomposition (DESIGN.md §10) must reproduce the legacy
+# monolithic runners byte for byte: same workloads, same arithmetic, same
+# JSONL. The subset spans every planned family — single-core grid (fig6),
+# multi-core aggregate (fig9, fig16), parameter sweep (fig23, fig24), and
+# mechanism sensitivity with its shared alone-unit plan (fig28).
+EXEC_SUBSET=(fig6 fig9 fig16 fig23 fig24 fig28)
+for exec_mode in planned monolithic; do
+    "$REPRO" --smoke --jobs 8 --no-progress --exec "$exec_mode" \
+        --jsonl "$OUT/exec-$exec_mode.jsonl" "${EXEC_SUBSET[@]}" >/dev/null
+done
+if ! cmp "$OUT/exec-planned.jsonl" "$OUT/exec-monolithic.jsonl"; then
+    echo "FAIL: JSONL differs between --exec planned and --exec monolithic" >&2
+    diff "$OUT/exec-planned.jsonl" "$OUT/exec-monolithic.jsonl" >&2 || true
+    exit 1
+fi
+echo "   byte-identical ($(wc -c <"$OUT/exec-planned.jsonl") bytes, $(wc -l <"$OUT/exec-planned.jsonl") rows)"
+
 echo "== resume across modes: off-mode artifact resumed under horizon"
 "$REPRO" --smoke --jobs 8 --no-progress --fast-forward horizon \
     --resume "$OUT/ff-off.jsonl" --jsonl "$OUT/cross.jsonl" \

@@ -1,10 +1,21 @@
 #!/usr/bin/env bash
-# CI perf gate: the fast-forward core-cycle skip ratio on a smoke-scale
-# 8-core memory-hog mix must not regress below the floor recorded in
-# BENCH_fastforward.json (minus tolerance). This catches changes that
-# silently break horizon/idle classification (e.g. a core that always
-# reports busy): results would stay byte-identical — so the determinism
-# gate would pass — while the multi-core speedup quietly evaporates.
+# CI perf gate, two sections:
+#
+# 1. The fast-forward core-cycle skip ratio on a smoke-scale 8-core
+#    memory-hog mix must not regress below the floor recorded in
+#    BENCH_fastforward.json (minus tolerance). This catches changes that
+#    silently break horizon/idle classification (e.g. a core that always
+#    reports busy): results would stay byte-identical — so the determinism
+#    gate would pass — while the multi-core speedup quietly evaporates.
+#
+# 2. The plan/reduce sub-job machinery must keep doing its job
+#    structurally (floors from BENCH_subjob.json): planned experiments
+#    must decompose into at least the recorded number of sub-jobs, peak
+#    sub-job concurrency must never exceed --jobs, and the single-run
+#    memo must still deduplicate shared grid cells (computed stays at the
+#    recorded unique-unit count while requested exceeds it). All three
+#    are deterministic counts, not timings, so the gate is immune to
+#    machine noise and meaningful even on a 1-CPU container.
 #
 # Set PERF_GATE_OUT to keep the report and profile output in a known
 # directory (CI uploads it on failure); otherwise a temp dir is used.
@@ -53,4 +64,57 @@ if ! awk -v s="$skip" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
     exit 1
 fi
 echo "   core skip ratio ${skip}% >= floor ${floor}%"
+
+REPRO=target/release/repro
+
+SUBJOB_GATE=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_subjob.json"))["ci_gate"]
+print(gate["jobs"], gate["min_subjobs_executed"],
+      gate["max_singles_computed"], " ".join(gate["subset"]))
+PYEOF
+)
+read -r SUBJOB_JOBS MIN_SUBJOBS MAX_SINGLES SUBJOB_SUBSET <<<"$SUBJOB_GATE"
+
+echo "== subjobs: ${SUBJOB_SUBSET} at smoke scale, --jobs ${SUBJOB_JOBS}"
+# shellcheck disable=SC2086
+"$REPRO" --smoke --jobs "$SUBJOB_JOBS" --no-progress --exec planned \
+    --jsonl "$OUT/subjob.jsonl" --summary "$OUT/subjob-summary.json" \
+    $SUBJOB_SUBSET >/dev/null 2>"$OUT/subjob-stderr.txt"
+
+executed=$(grep -o '"subjobs_executed": [0-9]*' "$OUT/subjob-summary.json" | grep -o '[0-9]*$')
+peak=$(grep -o '"subjobs_peak_concurrent": [0-9]*' "$OUT/subjob-summary.json" | grep -o '[0-9]*$')
+memo=$(grep '^single_run_memo:' "$OUT/subjob-stderr.txt" || true)
+requested=$(echo "$memo" | grep -o 'requested=[0-9]*' | cut -d= -f2)
+computed=$(echo "$memo" | grep -o 'computed=[0-9]*' | cut -d= -f2)
+
+if [ -z "$executed" ] || [ -z "$peak" ]; then
+    echo "FAIL: summary JSON carries no sub-job stats:" >&2
+    cat "$OUT/subjob-summary.json" >&2
+    exit 1
+fi
+if [ "$executed" -lt "$MIN_SUBJOBS" ]; then
+    echo "FAIL: only $executed sub-jobs executed (floor $MIN_SUBJOBS):" >&2
+    echo "      planned experiments are no longer decomposing into units" >&2
+    exit 1
+fi
+if [ "$peak" -gt "$SUBJOB_JOBS" ]; then
+    echo "FAIL: peak sub-job concurrency $peak exceeds --jobs $SUBJOB_JOBS" >&2
+    exit 1
+fi
+if [ -z "$requested" ] || [ -z "$computed" ]; then
+    echo "FAIL: no single_run_memo line on stderr — memo accounting is gone" >&2
+    exit 1
+fi
+if [ "$computed" -gt "$MAX_SINGLES" ]; then
+    echo "FAIL: $computed single-core runs computed (ceiling $MAX_SINGLES):" >&2
+    echo "      the single-run memo stopped deduplicating shared grid cells" >&2
+    exit 1
+fi
+if [ "$requested" -le "$computed" ]; then
+    echo "FAIL: requested=$requested computed=$computed — no dedup observed" >&2
+    exit 1
+fi
+echo "   $executed sub-jobs (floor $MIN_SUBJOBS), peak concurrency $peak <= $SUBJOB_JOBS"
+echo "   memo: $requested requested -> $computed computed (ceiling $MAX_SINGLES)"
 echo "== perf_gate.sh: all green"

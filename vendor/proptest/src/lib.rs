@@ -9,17 +9,22 @@
 //!
 //! # Shrinking
 //!
-//! Unlike real proptest, shrinking here is *value-based*, not
-//! strategy-based: when a case fails, each component of the generated
-//! input tuple is independently binary-searched toward its origin (zero,
-//! `false`, the empty `Vec`) while the other components are held fixed,
-//! keeping only candidates on which the test still fails. The minimized
-//! input is reported alongside the original input and the case seed.
+//! When a case fails, each component of the generated input tuple is
+//! independently binary-searched toward its origin (zero, `false`, the
+//! empty `Vec`) while the other components are held fixed, keeping only
+//! candidates on which the test still fails. The minimized input is
+//! reported alongside the original input and the case seed.
 //! Scalars ([`ShrinkValue`] impls: integers, `bool`, `f64`, `Vec` by
 //! prefix length, tuples elementwise) shrink; any other input type is
-//! passed through unshrunk. Because shrinking ignores the generating
-//! strategy's constraints, a minimized value can lie outside the
-//! strategy's range — the original failing input is always reported too.
+//! passed through unshrunk.
+//!
+//! Shrinking is *strategy-aware*: every candidate is filtered through
+//! [`Strategy::is_valid`], so a minimized value never lies outside the
+//! strategy that generated it (`500..1000` minimizes toward `500`, not
+//! `0`). Ranges, tuples, `prop::collection::vec`, `prop_oneof!` arms and
+//! boxed strategies all constrain their candidates; strategies that
+//! cannot check membership (`prop_map`, `Just`, `any`) accept every
+//! candidate, matching the old unconstrained behaviour.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +63,16 @@ pub trait Strategy {
     /// Draws one value.
     fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Whether `value` could have been produced by this strategy.
+    ///
+    /// Shrinking filters every candidate through this hook so minimized
+    /// inputs stay inside the strategy's domain. The default accepts
+    /// everything — correct for full-range strategies (`any`) and the
+    /// only safe answer for non-invertible ones (`prop_map`).
+    fn is_valid(&self, _value: &Self::Value) -> bool {
+        true
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -72,21 +87,45 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
-            self.gen_value(rng)
-        }))
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Object-safe view of a [`Strategy`], backing [`BoxedStrategy`] so type
+/// erasure preserves both generation and the [`Strategy::is_valid`] hook.
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    fn valid_dyn(&self, value: &T) -> bool;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+
+    fn valid_dyn(&self, value: &S::Value) -> bool {
+        self.is_valid(value)
     }
 }
 
 /// A type-erased strategy.
-#[derive(Clone)]
-pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
 
     fn gen_value(&self, rng: &mut TestRng) -> T {
-        (self.0)(rng)
+        self.0.gen_dyn(rng)
+    }
+
+    fn is_valid(&self, value: &T) -> bool {
+        self.0.valid_dyn(value)
     }
 }
 
@@ -173,6 +212,10 @@ macro_rules! range_strategy {
             fn gen_value(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn is_valid(&self, value: &$t) -> bool {
+                self.contains(value)
+            }
         }
     )*};
 }
@@ -185,6 +228,10 @@ impl Strategy for std::ops::Range<f64> {
         let unit: f64 = rng.gen();
         self.start + unit * (self.end - self.start)
     }
+
+    fn is_valid(&self, value: &f64) -> bool {
+        self.contains(value)
+    }
 }
 
 macro_rules! tuple_strategy {
@@ -194,6 +241,10 @@ macro_rules! tuple_strategy {
 
             fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.gen_value(rng),)+)
+            }
+
+            fn is_valid(&self, value: &Self::Value) -> bool {
+                $(self.$idx.is_valid(&value.$idx))&&+
             }
         }
     )*};
@@ -220,11 +271,18 @@ pub mod strategy_modules {
         pub trait SizeRange {
             /// Draws a length.
             fn draw(&self, rng: &mut TestRng) -> usize;
+
+            /// Whether `len` is an admissible length (used by shrinking).
+            fn contains(&self, len: usize) -> bool;
         }
 
         impl SizeRange for std::ops::Range<usize> {
             fn draw(&self, rng: &mut TestRng) -> usize {
                 rng.gen_range(self.clone())
+            }
+
+            fn contains(&self, len: usize) -> bool {
+                std::ops::RangeBounds::contains(self, &len)
             }
         }
 
@@ -232,11 +290,19 @@ pub mod strategy_modules {
             fn draw(&self, rng: &mut TestRng) -> usize {
                 rng.gen_range(*self.start()..*self.end() + 1)
             }
+
+            fn contains(&self, len: usize) -> bool {
+                std::ops::RangeBounds::contains(self, &len)
+            }
         }
 
         impl SizeRange for usize {
             fn draw(&self, _rng: &mut TestRng) -> usize {
                 *self
+            }
+
+            fn contains(&self, len: usize) -> bool {
+                len == *self
             }
         }
 
@@ -257,6 +323,11 @@ pub mod strategy_modules {
             fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = self.size.draw(rng);
                 (0..n).map(|_| self.element.gen_value(rng)).collect()
+            }
+
+            fn is_valid(&self, value: &Vec<S::Value>) -> bool {
+                self.size.contains(value.len())
+                    && value.iter().all(|element| self.element.is_valid(element))
             }
         }
     }
@@ -308,6 +379,10 @@ impl<T> Strategy for OneOf<T> {
     fn gen_value(&self, rng: &mut TestRng) -> T {
         let i = rng.gen_range(0..self.0.len());
         self.0[i].gen_value(rng)
+    }
+
+    fn is_valid(&self, value: &T) -> bool {
+        self.0.iter().any(|arm| arm.is_valid(value))
     }
 }
 
@@ -613,10 +688,15 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
+                // One tuple strategy for the whole input: the tuple impl
+                // draws components in declaration order, so the RNG
+                // sequence (and thus every historical failure seed) is
+                // unchanged from the old per-component expansion.
+                let __padc_strategy = ($($strategy,)+);
                 $crate::run_cases_shrink(
                     stringify!($name),
                     config.cases,
-                    |rng| ($($crate::Strategy::gen_value(&$strategy, rng),)+),
+                    |rng| $crate::Strategy::gen_value(&__padc_strategy, rng),
                     |__padc_vals| {
                         let ($($arg,)+) = ::std::clone::Clone::clone(__padc_vals);
                         $body
@@ -624,7 +704,12 @@ macro_rules! __proptest_impl {
                     |__padc_vals, __padc_fails| {
                         #[allow(unused_imports)]
                         use $crate::{ShrinkFallback as _, ShrinkSpecialized as _};
-                        (&$crate::ShrinkDispatch(__padc_vals)).padc_shrink(__padc_fails)
+                        (&$crate::ShrinkDispatch(__padc_vals)).padc_shrink(
+                            &mut |__padc_candidate| {
+                                $crate::Strategy::is_valid(&__padc_strategy, __padc_candidate)
+                                    && __padc_fails(__padc_candidate)
+                            },
+                        )
                     },
                 );
             }
@@ -717,6 +802,75 @@ mod tests {
         let opaque = (Opaque(7),);
         let out = (&ShrinkDispatch(&opaque)).padc_shrink(&mut |_| true);
         assert_eq!(out, opaque);
+    }
+
+    #[test]
+    fn is_valid_tracks_each_strategy_shape() {
+        use crate::Strategy;
+        assert!((500u64..1000).is_valid(&500));
+        assert!(!(500u64..1000).is_valid(&499));
+        assert!(!(500u64..1000).is_valid(&1000));
+        assert!((0.5f64..2.0).is_valid(&1.0));
+        assert!(!(0.5f64..2.0).is_valid(&0.0));
+        // Tuples check elementwise.
+        assert!((3u32..8, 10i64..20).is_valid(&(3, 19)));
+        assert!(!(3u32..8, 10i64..20).is_valid(&(3, 9)));
+        // Vecs check both the length bound and every element.
+        let v = prop::collection::vec(5u32..10, 3..6);
+        assert!(v.is_valid(&vec![5, 9, 7]));
+        assert!(!v.is_valid(&vec![5, 9])); // too short
+        assert!(!v.is_valid(&vec![5, 9, 4])); // element out of range
+
+        // OneOf accepts a value any arm accepts; boxing preserves the check.
+        let choice = prop_oneof![0u64..5, 100u64..200];
+        assert!(choice.is_valid(&3));
+        assert!(choice.is_valid(&150));
+        assert!(!choice.is_valid(&50));
+        // Mapped strategies cannot invert `f`: they accept everything.
+        assert!((500u64..1000).prop_map(|v| v * 2).is_valid(&1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// End to end through the macro: candidates outside the strategy
+        /// are rejected during shrinking, so inputs stay in range even
+        /// while the minimizer probes toward the origin.
+        #[test]
+        fn macro_shrinking_stays_in_range(x in 500u64..1000) {
+            prop_assert!((500..1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shrinking_respects_strategy_bounds() {
+        // The property fails for every in-range input, so the smallest
+        // *valid* failing input is the range's start — not the origin 0,
+        // which value-based shrinking alone would report.
+        let strategy = (500u64..1000,);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases_shrink(
+                "bounded",
+                4,
+                |rng| crate::Strategy::gen_value(&strategy, rng),
+                |&(x,)| assert!(x < 100, "too big: {x}"),
+                |vals, fails| {
+                    use crate::ShrinkSpecialized as _;
+                    #[allow(clippy::needless_borrow)] // mirrors the macro's autoref dispatch
+                    (&crate::ShrinkDispatch(vals)).padc_shrink(&mut |candidate| {
+                        crate::Strategy::is_valid(&strategy, candidate) && fails(candidate)
+                    })
+                },
+            );
+        });
+        let panic = result.expect_err("property must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(
+            msg.contains("minimized input: (500,)"),
+            "expected range start 500 as the minimized input, got: {msg}"
+        );
     }
 
     #[test]
