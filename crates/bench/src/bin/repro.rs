@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
-//!       [--summary PATH] [--json|--csv|--bars COL] [--no-progress]
-//!       [--profile] [--exec planned|monolithic]
+//!       [--summary PATH] [--store DIR] [--json|--csv|--bars COL]
+//!       [--no-progress] [--profile] [--exec planned|monolithic]
 //!       [--fast-forward off|global|horizon] [<experiment-id>...]
 //! repro --list
 //! ```
@@ -45,6 +45,15 @@
 //! FILE. On a fully settled artifact, zero experiments execute and the
 //! output is byte-identical to the input.
 //!
+//! `--store DIR` (or the `PADC_STORE` environment variable) makes runs
+//! incremental at **unit** granularity, across invocations and across
+//! overlapping experiment selections: every planned simulation unit
+//! resolves against a persistent content-addressed store before it is
+//! scheduled, and computed misses are written back atomically. A warm
+//! rerun executes zero simulation units and produces byte-identical JSONL
+//! (see DESIGN.md §12). The stderr line `store: hits=H misses=M
+//! coalesced=C` and matching `--summary` fields report the telemetry.
+//!
 //! Exit status: `0` when every experiment succeeds, `1` when any job
 //! panics or runs over budget, `2` on usage errors (including unknown
 //! experiment ids).
@@ -59,8 +68,8 @@ use padc_sim::experiments::{single_run_stats, ExecMode, ExpConfig, Scale};
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
-         \x20            [--summary PATH] [--json|--csv|--bars COL] [--no-progress]\n\
-         \x20            [--profile] [--exec planned|monolithic]\n\
+         \x20            [--summary PATH] [--store DIR] [--json|--csv|--bars COL]\n\
+         \x20            [--no-progress] [--profile] [--exec planned|monolithic]\n\
          \x20            [--fast-forward off|global|horizon] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
@@ -94,6 +103,7 @@ fn main() {
     let mut progress = true;
     let mut profile = false;
     let mut exec = ExecMode::default();
+    let mut store_flag: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -113,6 +123,7 @@ fn main() {
             "--jsonl" => jsonl_path = Some(flag_value(&mut iter, "--jsonl")),
             "--resume" => resume_path = Some(flag_value(&mut iter, "--resume")),
             "--summary" => summary_path = Some(flag_value(&mut iter, "--summary")),
+            "--store" => store_flag = Some(flag_value(&mut iter, "--store")),
             "--budget-seconds" => {
                 let v = flag_value(&mut iter, "--budget-seconds");
                 let secs: u64 = v.parse().unwrap_or_else(|_| {
@@ -221,6 +232,14 @@ fn main() {
     if profile {
         padc_sim::profile::set_timing_enabled(true);
     }
+    if let Some(dir) =
+        store_flag.or_else(|| std::env::var("PADC_STORE").ok().filter(|s| !s.is_empty()))
+    {
+        padc_sim::experiments::install_unit_store(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+            eprintln!("cannot open store {dir}: {e}");
+            std::process::exit(2);
+        });
+    }
     let stash = table_stash();
     let mut jobs = suite_jobs_with(
         selected,
@@ -259,8 +278,26 @@ fn main() {
     };
 
     let mut stderr = std::io::stderr().lock();
-    let summary =
+    let mut summary =
         run_suite(&jobs, &harness_cfg, jsonl_sink, &mut stderr).expect("suite I/O failed");
+    if padc_sim::experiments::unit_store_installed() {
+        let stats = padc_sim::experiments::unit_cache_stats();
+        for (name, v) in [
+            ("store_hits", stats.store_hits),
+            ("store_misses", stats.store_misses),
+            ("units_coalesced", stats.units_coalesced),
+        ] {
+            summary.extras.push((name.to_string(), v));
+        }
+        // Machine-readable store telemetry: the determinism and perf gates
+        // parse this line; keep the key=value form stable.
+        writeln!(
+            stderr,
+            "store: hits={} misses={} coalesced={}",
+            stats.store_hits, stats.store_misses, stats.units_coalesced
+        )
+        .expect("stderr");
+    }
 
     // Human-readable rendering, in registry order, from the stash the jobs
     // filled. Suppressed when the JSONL stream already owns stdout.

@@ -50,6 +50,7 @@
 //! never in the artifact.
 
 mod resume;
+pub mod service;
 pub mod subjob;
 
 use std::io::{self, Write};
@@ -59,6 +60,7 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 pub use resume::ResumeArtifact;
+pub use service::{BatchHandle, CompletedJob, ServiceConfig, SuiteService};
 pub use subjob::{set_task_context, subjob_map, task_context, under_harness, with_task_context};
 
 use subjob::SubJobPool;
@@ -199,6 +201,11 @@ pub struct Summary {
     /// exceed `workers` — units only run on suite worker threads — which
     /// the concurrency CI gate asserts.
     pub subjobs_peak_concurrent: u64,
+    /// Extra counters appended by the caller before rendering (e.g. the
+    /// simulator's store hit/miss telemetry). Each `(name, value)` pair is
+    /// emitted as a top-level integer field of [`Summary::to_json`], in
+    /// order. Empty by default.
+    pub extras: Vec<(String, u64)>,
 }
 
 impl Summary {
@@ -245,6 +252,11 @@ impl Summary {
             "  \"subjobs_peak_concurrent\": {},\n",
             self.subjobs_peak_concurrent
         ));
+        for (name, value) in &self.extras {
+            out.push_str("  ");
+            write_json_string(&mut out, name);
+            out.push_str(&format!(": {value},\n"));
+        }
         out.push_str("  \"jobs\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             out.push_str("    {\"id\":");
@@ -508,6 +520,7 @@ pub fn run_suite(
         wall_seconds: started.elapsed().as_secs_f64(),
         subjobs_executed: pool.stats.executed(),
         subjobs_peak_concurrent: pool.stats.peak_concurrent(),
+        extras: Vec::new(),
     })
 }
 

@@ -138,6 +138,11 @@ pub(crate) struct SubJobPool {
     /// Executed/peak-concurrency accounting, surfaced in the suite
     /// [`Summary`](crate::Summary).
     pub(crate) stats: Arc<SubJobStats>,
+    /// Called after each batch lands in the queue (queue lock released).
+    /// The suite service parks its idle workers on its *own* condvar (so
+    /// they can also watch the request queue); this hook lets an enqueue
+    /// wake them there.
+    enqueue_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 struct PoolQueue {
@@ -155,7 +160,13 @@ impl SubJobPool {
             }),
             available: Condvar::new(),
             stats: Arc::new(SubJobStats::default()),
+            enqueue_hook: Mutex::new(None),
         }
+    }
+
+    /// Installs the post-enqueue wake hook (see the field docs).
+    pub(crate) fn set_enqueue_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.enqueue_hook.lock().expect("hook poisoned") = Some(hook);
     }
 
     fn enqueue_batch(&self, batch: &Arc<Batch>, n: usize) {
@@ -168,6 +179,9 @@ impl SubJobPool {
         }
         drop(q);
         self.available.notify_all();
+        if let Some(hook) = &*self.enqueue_hook.lock().expect("hook poisoned") {
+            hook();
+        }
     }
 
     /// Non-blocking pop, for drain loops and helping parents.
@@ -177,6 +191,15 @@ impl SubJobPool {
             .expect("pool queue poisoned")
             .jobs
             .pop_front()
+    }
+
+    /// True when no sub-jobs are queued (in-flight units don't count).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .is_empty()
     }
 
     /// Blocking pop; returns `None` once the pool is closed and empty.

@@ -121,6 +121,7 @@ fn run_suite_mode(args: &[String]) -> ! {
     let mut summary_path: Option<String> = None;
     let mut profile = false;
     let mut exec = ExecMode::default();
+    let mut store_flag: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     let die = |msg: String| -> ! {
@@ -145,6 +146,7 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--jsonl" => jsonl_path = Some(value("--jsonl")),
             "--resume" => resume_path = Some(value("--resume")),
             "--summary" => summary_path = Some(value("--summary")),
+            "--store" => store_flag = Some(value("--store")),
             "--profile" => profile = true,
             "--exec" => {
                 let v = value("--exec");
@@ -171,7 +173,7 @@ fn run_suite_mode(args: &[String]) -> ! {
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
-                     [--resume FILE] [--summary PATH] [--profile] \
+                     [--resume FILE] [--summary PATH] [--store DIR] [--profile] \
                      [--exec planned|monolithic] \
                      [--fast-forward off|global|horizon] [--no-fast-forward] \
                      [--list] [<experiment-id>...]"
@@ -229,6 +231,10 @@ fn run_suite_mode(args: &[String]) -> ! {
     if profile {
         padc_sim::profile::set_timing_enabled(true);
     }
+    if let Some(dir) = store_dir_from(store_flag) {
+        padc_sim::experiments::install_unit_store(std::path::Path::new(&dir))
+            .unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")));
+    }
     let mut jobs = suite_jobs_with(selected, cfg, None, SuiteOptions { profile, exec });
     if let Some(artifact) = &artifact {
         for job in &mut jobs {
@@ -260,8 +266,24 @@ fn run_suite_mode(args: &[String]) -> ! {
         }
     };
     let mut stderr = std::io::stderr().lock();
-    let summary = padc_harness::run_suite(&jobs, &harness_cfg, jsonl_sink, &mut stderr)
+    let mut summary = padc_harness::run_suite(&jobs, &harness_cfg, jsonl_sink, &mut stderr)
         .expect("suite I/O failed");
+    if padc_sim::experiments::unit_store_installed() {
+        let stats = padc_sim::experiments::unit_cache_stats();
+        for (name, v) in [
+            ("store_hits", stats.store_hits),
+            ("store_misses", stats.store_misses),
+            ("units_coalesced", stats.units_coalesced),
+        ] {
+            summary.extras.push((name.to_string(), v));
+        }
+        // Machine-readable store telemetry: the determinism and perf gates
+        // parse this line; keep the key=value form stable.
+        eprintln!(
+            "store: hits={} misses={} coalesced={}",
+            stats.store_hits, stats.store_misses, stats.units_coalesced
+        );
+    }
     if let Some(path) = &summary_path {
         std::fs::write(path, summary.to_json())
             .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
@@ -282,6 +304,155 @@ fn run_suite_mode(args: &[String]) -> ! {
         eprintln!("single_run_memo: requested={requested} computed={computed}");
     }
     std::process::exit(if summary.failed() > 0 { 1 } else { 0 });
+}
+
+/// Resolves the unit-store directory: the `--store DIR` flag beats the
+/// `PADC_STORE` environment variable; neither means no store.
+fn store_dir_from(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| std::env::var("PADC_STORE").ok().filter(|s| !s.is_empty()))
+}
+
+/// `padcsim serve`: long-running experiment request server (line-delimited
+/// JSON over stdio or a Unix socket); see `padc_sim::serve` for the
+/// protocol.
+fn run_serve_mode(args: &[String]) -> ! {
+    use padc_sim::experiments::Scale;
+
+    let die = |msg: String| -> ! {
+        eprintln!("error: {msg} (try padcsim serve --help)");
+        std::process::exit(2);
+    };
+    let mut workers = 0usize;
+    let mut scale = Scale::Full;
+    let mut store_flag: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--smoke" => scale = Scale::Smoke,
+            "--jobs" | "-j" => {
+                let v = value("--jobs");
+                workers = v
+                    .parse()
+                    .unwrap_or_else(|_| die(format!("--jobs expects an integer, got {v:?}")));
+            }
+            "--store" => store_flag = Some(value("--store")),
+            "--socket" => socket = Some(value("--socket")),
+            "--stdio" => socket = None,
+            "--help" | "-h" => {
+                println!(
+                    "usage: padcsim serve [--stdio | --socket PATH] [--jobs N] \
+                     [--quick|--smoke] [--store DIR]\n\
+                     requests: one JSON object per line, e.g. \
+                     {{\"id\":\"r1\",\"experiments\":[\"fig6\"],\"scale\":\"smoke\"}}"
+                );
+                std::process::exit(0);
+            }
+            other => die(format!("unknown serve flag {other:?}")),
+        }
+    }
+    if let Some(dir) = store_dir_from(store_flag) {
+        padc_sim::experiments::install_unit_store(std::path::Path::new(&dir))
+            .unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")));
+        eprintln!("serve: unit store at {dir}");
+    }
+    let state = padc_sim::serve::ServeState::new(workers, scale);
+    let result = match &socket {
+        Some(path) => {
+            eprintln!("serve: listening on {path}");
+            padc_sim::serve::serve_unix(&state, std::path::Path::new(path))
+        }
+        None => {
+            eprintln!("serve: reading requests from stdin");
+            padc_sim::serve::serve_stdio(&state, std::io::stdin().lock(), std::io::stdout())
+        }
+    };
+    let counters = padc_sim::profile::service_counters();
+    eprintln!(
+        "serve: requests={} subjobs_executed={} store: hits={} misses={} coalesced={}",
+        counters.serve_requests,
+        state.subjobs_executed(),
+        counters.store_hits,
+        counters.store_misses,
+        counters.units_coalesced
+    );
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `padcsim store <stats|gc>`: inspect and bound the content-addressed
+/// unit store without running anything.
+fn run_store_mode(args: &[String]) -> ! {
+    let die = |msg: String| -> ! {
+        eprintln!("error: {msg} (try padcsim store --help)");
+        std::process::exit(2);
+    };
+    let mut action: Option<String> = None;
+    let mut store_flag: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--store" => store_flag = Some(value("--store")),
+            "--max-bytes" => {
+                let v = value("--max-bytes");
+                max_bytes =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        die(format!("--max-bytes expects an integer, got {v:?}"))
+                    }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: padcsim store (stats | gc --max-bytes N) [--store DIR]\n\
+                     the store directory falls back to $PADC_STORE"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => die(format!("unknown store flag {other:?}")),
+            other if action.is_none() => action = Some(other.to_string()),
+            other => die(format!("unexpected argument {other:?}")),
+        }
+    }
+    let dir = store_dir_from(store_flag)
+        .unwrap_or_else(|| die("no store directory: pass --store DIR or set PADC_STORE".into()));
+    let store = padc_store::Store::open(std::path::Path::new(&dir))
+        .unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")));
+    match action.as_deref() {
+        Some("stats") | None => {
+            let s = store
+                .stats()
+                .unwrap_or_else(|e| die(format!("stats failed: {e}")));
+            println!("store: entries={} bytes={}", s.entries, s.bytes);
+        }
+        Some("gc") => {
+            let max = max_bytes.unwrap_or_else(|| die("gc requires --max-bytes N".into()));
+            let o = store
+                .gc(max)
+                .unwrap_or_else(|e| die(format!("gc failed: {e}")));
+            println!(
+                "store gc: evicted={} freed_bytes={} remaining_entries={} remaining_bytes={}",
+                o.evicted, o.freed_bytes, o.remaining_entries, o.remaining_bytes
+            );
+        }
+        Some(other) => die(format!("unknown store action {other:?} (stats|gc)")),
+    }
+    std::process::exit(0);
 }
 
 /// `--profile`: one-line hot-path summary on stderr, so it composes with
@@ -315,8 +486,11 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().is_some_and(|a| a == "--suite") {
-        run_suite_mode(&raw[1..]);
+    match raw.first().map(String::as_str) {
+        Some("--suite") => run_suite_mode(&raw[1..]),
+        Some("serve") => run_serve_mode(&raw[1..]),
+        Some("store") => run_store_mode(&raw[1..]),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,

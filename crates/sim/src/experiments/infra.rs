@@ -454,6 +454,41 @@ impl SimUnit {
             }
         }
     }
+
+    /// The unit's content-address document for the persistent store: the
+    /// simulator fingerprint plus the **full** result-shaping inputs — the
+    /// exact [`SimConfig`] [`execute`](Self::execute) would build and the
+    /// benchmark profiles it would run, serialized to canonical JSON.
+    ///
+    /// Labels and variants are deliberately excluded: two arms that build
+    /// identical configs share one entry (the same sharing the single-run
+    /// memo exploits). Knobs proven observationally equivalent (the
+    /// fast-forward mode) are also excluded — DESIGN.md §10 states the
+    /// soundness rule and when
+    /// [`RESULT_SCHEMA_VERSION`](super::RESULT_SCHEMA_VERSION) must be
+    /// bumped instead.
+    pub fn store_meta(&self) -> String {
+        let (cfg, benches) = match &self.work {
+            UnitWork::Single { arm, bench } => {
+                let mut cfg = arm.build(1);
+                cfg.max_instructions = self.key.instructions;
+                cfg.seed = self.key.seed;
+                (cfg, vec![bench.clone()])
+            }
+            UnitWork::Workload { arm, workload } => {
+                let mut cfg = arm.build(workload.cores());
+                cfg.max_instructions = self.key.instructions;
+                cfg.seed = self.key.seed;
+                (cfg, workload.benchmarks.clone())
+            }
+        };
+        format!(
+            "{{\"fingerprint\":{},\"config\":{},\"benchmarks\":{}}}",
+            serde_json::to_string(&super::unit_cache::fingerprint()).expect("string serializes"),
+            serde_json::to_string(&cfg).expect("config serializes"),
+            serde_json::to_string(&benches).expect("profiles serialize"),
+        )
+    }
 }
 
 impl fmt::Debug for SimUnit {
@@ -503,10 +538,20 @@ impl std::str::FromStr for ExecMode {
 /// shared `padc-harness` pool (so `--jobs N` load-balances across all
 /// units of all experiments); `Monolithic` runs them inline. Both modes
 /// produce identical results — units are independent simulations.
+///
+/// With a persistent store installed (or serve-mode coalescing on), units
+/// first resolve through the content-addressed unit cache
+/// (the `unit_cache` module): validated disk entries and in-flight
+/// duplicates are never scheduled, so a fully warm run executes zero
+/// simulations. Without it, this is exactly the legacy path.
 pub fn execute_units(units: &[SimUnit], mode: ExecMode) -> Vec<UnitResult> {
-    let reports: Vec<Report> = match mode {
-        ExecMode::Planned => parallel_map(units.len(), |i| units[i].execute()),
-        ExecMode::Monolithic => units.iter().map(|u| u.execute()).collect(),
+    let reports: Vec<Report> = if super::unit_cache::active() {
+        super::unit_cache::execute_cached(units, mode)
+    } else {
+        match mode {
+            ExecMode::Planned => parallel_map(units.len(), |i| units[i].execute()),
+            ExecMode::Monolithic => units.iter().map(|u| u.execute()).collect(),
+        }
     };
     units
         .iter()

@@ -26,6 +26,7 @@ mod multi;
 pub mod registry;
 mod single;
 mod sweeps;
+mod unit_cache;
 
 pub use infra::{
     execute_units, plan_alone_units, single_run_stats, ExecMode, ExpConfig, ExpKind, ExpTable,
@@ -50,3 +51,9 @@ pub use single::{
     fig1_motivation, fig6_single_core_ipc, fig7_spl, fig8_traffic, tab5_characteristics, tab7_rbhu,
 };
 pub use sweeps::{fig23_row_buffer_sweep, fig24_closed_row, fig25_cache_sweep};
+pub use unit_cache::{
+    fingerprint as store_fingerprint, install_unit_store, set_unit_coalescing, unit_cache_stats,
+    unit_store_installed, UnitCacheStats, RESULT_SCHEMA_VERSION,
+};
+#[doc(hidden)]
+pub use unit_cache::{reset_memory_cells, uninstall_unit_store};

@@ -1,0 +1,319 @@
+//! Content-addressed unit cache: the layer between [`execute_units`] and
+//! the disk store.
+//!
+//! When active, every planned [`SimUnit`] resolves through a process-wide
+//! claim map keyed by the SHA-256 digest of the unit's *store meta* — the
+//! simulator fingerprint plus the full result-shaping inputs (see
+//! [`SimUnit::store_meta`] and DESIGN.md §12). Resolution happens **before**
+//! any fan-out:
+//!
+//! 1. A digest already `Done` in memory (or `InFlight` on another thread)
+//!    is coalesced — it never probes the disk nor schedules a sub-job.
+//!    Concurrent identical requests through `padcsim serve` therefore
+//!    compute each unit once.
+//! 2. An unclaimed digest probes the installed [`Store`], strictly: the
+//!    entry must validate byte-for-byte against today's meta *and* its
+//!    payload must parse as a [`Report`], or it is treated as a miss and
+//!    recomputed (the PR 2 resume posture — disk is never trusted).
+//! 3. Only the remaining misses are scheduled (fanned out in
+//!    [`ExecMode::Planned`], inline in `Monolithic`), so a fully warm run
+//!    executes **zero** simulation units. Completed misses are written
+//!    back with an atomic put.
+//!
+//! A panicking compute resets its claim to `Empty` and wakes waiters, the
+//! first of which adopts the claim and recomputes inline — a poisoned
+//! entry or injected failure can never wedge a waiter.
+//!
+//! The cache is **off by default**: without a store installed (and outside
+//! serve mode) `execute_units` takes the exact legacy path, keeping the
+//! established scheduler telemetry (`subjobs_executed`, single-run memo
+//! floors) untouched. Reports are exact-integer JSON, so a cache round
+//! trip is byte-lossless and cold/warm/no-store artifacts are
+//! byte-identical — `scripts/determinism_gate.sh` enforces this.
+
+use std::collections::HashMap;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use padc_store::{digest_hex, Store};
+
+use super::infra::{parallel_map, ExecMode, SimUnit};
+use crate::Report;
+
+/// Bumped whenever a change alters simulation results without changing
+/// `SimConfig` bytes (new mechanism semantics, trace-generation tweaks,
+/// metric accounting fixes). Part of every entry's fingerprint, so stale
+/// stores invalidate wholesale instead of serving wrong results.
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
+/// The code fingerprint stamped into every store entry's meta document.
+pub fn fingerprint() -> String {
+    format!(
+        "padc-sim {} result-v{RESULT_SCHEMA_VERSION}",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+/// Point-in-time snapshot of the cache counters (monotonic over the
+/// process lifetime; diff two snapshots for a per-run view).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitCacheStats {
+    /// Units resolved from a validated disk entry.
+    pub store_hits: u64,
+    /// Units that probed the store and had to be computed (counted only
+    /// while a store is installed).
+    pub store_misses: u64,
+    /// Units resolved from (or parked on) an in-memory claim another
+    /// request already owned — the serve-mode dedup win.
+    pub units_coalesced: u64,
+}
+
+static STORE_HITS: AtomicU64 = AtomicU64::new(0);
+static STORE_MISSES: AtomicU64 = AtomicU64::new(0);
+static UNITS_COALESCED: AtomicU64 = AtomicU64::new(0);
+
+/// Current counter values.
+pub fn unit_cache_stats() -> UnitCacheStats {
+    UnitCacheStats {
+        store_hits: STORE_HITS.load(Ordering::Relaxed),
+        store_misses: STORE_MISSES.load(Ordering::Relaxed),
+        units_coalesced: UNITS_COALESCED.load(Ordering::Relaxed),
+    }
+}
+
+/// Serve mode forces the in-memory claim map on even without a disk store.
+static COALESCING: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) in-memory unit coalescing independently of a
+/// store — `padcsim serve` turns this on so concurrent requests share
+/// in-flight units.
+pub fn set_unit_coalescing(enabled: bool) {
+    COALESCING.store(enabled, Ordering::Relaxed);
+}
+
+fn installed_store() -> Option<Arc<Store>> {
+    store_slot().lock().expect("store slot poisoned").clone()
+}
+
+fn store_slot() -> &'static Mutex<Option<Arc<Store>>> {
+    static STORE: OnceLock<Mutex<Option<Arc<Store>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(None))
+}
+
+/// Opens (creating if needed) the store at `dir` and installs it
+/// process-wide; subsequent [`crate::experiments::execute_units`] calls resolve units through
+/// it. The `--store DIR` / `PADC_STORE` wiring in `repro` and `padcsim`.
+///
+/// # Errors
+///
+/// Returns any error from creating the store directory.
+pub fn install_unit_store(dir: &Path) -> io::Result<()> {
+    let store = Store::open(dir)?;
+    *store_slot().lock().expect("store slot poisoned") = Some(Arc::new(store));
+    Ok(())
+}
+
+/// True when a disk store is installed.
+pub fn unit_store_installed() -> bool {
+    installed_store().is_some()
+}
+
+/// Uninstalls the store (tests switch store directories within one
+/// process; production binaries install once and never call this).
+#[doc(hidden)]
+pub fn uninstall_unit_store() {
+    *store_slot().lock().expect("store slot poisoned") = None;
+}
+
+/// Forgets every settled in-memory claim, forcing the next resolution of
+/// each digest back to the disk store. Simulates a fresh process in
+/// same-process tests of cold/warm behavior.
+#[doc(hidden)]
+pub fn reset_memory_cells() {
+    cells().lock().expect("cell map poisoned").clear();
+}
+
+/// Whether `execute_units` should resolve through the cache at all.
+pub(crate) fn active() -> bool {
+    COALESCING.load(Ordering::Relaxed) || unit_store_installed()
+}
+
+enum CellState {
+    /// No owner; the next requester claims it.
+    Empty,
+    /// A requester owns the compute; others park on the condvar.
+    InFlight,
+    /// Settled result, shared by clone (boxed: a `Report` is ~300 bytes
+    /// and the other variants are zero-sized).
+    Done(Box<Report>),
+}
+
+struct Cell {
+    state: Mutex<CellState>,
+    /// Signalled on `InFlight` → `Done` and on panic rollback to `Empty`.
+    settled: Condvar,
+}
+
+fn cells() -> &'static Mutex<HashMap<String, Arc<Cell>>> {
+    static CELLS: OnceLock<Mutex<HashMap<String, Arc<Cell>>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cell_for(digest: &str) -> Arc<Cell> {
+    let mut map = cells().lock().expect("cell map poisoned");
+    Arc::clone(map.entry(digest.to_string()).or_insert_with(|| {
+        Arc::new(Cell {
+            state: Mutex::new(CellState::Empty),
+            settled: Condvar::new(),
+        })
+    }))
+}
+
+/// An owned claim: this thread must either settle the cell with a report
+/// or roll it back to `Empty`.
+struct Claim {
+    cell: Arc<Cell>,
+    digest: String,
+    meta: String,
+}
+
+/// Computes a claimed unit, writes the result through to the store, and
+/// settles the claim. On panic the claim rolls back to `Empty` (waking a
+/// waiter to adopt it) and the panic resumes — surfacing through the
+/// owning job's `catch_unwind` as usual.
+fn compute_owned(unit: &SimUnit, claim: &Claim) -> Report {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| unit.execute()));
+    match outcome {
+        Ok(report) => {
+            if let Some(store) = installed_store() {
+                if let Ok(json) = serde_json::to_string(&report) {
+                    // Best-effort: a full disk or unwritable store degrades
+                    // to recomputation, never to failure.
+                    let _ = store.put(&claim.digest, &claim.meta, &json);
+                }
+            }
+            let mut st = claim.cell.state.lock().expect("cell poisoned");
+            *st = CellState::Done(Box::new(report.clone()));
+            claim.cell.settled.notify_all();
+            report
+        }
+        Err(payload) => {
+            let mut st = claim.cell.state.lock().expect("cell poisoned");
+            *st = CellState::Empty;
+            claim.cell.settled.notify_all();
+            drop(st);
+            panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// Claims `digest`'s cell for this thread, resolving it from the store if
+/// possible. Returns the settled report, a [`Claim`] to compute, or `None`
+/// when another thread owns the in-flight compute.
+fn try_resolve(digest: &str, meta: &str, cell: &Arc<Cell>) -> Resolution {
+    let mut st = cell.state.lock().expect("cell poisoned");
+    match &*st {
+        CellState::Done(report) => {
+            UNITS_COALESCED.fetch_add(1, Ordering::Relaxed);
+            Resolution::Ready(report.clone())
+        }
+        CellState::InFlight => {
+            UNITS_COALESCED.fetch_add(1, Ordering::Relaxed);
+            Resolution::Parked
+        }
+        CellState::Empty => {
+            if let Some(store) = installed_store() {
+                let loaded = store
+                    .load(digest, meta)
+                    .and_then(|payload| serde_json::from_str::<Report>(&payload).ok());
+                if let Some(report) = loaded {
+                    STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                    *st = CellState::Done(Box::new(report.clone()));
+                    cell.settled.notify_all();
+                    return Resolution::Ready(Box::new(report));
+                }
+                STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+            }
+            *st = CellState::InFlight;
+            Resolution::Claimed
+        }
+    }
+}
+
+enum Resolution {
+    Ready(Box<Report>),
+    Claimed,
+    Parked,
+}
+
+/// Cache-aware unit execution: resolve every unit (memory, then store),
+/// fan out only the misses, park on other threads' in-flight computes.
+/// Returns reports in plan order.
+pub(crate) fn execute_cached(units: &[SimUnit], mode: ExecMode) -> Vec<Report> {
+    let mut out: Vec<Option<Report>> = (0..units.len()).map(|_| None).collect();
+    let mut computes: Vec<(usize, Claim)> = Vec::new();
+    let mut parked: Vec<(usize, Arc<Cell>)> = Vec::new();
+
+    for (i, unit) in units.iter().enumerate() {
+        let meta = unit.store_meta();
+        let digest = digest_hex(meta.as_bytes());
+        let cell = cell_for(&digest);
+        match try_resolve(&digest, &meta, &cell) {
+            Resolution::Ready(report) => out[i] = Some(*report),
+            Resolution::Claimed => computes.push((i, Claim { cell, digest, meta })),
+            Resolution::Parked => parked.push((i, cell)),
+        }
+    }
+
+    // Only the misses are scheduled: a fully warm run fans out nothing.
+    let computed: Vec<Report> = match mode {
+        ExecMode::Planned => parallel_map(computes.len(), |j| {
+            let (i, claim) = &computes[j];
+            compute_owned(&units[*i], claim)
+        }),
+        ExecMode::Monolithic => computes
+            .iter()
+            .map(|(i, claim)| compute_owned(&units[*i], claim))
+            .collect(),
+    };
+    for ((i, _), report) in computes.iter().zip(computed) {
+        out[*i] = Some(report);
+    }
+
+    // Park on other owners' cells. If an owner panicked (cell rolled back
+    // to Empty), adopt the claim and compute inline.
+    for (i, cell) in parked {
+        let mut st = cell.state.lock().expect("cell poisoned");
+        loop {
+            match &*st {
+                CellState::Done(report) => {
+                    out[i] = Some(report.as_ref().clone());
+                    break;
+                }
+                CellState::InFlight => {
+                    st = cell.settled.wait(st).expect("cell poisoned");
+                }
+                CellState::Empty => {
+                    *st = CellState::InFlight;
+                    drop(st);
+                    let meta = units[i].store_meta();
+                    let digest = digest_hex(meta.as_bytes());
+                    let claim = Claim {
+                        cell: Arc::clone(&cell),
+                        digest,
+                        meta,
+                    };
+                    out[i] = Some(compute_owned(&units[i], &claim));
+                    break;
+                }
+            }
+        }
+    }
+
+    out.into_iter()
+        .map(|r| r.expect("every unit resolved"))
+        .collect()
+}

@@ -30,6 +30,7 @@ mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod profile;
+pub mod serve;
 mod system;
 
 pub use config::SimConfig;

@@ -167,6 +167,43 @@ pub fn new_accum() -> Arc<ProfileAccum> {
     Arc::new(ProfileAccum::default())
 }
 
+/// Requests admitted by `padcsim serve` over the process lifetime
+/// (counting malformed ones — every received line is a request).
+static SERVE_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one admitted `padcsim serve` request.
+pub fn note_serve_request() {
+    SERVE_REQUESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide service-layer counters: the unit-store cache telemetry
+/// plus the serve request count, surfaced together so the CLIs and gates
+/// read one consistent snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Units resolved from a validated disk-store entry.
+    pub store_hits: u64,
+    /// Units that probed the store and had to be computed.
+    pub store_misses: u64,
+    /// Units resolved from (or parked on) an in-memory claim another
+    /// request already owned.
+    pub units_coalesced: u64,
+    /// Requests admitted by `padcsim serve`.
+    pub serve_requests: u64,
+}
+
+/// Snapshot of the service-layer counters (monotonic; diff two snapshots
+/// for a per-run view).
+pub fn service_counters() -> ServiceCounters {
+    let cache = crate::experiments::unit_cache_stats();
+    ServiceCounters {
+        store_hits: cache.store_hits,
+        store_misses: cache.store_misses,
+        units_coalesced: cache.units_coalesced,
+        serve_requests: SERVE_REQUESTS.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,492 @@
+//! `padc-store` — a persistent, content-addressed cache of simulation
+//! results.
+//!
+//! Entries are keyed by the SHA-256 digest of a caller-supplied **meta**
+//! document (for the simulator: a fingerprint of the code version plus the
+//! full result-shaping configuration). Each entry is one file under
+//! `<root>/objects/<xy>/<digest>` holding a small self-describing header,
+//! the meta bytes, and the payload bytes:
+//!
+//! ```text
+//! padc-store v1 <meta_len> <payload_len>\n
+//! <meta bytes>\n
+//! <payload bytes>\n
+//! ```
+//!
+//! The design inherits the repo's resume posture: **nothing on disk is
+//! trusted**. [`Store::load`] re-derives the expected entry shape and
+//! byte-compares the stored meta against the meta the caller would write
+//! today; any anomaly — missing file, truncated file, malformed header,
+//! length mismatch, meta mismatch, non-UTF-8 bytes — is a cache miss, never
+//! an error. Writers go through a temp file in the same directory followed
+//! by an atomic rename, so concurrent readers (and concurrent writers of
+//! the same digest, which by construction carry identical bytes) can share
+//! one store directory without locks.
+//!
+//! The content-addressed path *is* the index: lookup is O(1) in the entry
+//! count. [`Store::gc`] walks the object tree and evicts
+//! least-recently-used entries (loads touch mtimes, best-effort) until the
+//! store fits a byte budget.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+/// Format tag written at the front of every entry file.
+const MAGIC: &str = "padc-store v1";
+
+/// SHA-256 of `data` (FIPS 180-4), used to content-address entries.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (word, bytes) in w.iter_mut().zip(chunk.chunks_exact(4)) {
+            *word = u32::from_be_bytes(bytes.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (chunk, v) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// Lowercase-hex SHA-256 of `data` — the entry key format used throughout.
+pub fn digest_hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in sha256(data) {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Size and entry-count summary of a store directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Valid-looking entry files (content-addressed names only).
+    pub entries: u64,
+    /// Total bytes those entries occupy.
+    pub bytes: u64,
+}
+
+/// Result of one [`Store::gc`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries evicted (least-recently-used first).
+    pub evicted: u64,
+    /// Bytes freed by the eviction.
+    pub freed_bytes: u64,
+    /// Entries remaining after the pass.
+    pub remaining_entries: u64,
+    /// Bytes remaining after the pass.
+    pub remaining_bytes: u64,
+}
+
+/// A content-addressed store rooted at one directory.
+///
+/// Cheap to clone conceptually (it holds only the root path); open one per
+/// process, or several against the same directory — all operations are
+/// safe under concurrent multi-process use (see the crate docs).
+#[derive(Debug)]
+pub struct Store {
+    objects: PathBuf,
+}
+
+/// Distinguishes concurrently written temp files within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from creating the `objects` directory.
+    pub fn open(root: &Path) -> io::Result<Store> {
+        let objects = root.join("objects");
+        fs::create_dir_all(&objects)?;
+        Ok(Store { objects })
+    }
+
+    /// The entry file path for a digest: `objects/<first-two>/<digest>`.
+    fn entry_path(&self, digest: &str) -> PathBuf {
+        let shard = digest.get(..2).unwrap_or("xx");
+        self.objects.join(shard).join(digest)
+    }
+
+    /// Loads the payload stored under `digest`, validating the entry
+    /// against `expected_meta`.
+    ///
+    /// Returns `None` — a miss, never an error — unless the entry exists,
+    /// parses, declares lengths matching its actual bytes, and stores meta
+    /// bytes exactly equal to `expected_meta`. A hit touches the entry's
+    /// mtime (best-effort) so [`Store::gc`] evicts least-recently-used
+    /// entries first.
+    pub fn load(&self, digest: &str, expected_meta: &str) -> Option<String> {
+        let path = self.entry_path(digest);
+        let bytes = fs::read(&path).ok()?;
+        let payload = parse_entry(&bytes, expected_meta)?;
+        if let Ok(f) = fs::File::open(&path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+        Some(payload)
+    }
+
+    /// Writes `payload` under `digest`, tagged with `meta`, atomically
+    /// (temp file in the shard directory + rename). Concurrent writers of
+    /// the same digest are safe: by construction they carry identical
+    /// bytes, and rename is atomic, so readers see either a complete old
+    /// entry, no entry, or a complete new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error; the temp file is removed on failure.
+    pub fn put(&self, digest: &str, meta: &str, payload: &str) -> io::Result<()> {
+        let path = self.entry_path(digest);
+        let shard = path.parent().expect("entry path has a shard dir");
+        fs::create_dir_all(shard)?;
+        let tmp = shard.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(format!("{MAGIC} {} {}\n", meta.len(), payload.len()).as_bytes())?;
+            f.write_all(meta.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(payload.as_bytes())?;
+            f.write_all(b"\n")?;
+            drop(f);
+            fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Walks the object tree, returning `(path, len, mtime)` per entry.
+    /// Stale temp files (from crashed writers) are deleted on sight.
+    fn walk(&self) -> io::Result<Vec<(PathBuf, u64, SystemTime)>> {
+        let mut out = Vec::new();
+        for shard in fs::read_dir(&self.objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with(".tmp-") {
+                    let _ = fs::remove_file(entry.path());
+                    continue;
+                }
+                let md = entry.metadata()?;
+                if !md.is_file() {
+                    continue;
+                }
+                let mtime = md.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((entry.path(), md.len(), mtime));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entry count and total size.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from walking the object tree.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let entries = self.walk()?;
+        Ok(StoreStats {
+            entries: entries.len() as u64,
+            bytes: entries.iter().map(|(_, len, _)| len).sum(),
+        })
+    }
+
+    /// Evicts least-recently-used entries until the store occupies at most
+    /// `max_bytes` (mtime order, path as a deterministic tie-break).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from walking the object tree; individual
+    /// removals are best-effort (an entry deleted concurrently is fine).
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcOutcome> {
+        let mut entries = self.walk()?;
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        let mut outcome = GcOutcome::default();
+        let mut kept = entries.len() as u64;
+        for (path, len, _) in &entries {
+            if total <= max_bytes {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                outcome.evicted += 1;
+                outcome.freed_bytes += len;
+                kept -= 1;
+            }
+            total -= len;
+        }
+        outcome.remaining_entries = kept;
+        outcome.remaining_bytes = total;
+        Ok(outcome)
+    }
+}
+
+/// Strict entry parse: header magic, declared lengths, exact byte layout,
+/// meta equality, UTF-8 payload — or `None`.
+fn parse_entry(bytes: &[u8], expected_meta: &str) -> Option<String> {
+    let header_end = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..header_end]).ok()?;
+    let rest = header.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (meta_len_s, payload_len_s) = rest.split_once(' ')?;
+    let meta_len: usize = meta_len_s.parse().ok()?;
+    let payload_len: usize = payload_len_s.parse().ok()?;
+    let body = &bytes[header_end + 1..];
+    // Exact layout: meta, '\n', payload, '\n' — anything shorter is a
+    // truncated write, anything longer a corrupt or foreign file.
+    if body.len() != meta_len + 1 + payload_len + 1 {
+        return None;
+    }
+    if body.get(meta_len) != Some(&b'\n') || body.last() != Some(&b'\n') {
+        return None;
+    }
+    if &body[..meta_len] != expected_meta.as_bytes() {
+        return None;
+    }
+    let payload = &body[meta_len + 1..meta_len + 1 + payload_len];
+    String::from_utf8(payload.to_vec()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "padc-store-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        assert_eq!(
+            digest_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            digest_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Multi-block input (> 64 bytes) exercises the chunk loop.
+        let long = "a".repeat(200);
+        assert_eq!(
+            digest_hex(long.as_bytes()),
+            "c2a908d98f5df987ade41b5fce213067efbcc21ef2240212a41e54b5e7c28ae5"
+        );
+    }
+
+    #[test]
+    fn round_trip_hits_only_on_matching_meta() {
+        let dir = temp_dir("roundtrip");
+        let store = Store::open(&dir).expect("open");
+        let meta = "{\"fingerprint\":\"v1\"}";
+        let digest = digest_hex(meta.as_bytes());
+        assert_eq!(store.load(&digest, meta), None, "empty store misses");
+        store.put(&digest, meta, "{\"ipc\":1}").expect("put");
+        assert_eq!(store.load(&digest, meta).as_deref(), Some("{\"ipc\":1}"));
+        assert_eq!(
+            store.load(&digest, "{\"fingerprint\":\"v2\"}"),
+            None,
+            "wrong meta must miss"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_line_payloads_and_metas_round_trip() {
+        let dir = temp_dir("newlines");
+        let store = Store::open(&dir).expect("open");
+        let meta = "line1\nline2";
+        let payload = "p1\n\np3\n";
+        let digest = digest_hex(meta.as_bytes());
+        store.put(&digest, meta, payload).expect("put");
+        assert_eq!(store.load(&digest, meta).as_deref(), Some(payload));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_entries_miss() {
+        let dir = temp_dir("corrupt");
+        let store = Store::open(&dir).expect("open");
+        let meta = "m";
+        let digest = digest_hex(meta.as_bytes());
+        store.put(&digest, meta, "payload-bytes").expect("put");
+        let path = store.entry_path(&digest);
+
+        // Truncation: drop the final bytes.
+        let full = fs::read(&path).expect("read");
+        fs::write(&path, &full[..full.len() - 3]).expect("truncate");
+        assert_eq!(store.load(&digest, meta), None);
+
+        // Garbage header.
+        fs::write(&path, b"not-a-store-entry\nm\npayload-bytes\n").expect("garble");
+        assert_eq!(store.load(&digest, meta), None);
+
+        // Length lies: declared payload length shorter than actual.
+        fs::write(&path, b"padc-store v1 1 7\nm\npayload-bytes\n").expect("lie");
+        assert_eq!(store.load(&digest, meta), None);
+
+        // A rewrite recovers.
+        store.put(&digest, meta, "payload-bytes").expect("re-put");
+        assert_eq!(store.load(&digest, meta).as_deref(), Some("payload-bytes"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_lru_first_and_reports_stats() {
+        let dir = temp_dir("gc");
+        let store = Store::open(&dir).expect("open");
+        let entries: Vec<(String, String)> = (0..4)
+            .map(|i| {
+                let meta = format!("meta-{i}");
+                let digest = digest_hex(meta.as_bytes());
+                store
+                    .put(&digest, &meta, &format!("payload-{i}"))
+                    .expect("put");
+                (digest, meta)
+            })
+            .collect();
+        let stats = store.stats().expect("stats");
+        assert_eq!(stats.entries, 4);
+        assert!(stats.bytes > 0);
+
+        // Touch entry 0 so it is the most recently used.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(store.load(&entries[0].0, &entries[0].1).is_some());
+
+        // Budget for roughly one entry: the untouched three go first.
+        let per_entry = stats.bytes / 4;
+        let out = store.gc(per_entry).expect("gc");
+        assert_eq!(out.evicted, 3, "{out:?}");
+        assert_eq!(out.remaining_entries, 1);
+        assert!(
+            store.load(&entries[0].0, &entries[0].1).is_some(),
+            "recently used entry survives"
+        );
+        assert_eq!(store.load(&entries[1].0, &entries[1].1), None);
+
+        // gc to zero clears everything.
+        let out = store.gc(0).expect("gc all");
+        assert_eq!(out.remaining_entries, 0);
+        assert_eq!(store.stats().expect("stats").entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_see_partial_entries() {
+        let dir = temp_dir("race");
+        let store = std::sync::Arc::new(Store::open(&dir).expect("open"));
+        let meta = "shared-meta";
+        let digest = digest_hex(meta.as_bytes());
+        let payload = "x".repeat(4096);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = std::sync::Arc::clone(&store);
+                let (digest, payload) = (digest.clone(), payload.clone());
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        store.put(&digest, meta, &payload).expect("put");
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let store = std::sync::Arc::clone(&store);
+                let (digest, payload) = (digest.clone(), payload.clone());
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(seen) = store.load(&digest, meta) {
+                            assert_eq!(seen, payload, "reader saw a partial entry");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.load(&digest, meta).as_deref(), Some(payload.as_str()));
+        // No stray temp files survive a clean run.
+        let stats = store.stats().expect("stats");
+        assert_eq!(stats.entries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_on_empty_store() {
+        let dir = temp_dir("empty");
+        let store = Store::open(&dir).expect("open");
+        assert_eq!(store.stats().expect("stats"), StoreStats::default());
+        assert_eq!(store.gc(0).expect("gc"), GcOutcome::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

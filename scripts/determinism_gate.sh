@@ -101,4 +101,39 @@ if ! grep -q '"ok": 0,' "$OUT/cross-summary.json"; then
 fi
 echo "   zero executions, artifact byte-identical"
 
+echo "== store: cold vs warm vs no-store byte identity on planned subset"
+# The persistent unit store (DESIGN.md §12) must be invisible in results:
+# a cold-store run (every unit computed and written back), a warm-store
+# rerun (every unit loaded, zero computed), and a storeless run must
+# produce byte-identical JSONL. The warm run must also report misses=0 on
+# the stderr telemetry line and execute zero simulation units.
+STORE_SUBSET=(fig6 tab5 tab7 fig8)
+STORE_DIR="$OUT/store"
+rm -rf "$STORE_DIR"
+"$REPRO" --smoke --jobs 8 --no-progress --exec planned --store "$STORE_DIR" \
+    --jsonl "$OUT/store-cold.jsonl" "${STORE_SUBSET[@]}" >/dev/null
+"$REPRO" --smoke --jobs 8 --no-progress --exec planned --store "$STORE_DIR" \
+    --jsonl "$OUT/store-warm.jsonl" --summary "$OUT/store-warm-summary.json" \
+    "${STORE_SUBSET[@]}" >/dev/null 2>"$OUT/store-warm-stderr.txt"
+"$REPRO" --smoke --jobs 8 --no-progress --exec planned \
+    --jsonl "$OUT/store-none.jsonl" "${STORE_SUBSET[@]}" >/dev/null
+for variant in warm none; do
+    if ! cmp "$OUT/store-cold.jsonl" "$OUT/store-$variant.jsonl"; then
+        echo "FAIL: store-$variant.jsonl differs from the cold-store artifact" >&2
+        diff "$OUT/store-cold.jsonl" "$OUT/store-$variant.jsonl" >&2 || true
+        exit 1
+    fi
+done
+if ! grep -q '^store: hits=[0-9]* misses=0 ' "$OUT/store-warm-stderr.txt"; then
+    echo "FAIL: warm-store run reported misses:" >&2
+    grep '^store:' "$OUT/store-warm-stderr.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q '"subjobs_executed": 0,' "$OUT/store-warm-summary.json"; then
+    echo "FAIL: warm-store run executed simulation units:" >&2
+    cat "$OUT/store-warm-summary.json" >&2
+    exit 1
+fi
+echo "   cold == warm == no-store; warm run: misses=0, zero units executed"
+
 echo "== determinism_gate.sh: all green"

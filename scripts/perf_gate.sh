@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI perf gate, two sections:
+# CI perf gate, three sections:
 #
 # 1. The fast-forward core-cycle skip ratio on a smoke-scale 8-core
 #    memory-hog mix must not regress below the floor recorded in
@@ -16,6 +16,13 @@
 #    recorded unique-unit count while requested exceeds it). All three
 #    are deterministic counts, not timings, so the gate is immune to
 #    machine noise and meaningful even on a 1-CPU container.
+#
+# 3. The persistent unit store must keep warm runs free (floors from
+#    BENCH_store.json): a warm rerun against a just-populated store must
+#    hit at least min_warm_hits units, miss at most max_warm_misses, and
+#    execute zero simulation units. This catches fingerprint instability,
+#    where warm runs silently recompute everything while results stay
+#    byte-identical.
 #
 # Set PERF_GATE_OUT to keep the report and profile output in a known
 # directory (CI uploads it on failure); otherwise a temp dir is used.
@@ -117,4 +124,58 @@ if [ "$requested" -le "$computed" ]; then
 fi
 echo "   $executed sub-jobs (floor $MIN_SUBJOBS), peak concurrency $peak <= $SUBJOB_JOBS"
 echo "   memo: $requested requested -> $computed computed (ceiling $MAX_SINGLES)"
+
+STORE_GATE=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_store.json"))["ci_gate"]
+print(gate["jobs"], gate["min_warm_hits"], gate["max_warm_misses"],
+      " ".join(gate["subset"]))
+PYEOF
+)
+read -r STORE_JOBS MIN_WARM_HITS MAX_WARM_MISSES STORE_SUBSET <<<"$STORE_GATE"
+
+echo "== store: ${STORE_SUBSET} at smoke scale, cold then warm, --jobs ${STORE_JOBS}"
+# Floors from BENCH_store.json: a warm rerun against the store the cold
+# run just populated must resolve every unit from disk (hits >= floor,
+# misses <= ceiling) and execute zero simulation units. This catches
+# fingerprint instability (e.g. a nondeterministic field leaking into the
+# store meta): results would stay byte-identical — so the determinism
+# gate would pass — while every "warm" run quietly recomputes everything.
+STORE_DIR="$OUT/store"
+rm -rf "$STORE_DIR"
+# shellcheck disable=SC2086
+"$REPRO" --smoke --jobs "$STORE_JOBS" --no-progress --exec planned \
+    --store "$STORE_DIR" --jsonl "$OUT/store-cold.jsonl" \
+    $STORE_SUBSET >/dev/null 2>"$OUT/store-cold-stderr.txt"
+# shellcheck disable=SC2086
+"$REPRO" --smoke --jobs "$STORE_JOBS" --no-progress --exec planned \
+    --store "$STORE_DIR" --jsonl "$OUT/store-warm.jsonl" \
+    --summary "$OUT/store-summary.json" \
+    $STORE_SUBSET >/dev/null 2>"$OUT/store-warm-stderr.txt"
+
+store_line=$(grep '^store:' "$OUT/store-warm-stderr.txt" || true)
+hits=$(echo "$store_line" | grep -o 'hits=[0-9]*' | cut -d= -f2)
+misses=$(echo "$store_line" | grep -o 'misses=[0-9]*' | cut -d= -f2)
+warm_exec=$(grep -o '"subjobs_executed": [0-9]*' "$OUT/store-summary.json" | grep -o '[0-9]*$')
+if [ -z "$hits" ] || [ -z "$misses" ] || [ -z "$warm_exec" ]; then
+    echo "FAIL: store telemetry missing (stderr line or summary stats):" >&2
+    cat "$OUT/store-warm-stderr.txt" >&2
+    exit 1
+fi
+if [ "$hits" -lt "$MIN_WARM_HITS" ]; then
+    echo "FAIL: warm run hit only $hits units (floor $MIN_WARM_HITS):" >&2
+    echo "      units stopped resolving through the store" >&2
+    exit 1
+fi
+if [ "$misses" -gt "$MAX_WARM_MISSES" ]; then
+    echo "FAIL: warm run missed $misses units (ceiling $MAX_WARM_MISSES):" >&2
+    echo "      the unit fingerprint is no longer stable across runs" >&2
+    exit 1
+fi
+if [ "$warm_exec" -ne 0 ]; then
+    echo "FAIL: warm run executed $warm_exec simulation units (expected 0)" >&2
+    exit 1
+fi
+echo "   warm: $hits hits (floor $MIN_WARM_HITS), $misses misses" \
+     "(ceiling $MAX_WARM_MISSES), 0 units executed"
 echo "== perf_gate.sh: all green"
