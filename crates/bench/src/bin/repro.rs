@@ -5,7 +5,7 @@
 //! repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]
 //!       [--summary PATH] [--store DIR] [--json|--csv|--bars COL]
 //!       [--no-progress] [--profile] [--exec planned|monolithic]
-//!       [--fast-forward off|global|horizon] [<experiment-id>...]
+//!       [--fast-forward off|global|horizon|event] [<experiment-id>...]
 //! repro --list
 //! ```
 //!
@@ -32,7 +32,7 @@
 //! JSON — or, with `--profile`, into a per-experiment `"profile"` object
 //! appended to each JSONL payload (hot-path counters and phase wall
 //! times; wall times make profiled artifacts non-deterministic, so the
-//! determinism gates run without it). `--fast-forward off|global|horizon`
+//! determinism gates run without it). `--fast-forward off|global|horizon|event`
 //! selects how stall cycles are elided (default `horizon`, the per-core
 //! event horizon; results are bit-identical in every mode — the flag
 //! exists for the equivalence gate and for timing comparisons);
@@ -70,7 +70,7 @@ fn usage_and_exit() -> ! {
         "usage: repro [--quick|--smoke] [--jobs N] [--jsonl PATH] [--resume FILE]\n\
          \x20            [--summary PATH] [--store DIR] [--json|--csv|--bars COL]\n\
          \x20            [--no-progress] [--profile] [--exec planned|monolithic]\n\
-         \x20            [--fast-forward off|global|horizon] [<id>...]\n\
+         \x20            [--fast-forward off|global|horizon|event] [<id>...]\n\
          \x20      repro --list\n\
          known ids:"
     );

@@ -72,6 +72,12 @@ pub struct MemoryController {
     stats: ControllerStats,
     /// Write-drain mode currently active (see `ControllerConfig::write_drain`).
     draining_writes: bool,
+    /// External-mutation epoch: bumped by every [`MemoryController::enqueue`],
+    /// [`MemoryController::enqueue_writeback`], and successful
+    /// [`MemoryController::promote_prefetch`]. A [`MemoryController::next_event`]
+    /// bound is only valid while the epoch it was computed under is unchanged;
+    /// event-mode fast-forwarding uses this to know when to re-prove.
+    mutations: u64,
 }
 
 impl MemoryController {
@@ -90,7 +96,16 @@ impl MemoryController {
             next_id: 0,
             stats: ControllerStats::default(),
             draining_writes: false,
+            mutations: 0,
         }
+    }
+
+    /// Monotone counter of external mutations (enqueues, writeback
+    /// enqueues, prefetch promotions). Any change invalidates previously
+    /// computed [`MemoryController::next_event`] bounds; the controller's
+    /// own [`MemoryController::tick`] never bumps it.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations
     }
 
     /// True for buffered writebacks (store requests that never carried a
@@ -176,6 +191,7 @@ impl MemoryController {
             batched: false,
         });
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.buffer.len());
+        self.mutations += 1;
         Some(id)
     }
 
@@ -183,6 +199,7 @@ impl MemoryController {
     /// the buffer full wait in a drain queue (modelling the write buffer in
     /// front of the controller).
     pub fn enqueue_writeback(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        self.mutations += 1;
         let id = RequestId::new(self.next_id);
         self.next_id += 1;
         let req = MemRequest::new(id, core, line, AccessKind::Store, RequestKind::Demand, now);
@@ -208,6 +225,7 @@ impl MemoryController {
             if e.req.line == line && e.req.kind.is_prefetch() {
                 e.req.promote_to_demand();
                 self.stats.promotions += 1;
+                self.mutations += 1;
                 return true;
             }
         }
@@ -215,6 +233,7 @@ impl MemoryController {
             if f.req.line == line && f.req.kind.is_prefetch() {
                 f.req.promote_to_demand();
                 self.stats.promotions += 1;
+                self.mutations += 1;
                 return true;
             }
         }
@@ -263,8 +282,10 @@ impl MemoryController {
     /// - pending boundary-only recomputations: a drained PAR-BS batch
     ///   waiting to reform, a write-drain watermark crossing waiting to
     ///   flip, both due at the next DRAM bus boundary;
-    /// - per-request DRAM readiness ([`Channel::earliest_advance_at`]),
-    ///   aligned up to the next DRAM bus boundary;
+    /// - DRAM readiness of each bank's highest-priority queued request
+    ///   ([`Channel::earliest_advance_at`] for the bank *owner* only —
+    ///   two-level arbitration means no other entry can issue on that
+    ///   bank), aligned up to the next DRAM bus boundary;
     /// - pending refresh boundaries ([`Channel::next_refresh_boundary`]);
     /// - closed-row-policy precharges of open banks no queued or in-flight
     ///   request wants ([`Channel::earliest_precharge_at`]);
@@ -317,13 +338,57 @@ impl MemoryController {
                 fold(r);
             }
         }
-        for e in &self.buffer {
-            let ch = &self.channels[e.target.channel];
-            fold(align_up_dram(ch.earliest_advance_at(
-                e.target.bank,
-                e.target.row,
-                now,
-            )));
+        // Owner-aware advance bound. [`MemoryController::schedule_channel`]'s
+        // two-level selection means only the highest-priority entry per bank
+        // (that bank's *owner*) can issue the bank's next command, so
+        // non-owner entries cannot tighten the bound. Ownership is stable
+        // across a proven-idle window: priority keys depend on the
+        // row-buffer class (unchanged by passive ACT/PRE completions — an
+        // activating row already classifies as its future hit, a precharging
+        // bank as closed), on batch / write-drain flags (tick-mutated, and
+        // their boundary flips are folded above), and on accuracy (constant
+        // between rollovers; the caller caps every skip at
+        // [`AccuracyTracker::next_rollover`]); buffer membership only
+        // changes at executed ticks or external mutations, both of which
+        // re-prove the bound.
+        if !self.buffer.is_empty() {
+            let rank_counts = if self.cfg.ranking {
+                let mut counts = vec![0u64; self.cfg.cores.max(1)];
+                for e in &self.buffer {
+                    if self.is_critical(&e.req, accuracy) {
+                        if let Some(c) = counts.get_mut(e.req.core.index()) {
+                            *c += 1;
+                        }
+                    }
+                }
+                Some(counts)
+            } else {
+                None
+            };
+            let stride = self
+                .channels
+                .iter()
+                .map(Channel::bank_count)
+                .max()
+                .unwrap_or(0);
+            let mut owners: Vec<Option<(PrioKey, usize)>> =
+                vec![None; self.channels.len() * stride];
+            for (i, e) in self.buffer.iter().enumerate() {
+                let key = self.priority_key(e, now, accuracy, rank_counts.as_deref());
+                let slot = &mut owners[e.target.channel * stride + e.target.bank];
+                if slot.as_ref().is_none_or(|(bk, _)| key > *bk) {
+                    *slot = Some((key, i));
+                }
+            }
+            for (_, i) in owners.into_iter().flatten() {
+                let e = &self.buffer[i];
+                let ch = &self.channels[e.target.channel];
+                fold(align_up_dram(ch.earliest_advance_at(
+                    e.target.bank,
+                    e.target.row,
+                    now,
+                )));
+            }
         }
         if self.dram.row_policy == RowPolicy::Closed {
             for (ci, ch) in self.channels.iter().enumerate() {

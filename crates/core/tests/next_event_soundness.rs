@@ -1,0 +1,168 @@
+//! Soundness of [`MemoryController::next_event`], independent of the
+//! full-system byte-identity tests: whenever the controller claims it is
+//! idle until cycle `ev`, stepping a clone cycle-by-cycle from `now`
+//! toward `ev` must observe *no* state change at all — no completions,
+//! no drops, no command issues, not a single mutated field. This is the
+//! oracle-vs-stepped equivalence event-driven fast-forwarding rests on
+//! (DESIGN.md §11, invariant E1): bounds may be early (the tick at `ev`
+//! does nothing and stepping resumes) but never late.
+//!
+//! The claim is conditional on two things the caller must guarantee, and
+//! the test mirrors both: no external mutation (the clone receives no
+//! enqueues — invariant E2, policed by the mutation epoch, which the
+//! test also pins), and a stable accuracy interval (the window is capped
+//! at [`AccuracyTracker::next_rollover`] — invariant E3).
+
+use padc_core::{AccuracyTracker, ControllerConfig, MemoryController, SchedulingPolicy};
+use padc_dram::{DramConfig, ExtendedTiming, MappingScheme, RowPolicy};
+use padc_types::{AccessKind, CoreId, LineAddr, RequestKind};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct ReqSpec {
+    line: u64,
+    core: usize,
+    prefetch: bool,
+    write: bool,
+    gap: u64,
+}
+
+fn arb_req() -> impl Strategy<Value = ReqSpec> {
+    (
+        0u64..4096,
+        0usize..4,
+        any::<bool>(),
+        any::<bool>(),
+        0u64..40,
+    )
+        .prop_map(|(line, core, prefetch, write, gap)| ReqSpec {
+            line,
+            core,
+            // Writebacks are demands in this model.
+            prefetch: prefetch && !write,
+            write,
+            gap,
+        })
+}
+
+fn all_policies() -> [SchedulingPolicy; 6] {
+    [
+        SchedulingPolicy::DemandPrefetchEqual,
+        SchedulingPolicy::DemandFirst,
+        SchedulingPolicy::PrefetchFirst,
+        SchedulingPolicy::ApsOnly,
+        SchedulingPolicy::Padc,
+        SchedulingPolicy::PadcRank,
+    ]
+}
+
+/// Steps a clone of `mc` from `now` up to (not including) the claimed
+/// event cycle, asserting every tick is a proven no-op. Windows are
+/// truncated to keep the test fast; soundness of a prefix is what event
+/// mode consumes anyway (it re-proves after every executed tick).
+fn assert_claim_holds(mc: &MemoryController, tracker: &AccuracyTracker, now: u64, claimed: u64) {
+    const MAX_WINDOW: u64 = 1_500;
+    let end = claimed.min(tracker.next_rollover()).min(now + MAX_WINDOW);
+    if end <= now {
+        return;
+    }
+    let mut probe = mc.clone();
+    let before = format!("{probe:?}");
+    for m in now..end {
+        let out = probe.tick(m, tracker);
+        prop_assert!(
+            out.completions.is_empty() && out.dropped.is_empty(),
+            "tick({m}) did work inside a window proven idle until {claimed} \
+             ({} completions, {} drops)",
+            out.completions.len(),
+            out.dropped.len()
+        );
+        let after = format!("{probe:?}");
+        prop_assert_eq!(
+            &after,
+            &before,
+            "tick({}) mutated controller state inside a window proven idle \
+             until {}",
+            m,
+            claimed
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every `next_event` claim taken while servicing an arbitrary
+    /// request mix is verified against cycle-by-cycle stepping, across
+    /// all six policies, both row policies, and with the extended DDR3
+    /// constraints (tFAW/refresh) both off and on.
+    #[test]
+    fn next_event_never_claims_past_real_work(
+        reqs in prop::collection::vec(arb_req(), 1..40),
+        policy_idx in 0usize..6,
+        closed_row in any::<bool>(),
+        extended in any::<bool>(),
+    ) {
+        let policy = all_policies()[policy_idx];
+        let mut cfg = ControllerConfig::from_policy(policy, 4);
+        cfg.buffer_entries = 24;
+        let mut dram = DramConfig::default();
+        if closed_row {
+            dram.row_policy = RowPolicy::Closed;
+        }
+        if extended {
+            dram.extended = Some(ExtendedTiming::default());
+        }
+        let mut mc = MemoryController::new(cfg, dram, MappingScheme::Linear);
+        let tracker = AccuracyTracker::new(4, 100_000);
+
+        let mut now = 0u64;
+        for r in &reqs {
+            if mc.has_space() {
+                let kind = if r.prefetch { RequestKind::Prefetch } else { RequestKind::Demand };
+                let access = if r.write { AccessKind::Store } else { AccessKind::Load };
+                let epoch = mc.mutation_epoch();
+                let accepted = mc
+                    .enqueue(CoreId::new(r.core), LineAddr::new(r.line), access, kind, now)
+                    .is_some();
+                // E2: every accepted enqueue must invalidate cached bounds.
+                prop_assert_eq!(
+                    mc.mutation_epoch(),
+                    epoch + u64::from(accepted),
+                    "enqueue did not bump the mutation epoch"
+                );
+            }
+            // Verify the claim as seen right after the external mutation.
+            match mc.next_event(now, &tracker) {
+                Some(ev) => assert_claim_holds(&mc, &tracker, now, ev),
+                None => prop_assert!(
+                    mc.is_idle(),
+                    "next_event claimed quiescence on a non-idle controller"
+                ),
+            }
+            // Advance for real: the claim must also hold from mid-service
+            // cycles, not just from enqueue points.
+            for _ in 0..=r.gap {
+                mc.tick(now, &tracker);
+                now += 1;
+            }
+        }
+        // Drain, re-checking the claim after every executed tick exactly
+        // the way event mode re-proves after firing an event.
+        let deadline = now + 2_000_000;
+        while !mc.is_idle() {
+            match mc.next_event(now, &tracker) {
+                Some(ev) => {
+                    assert_claim_holds(&mc, &tracker, now, ev);
+                    // Jump straight to the claimed cycle (capped at the
+                    // rollover, as the system loop does) and tick there.
+                    now = now.max(ev.min(tracker.next_rollover()));
+                }
+                None => prop_assert!(mc.is_idle(), "no claim on a non-idle controller"),
+            }
+            mc.tick(now, &tracker);
+            now += 1;
+            prop_assert!(now < deadline, "controller wedged under {policy:?}");
+        }
+    }
+}

@@ -92,7 +92,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: padcsim [--config FILE.json] [--cores N] [--policy P] \
                      [--instructions N] [--no-prefetch] [--json] [--profile] \
-                     [--fast-forward off|global|horizon] [--no-fast-forward] \
+                     [--fast-forward off|global|horizon|event] [--no-fast-forward] \
                      (--bench NAME ... | --trace FILE ...) | --print-config | --list-benchmarks"
                 );
                 std::process::exit(0);
@@ -175,7 +175,7 @@ fn run_suite_mode(args: &[String]) -> ! {
                     "usage: padcsim --suite [--quick|--smoke] [--jobs N] [--jsonl PATH] \
                      [--resume FILE] [--summary PATH] [--store DIR] [--profile] \
                      [--exec planned|monolithic] \
-                     [--fast-forward off|global|horizon] [--no-fast-forward] \
+                     [--fast-forward off|global|horizon|event] [--no-fast-forward] \
                      [--list] [<experiment-id>...]"
                 );
                 std::process::exit(0);
@@ -345,10 +345,23 @@ fn run_serve_mode(args: &[String]) -> ! {
             "--store" => store_flag = Some(value("--store")),
             "--socket" => socket = Some(value("--socket")),
             "--stdio" => socket = None,
+            "--fast-forward" => {
+                let v = value("--fast-forward");
+                let mode = v.parse().unwrap_or_else(|e| die(e));
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
+            "--no-fast-forward" => padc_sim::set_fast_forward_default(false),
+            other if other.starts_with("--fast-forward=") => {
+                let mode = other["--fast-forward=".len()..]
+                    .parse()
+                    .unwrap_or_else(|e| die(e));
+                padc_sim::set_fast_forward_mode_default(mode);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: padcsim serve [--stdio | --socket PATH] [--jobs N] \
-                     [--quick|--smoke] [--store DIR]\n\
+                     [--quick|--smoke] [--store DIR] \
+                     [--fast-forward off|global|horizon|event] [--no-fast-forward]\n\
                      requests: one JSON object per line, e.g. \
                      {{\"id\":\"r1\",\"experiments\":[\"fig6\"],\"scale\":\"smoke\"}}"
                 );
@@ -464,11 +477,12 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
     } else {
         0.0
     };
-    // `core_skip_pct=` is machine-read by scripts/perf_gate.sh; keep the
-    // key=value form stable.
+    // `core_skip_pct=` and `ctrl_skip_pct=` are machine-read by
+    // scripts/perf_gate.sh; keep the key=value forms stable.
     eprintln!(
         "profile: {} cycles ({} stepped + {} fast-forwarded in {} jumps, {skipped_pct:.1}% skipped); \
          core-cycles: {} ticked + {} replayed in {} resyncs (core_skip_pct={:.1}); \
+         ctrl-cycles: {} stepped + {} skipped, {} events (ctrl_skip_pct={:.1}); \
          wall {:.3}s (controller {:.3}s, cores {:.3}s)",
         total,
         p.cycles_stepped,
@@ -478,6 +492,10 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
         p.core_cycles_skipped,
         p.horizon_resyncs,
         100.0 * p.core_skip_ratio(),
+        p.ctrl_cycles_stepped,
+        p.ctrl_cycles_skipped,
+        p.ctrl_events_fired,
+        100.0 * p.ctrl_skip_ratio(),
         p.wall_ns as f64 / 1e9,
         p.controller_ns as f64 / 1e9,
         p.cores_ns as f64 / 1e9,

@@ -61,6 +61,19 @@ pub struct SimProfile {
     /// Horizon resyncs: deferred lag-window replays applied when a core
     /// was woken, became due, or was flushed at run exit.
     pub horizon_resyncs: u64,
+    /// Controller ticks actually executed (every stepped cycle in
+    /// `off`/`global`/`horizon` modes; only *proven-event* cycles under
+    /// `event`).
+    pub ctrl_cycles_stepped: u64,
+    /// Controller ticks elided: cycles inside fast-forward jumps plus
+    /// cycles whose tick the event proof showed to be a no-op. In every
+    /// mode `ctrl_cycles_stepped + ctrl_cycles_skipped == total_cycles`;
+    /// the skip ratio ([`SimProfile::ctrl_skip_ratio`]) is the CI perf
+    /// gate's event-mode metric.
+    pub ctrl_cycles_skipped: u64,
+    /// Controller ticks executed because a proven event was due (`event`
+    /// mode only; zero elsewhere).
+    pub ctrl_events_fired: u64,
     /// Wall time spent in the controller phase of `step` (timers on only).
     pub controller_ns: u64,
     /// Wall time spent ticking cores (timers on only).
@@ -80,6 +93,18 @@ impl SimProfile {
             self.core_cycles_skipped as f64 / total as f64
         }
     }
+
+    /// Fraction of controller ticks elided rather than executed (0 when
+    /// nothing ran yet). `scripts/perf_gate.sh` guards this for event
+    /// mode against the floor in `BENCH_event.json`.
+    pub fn ctrl_skip_ratio(&self) -> f64 {
+        let total = self.ctrl_cycles_stepped + self.ctrl_cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.ctrl_cycles_skipped as f64 / total as f64
+        }
+    }
 }
 
 /// Thread-safe accumulator folding the [`SimProfile`]s of every simulation
@@ -95,6 +120,9 @@ pub struct ProfileAccum {
     core_cycles_ticked: AtomicU64,
     core_cycles_skipped: AtomicU64,
     horizon_resyncs: AtomicU64,
+    ctrl_cycles_stepped: AtomicU64,
+    ctrl_cycles_skipped: AtomicU64,
+    ctrl_events_fired: AtomicU64,
     controller_ns: AtomicU64,
     cores_ns: AtomicU64,
     wall_ns: AtomicU64,
@@ -115,6 +143,12 @@ impl ProfileAccum {
             .fetch_add(p.core_cycles_skipped, Ordering::Relaxed);
         self.horizon_resyncs
             .fetch_add(p.horizon_resyncs, Ordering::Relaxed);
+        self.ctrl_cycles_stepped
+            .fetch_add(p.ctrl_cycles_stepped, Ordering::Relaxed);
+        self.ctrl_cycles_skipped
+            .fetch_add(p.ctrl_cycles_skipped, Ordering::Relaxed);
+        self.ctrl_events_fired
+            .fetch_add(p.ctrl_events_fired, Ordering::Relaxed);
         self.controller_ns
             .fetch_add(p.controller_ns, Ordering::Relaxed);
         self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
@@ -134,6 +168,8 @@ impl ProfileAccum {
                 "{{\"runs\":{},\"cycles_stepped\":{},\"ff_jumps\":{},",
                 "\"ff_cycles_skipped\":{},\"core_cycles_ticked\":{},",
                 "\"core_cycles_skipped\":{},\"horizon_resyncs\":{},",
+                "\"ctrl_cycles_stepped\":{},\"ctrl_cycles_skipped\":{},",
+                "\"ctrl_events_fired\":{},",
                 "\"controller_ns\":{},\"cores_ns\":{},\"wall_ns\":{}}}"
             ),
             self.runs.load(Ordering::Relaxed),
@@ -143,6 +179,9 @@ impl ProfileAccum {
             self.core_cycles_ticked.load(Ordering::Relaxed),
             self.core_cycles_skipped.load(Ordering::Relaxed),
             self.horizon_resyncs.load(Ordering::Relaxed),
+            self.ctrl_cycles_stepped.load(Ordering::Relaxed),
+            self.ctrl_cycles_skipped.load(Ordering::Relaxed),
+            self.ctrl_events_fired.load(Ordering::Relaxed),
             self.controller_ns.load(Ordering::Relaxed),
             self.cores_ns.load(Ordering::Relaxed),
             self.wall_ns.load(Ordering::Relaxed),
@@ -218,6 +257,9 @@ mod tests {
             core_cycles_ticked: 10,
             core_cycles_skipped: 90,
             horizon_resyncs: 0,
+            ctrl_cycles_stepped: 10,
+            ctrl_cycles_skipped: 90,
+            ctrl_events_fired: 0,
             controller_ns: 0,
             cores_ns: 0,
             wall_ns: 5,
@@ -229,6 +271,9 @@ mod tests {
             core_cycles_ticked: 8,
             core_cycles_skipped: 22,
             horizon_resyncs: 7,
+            ctrl_cycles_stepped: 2,
+            ctrl_cycles_skipped: 13,
+            ctrl_events_fired: 2,
             controller_ns: 3,
             cores_ns: 4,
             wall_ns: 5,
@@ -239,6 +284,8 @@ mod tests {
             "{\"runs\":2,\"cycles_stepped\":15,\"ff_jumps\":3,\
              \"ff_cycles_skipped\":100,\"core_cycles_ticked\":18,\
              \"core_cycles_skipped\":112,\"horizon_resyncs\":7,\
+             \"ctrl_cycles_stepped\":12,\"ctrl_cycles_skipped\":103,\
+             \"ctrl_events_fired\":2,\
              \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10}"
         );
     }
@@ -252,6 +299,17 @@ mod tests {
             ..SimProfile::default()
         };
         assert!((p.core_skip_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ctrl_skip_ratio_handles_empty_and_mixed() {
+        assert_eq!(SimProfile::default().ctrl_skip_ratio(), 0.0);
+        let p = SimProfile {
+            ctrl_cycles_stepped: 10,
+            ctrl_cycles_skipped: 90,
+            ..SimProfile::default()
+        };
+        assert!((p.ctrl_skip_ratio() - 0.90).abs() < 1e-12);
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub enum FastForwardMode {
     /// `Global` (global jumps still fire when every core lags).
     #[default]
     Horizon,
+    /// Event-driven controller stepping: horizon scheduling for the
+    /// cores *plus* a cached
+    /// [`MemoryController::next_event`](padc_core::MemoryController::next_event)
+    /// proof that lets the whole controller phase (controller tick,
+    /// accuracy-tracker tick, channel sync) be elided on cycles proven
+    /// event-free — the controller advances by event deltas instead of
+    /// unit cycles (see the `event` module in this file).
+    Event,
 }
 
 impl FastForwardMode {
@@ -41,6 +49,7 @@ impl FastForwardMode {
             FastForwardMode::Off => "off",
             FastForwardMode::Global => "global",
             FastForwardMode::Horizon => "horizon",
+            FastForwardMode::Event => "event",
         }
     }
 }
@@ -48,15 +57,16 @@ impl FastForwardMode {
 impl std::str::FromStr for FastForwardMode {
     type Err = String;
 
-    /// Parses `off|global|horizon` (plus `0`/`false` → off and
+    /// Parses `off|global|horizon|event` (plus `0`/`false` → off and
     /// `1`/`on`/`true` → horizon for `PADC_FAST_FORWARD` compatibility).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "off" | "0" | "false" => Ok(FastForwardMode::Off),
             "global" => Ok(FastForwardMode::Global),
             "horizon" | "on" | "1" | "true" => Ok(FastForwardMode::Horizon),
+            "event" => Ok(FastForwardMode::Event),
             other => Err(format!(
-                "unknown fast-forward mode '{other}' (expected off|global|horizon)"
+                "unknown fast-forward mode '{other}' (expected off|global|horizon|event)"
             )),
         }
     }
@@ -75,6 +85,7 @@ pub fn set_fast_forward_mode_default(mode: FastForwardMode) {
         FastForwardMode::Off => 1,
         FastForwardMode::Global => 2,
         FastForwardMode::Horizon => 3,
+        FastForwardMode::Event => 4,
     };
     FF_DEFAULT.store(v, std::sync::atomic::Ordering::Relaxed);
 }
@@ -93,12 +104,13 @@ pub fn set_fast_forward_default(enabled: bool) {
 /// The fast-forward mode for new [`System`]s: an explicit
 /// [`set_fast_forward_mode_default`] override wins; otherwise the
 /// `PADC_FAST_FORWARD` environment variable (`off`/`0`, `global`,
-/// `horizon`/`on`/`1`) is honoured; otherwise `Horizon`.
+/// `horizon`/`on`/`1`, `event`) is honoured; otherwise `Horizon`.
 pub fn fast_forward_mode_default() -> FastForwardMode {
     match FF_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
         1 => FastForwardMode::Off,
         2 => FastForwardMode::Global,
         3 => FastForwardMode::Horizon,
+        4 => FastForwardMode::Event,
         _ => std::env::var("PADC_FAST_FORWARD")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -669,6 +681,145 @@ mod horizon {
     }
 }
 
+/// Event-driven controller stepping: the bookkeeping for
+/// [`FastForwardMode::Event`] and the invariants that make it
+/// bit-identical to the other three modes.
+///
+/// Horizon mode already elides most *core* ticks but still executes the
+/// controller phase (controller tick, accuracy-tracker tick, per-channel
+/// sync) on every stepped cycle. `Event` composes on top of `Horizon`
+/// without touching the core machinery: a cached
+/// [`MemoryController::next_event`](padc_core::MemoryController::next_event)
+/// bound turns the controller phase into an event-delta advance — the
+/// phase runs only at cycles the proof says can do observable work, so
+/// controller stepping is O(events), not O(stepped cycles).
+///
+/// # The equivalence argument (invariants E1–E4, mirroring I1–I4)
+///
+/// - **E1 (a skipped phase is a proven no-op).** When the phase is
+///   skipped at cycle `m`, the cached bound satisfies `m < ctrl_next` and
+///   was proven under the controller's current mutation epoch. By the
+///   `next_event` contract (DESIGN.md §11), `tick(m)` would collect no
+///   completion, drop no prefetch, drain no writeback, issue no command,
+///   flip no batch/write-drain state, and apply no refresh — and
+///   [`AccuracyTracker::tick`] strictly before the rollover mutates
+///   nothing, and [`padc_dram::Channel::sync`] before the next refresh
+///   boundary mutates nothing. Every byte of controller, tracker, and
+///   channel state is unchanged, so eliding the phase is unobservable
+///   (this is exactly what the `next_event` soundness proptest in
+///   `padc-core` checks cycle-by-cycle).
+/// - **E2 (mutations invalidate).** Every externally visible controller
+///   mutation — [`MemoryController::enqueue`](padc_core::MemoryController::enqueue),
+///   [`MemoryController::enqueue_writeback`](padc_core::MemoryController::enqueue_writeback),
+///   a successful [`MemoryController::promote_prefetch`](padc_core::MemoryController::promote_prefetch)
+///   — bumps [`MemoryController::mutation_epoch`](padc_core::MemoryController::mutation_epoch).
+///   A bound proven under an older epoch is discarded and re-proven from
+///   the live state before the next skip decision, so core-side activity
+///   (which runs *after* the controller phase within a cycle, exactly as
+///   in `Off` mode) can never be overlooked.
+/// - **E3 (rollovers and run boundaries execute).** The bound is capped
+///   at [`AccuracyTracker::next_rollover`], so the PAR rollover tick (and
+///   the FDP feedback it drives) executes at exactly the same cycle with
+///   exactly the same counter state as in `Off` mode; the elided tracker
+///   ticks in between return `false` and mutate nothing.
+/// - **E4 (composition with horizon).** The horizon machinery is
+///   untouched: completions are delivered — and lagging cores woken —
+///   only from *executed* controller phases, which by E1 are the only
+///   cycles where completions exist at all. A global jump in event mode
+///   is bounded by the validated cached bound (same value `next_event`
+///   would return), the earliest due core, the PAR rollover, and
+///   `max_cycles` — the same early-but-never-late bounds as horizon
+///   mode. The composition rule: **core skipping and controller skipping
+///   are independent proofs over disjoint state**; cores interact with
+///   the controller only through [`MemorySystem::access`] (epoch-guarded
+///   by E2), and the controller reaches cores only through completions
+///   (which force an executed phase by E1).
+mod event {
+    use padc_core::{AccuracyTracker, MemoryController};
+    use padc_types::Cycle;
+
+    /// Cached controller-event proof (see the module docs).
+    pub(super) struct EventState {
+        /// First cycle at or after which the controller phase may do
+        /// observable work; every cycle before it is provably a no-op
+        /// under `epoch`.
+        ctrl_next: Cycle,
+        /// [`MemoryController::mutation_epoch`] the bound was proven
+        /// under (E2).
+        epoch: u64,
+    }
+
+    impl EventState {
+        pub(super) fn new(now: Cycle, ctrl: &MemoryController, tracker: &AccuracyTracker) -> Self {
+            let mut s = EventState {
+                ctrl_next: now,
+                epoch: ctrl.mutation_epoch(),
+            };
+            s.reprove(now, ctrl, tracker);
+            s
+        }
+
+        /// Re-proves the bound from the controller's live state. `from`
+        /// is the first cycle whose tick has not yet executed, so the
+        /// bound is clamped to at least `from`.
+        fn reprove(&mut self, from: Cycle, ctrl: &MemoryController, tracker: &AccuracyTracker) {
+            let mut bound = tracker.next_rollover();
+            if let Some(ev) = ctrl.next_event(from, tracker) {
+                bound = bound.min(ev);
+            }
+            self.ctrl_next = bound.max(from);
+            self.epoch = ctrl.mutation_epoch();
+        }
+
+        /// Ensures the cached bound is valid at `now`: re-proves if any
+        /// external mutation happened since it was computed (E2).
+        pub(super) fn validate(
+            &mut self,
+            now: Cycle,
+            ctrl: &MemoryController,
+            tracker: &AccuracyTracker,
+        ) {
+            if ctrl.mutation_epoch() != self.epoch {
+                self.reprove(now, ctrl, tracker);
+            }
+        }
+
+        /// True when the controller phase at `now` must execute (E1).
+        pub(super) fn controller_due(
+            &mut self,
+            now: Cycle,
+            ctrl: &MemoryController,
+            tracker: &AccuracyTracker,
+        ) -> bool {
+            self.validate(now, ctrl, tracker);
+            debug_assert!(
+                self.ctrl_next >= now,
+                "E1 violated: controller missed its event tick"
+            );
+            now >= self.ctrl_next
+        }
+
+        /// Rearms after an executed controller phase at `now` (called
+        /// after completion delivery and the tracker tick, so writebacks
+        /// enqueued by fills and the post-rollover PAR are folded in).
+        pub(super) fn rearm(
+            &mut self,
+            now: Cycle,
+            ctrl: &MemoryController,
+            tracker: &AccuracyTracker,
+        ) {
+            self.reprove(now + 1, ctrl, tracker);
+        }
+
+        /// The proven bound (valid only right after [`EventState::validate`]
+        /// under an unchanged epoch); used as the global-jump bound in
+        /// event mode (E4).
+        pub(super) fn ctrl_next(&self) -> Cycle {
+            self.ctrl_next
+        }
+    }
+}
+
 /// The full simulated system: cores + traces + memory subsystem.
 ///
 /// Construct with a [`SimConfig`] and one [`BenchProfile`] per core, then
@@ -819,40 +970,66 @@ impl System {
 
     /// Advances the whole system by one CPU cycle.
     pub fn step(&mut self) {
-        self.step_inner(None);
+        self.step_inner(None, None);
     }
 
-    /// One global-clock step. With `hz` set (horizon mode), only *due*
-    /// cores execute a real tick; lagging cores are left untouched until
-    /// a resync point replays their stall window (see the `horizon`
-    /// module docs). With `hz == None` every core ticks (`Off`/`Global`).
-    fn step_inner(&mut self, mut hz: Option<&mut horizon::HorizonState>) {
+    /// One global-clock step. With `hz` set (horizon and event modes),
+    /// only *due* cores execute a real tick; lagging cores are left
+    /// untouched until a resync point replays their stall window (see the
+    /// `horizon` module docs). With `hz == None` every core ticks
+    /// (`Off`/`Global`). With `ev` set (event mode), the controller phase
+    /// executes only at cycles the cached event proof cannot rule out
+    /// (see the `event` module docs); with `ev == None` it executes every
+    /// stepped cycle.
+    fn step_inner(
+        &mut self,
+        mut hz: Option<&mut horizon::HorizonState>,
+        mut ev: Option<&mut event::EventState>,
+    ) {
         let now = self.now;
         self.profile.cycles_stepped += 1;
         let timing = profile::timing_enabled();
-        let t0 = timing.then(std::time::Instant::now);
-        let out = self.mem.controller.tick(now, &self.mem.tracker);
-        for req in &out.dropped {
-            self.mem.on_dropped(req);
-        }
-        for comp in &out.completions {
-            for w in self.mem.on_completion(comp, now) {
-                let c = w.core.index();
-                // A completion invalidates the core's idle classification
-                // (it sets `done_at` / releases a pending load), so the
-                // lag window is replayed before the core is mutated and
-                // the core re-enters lockstep at this exact cycle.
-                if let Some(hz) = hz.as_deref_mut() {
-                    hz.wake(c, now, &mut self.cores[c], &mut self.profile);
-                }
-                self.cores[c].complete(w.token, now + 1);
+        let run_ctrl = match ev.as_deref_mut() {
+            None => true,
+            Some(ev) => ev.controller_due(now, &self.mem.controller, &self.mem.tracker),
+        };
+        if run_ctrl {
+            let t0 = timing.then(std::time::Instant::now);
+            self.profile.ctrl_cycles_stepped += 1;
+            if ev.is_some() {
+                self.profile.ctrl_events_fired += 1;
             }
-        }
-        if self.mem.tracker.tick(now) {
-            self.mem.on_interval_rollover();
-        }
-        if let Some(t0) = t0 {
-            self.profile.controller_ns += t0.elapsed().as_nanos() as u64;
+            let out = self.mem.controller.tick(now, &self.mem.tracker);
+            for req in &out.dropped {
+                self.mem.on_dropped(req);
+            }
+            for comp in &out.completions {
+                for w in self.mem.on_completion(comp, now) {
+                    let c = w.core.index();
+                    // A completion invalidates the core's idle classification
+                    // (it sets `done_at` / releases a pending load), so the
+                    // lag window is replayed before the core is mutated and
+                    // the core re-enters lockstep at this exact cycle.
+                    if let Some(hz) = hz.as_deref_mut() {
+                        hz.wake(c, now, &mut self.cores[c], &mut self.profile);
+                    }
+                    self.cores[c].complete(w.token, now + 1);
+                }
+            }
+            if self.mem.tracker.tick(now) {
+                self.mem.on_interval_rollover();
+            }
+            if let Some(ev) = ev {
+                ev.rearm(now, &self.mem.controller, &self.mem.tracker);
+            }
+            if let Some(t0) = t0 {
+                self.profile.controller_ns += t0.elapsed().as_nanos() as u64;
+            }
+        } else {
+            // E1: the cached proof covers this cycle — the controller
+            // tick, the tracker tick, and the channel syncs are all
+            // no-ops, so the whole phase is elided.
+            self.profile.ctrl_cycles_skipped += 1;
         }
         let t1 = timing.then(std::time::Instant::now);
         for c in 0..self.cfg.cores {
@@ -928,24 +1105,40 @@ impl System {
         self.profile.ff_jumps += 1;
         self.profile.ff_cycles_skipped += skipped;
         self.profile.core_cycles_skipped += skipped * self.cfg.cores as u64;
+        self.profile.ctrl_cycles_skipped += skipped;
         self.now = target;
         skipped
     }
 
-    /// Attempts one global jump in horizon mode: fires only when *every*
-    /// core lags past `now`, bounded by the earliest due tick, the
+    /// Attempts one global jump in horizon or event mode: fires only when
+    /// *every* core lags past `now`, bounded by the earliest due tick, the
     /// controller's next event, the PAR rollover, and `max_cycles`. The
     /// cores' deferred replays are *not* applied here — their lag windows
     /// simply span the jump and are replayed at their next resync, which
     /// is what lets the skipped span be counted per-core exactly once.
-    fn try_horizon_jump(&mut self, hz: &horizon::HorizonState) -> u64 {
+    ///
+    /// In event mode the cached (validated) bound replaces the fresh
+    /// `next_event` call — same value, computed once (E4).
+    fn try_horizon_jump(
+        &mut self,
+        hz: &horizon::HorizonState,
+        ev: Option<&mut event::EventState>,
+    ) -> u64 {
         let now = self.now;
         if now >= self.cfg.max_cycles || self.finished() || !hz.all_lagging(now) {
             return 0;
         }
         let mut target = self.mem.tracker.next_rollover().min(hz.min_due());
-        if let Some(ev) = self.mem.controller.next_event(now, &self.mem.tracker) {
-            target = target.min(ev);
+        match ev {
+            Some(ev) => {
+                ev.validate(now, &self.mem.controller, &self.mem.tracker);
+                target = target.min(ev.ctrl_next());
+            }
+            None => {
+                if let Some(e) = self.mem.controller.next_event(now, &self.mem.tracker) {
+                    target = target.min(e);
+                }
+            }
         }
         target = target.min(self.cfg.max_cycles);
         if target <= now {
@@ -954,6 +1147,7 @@ impl System {
         let skipped = target - now;
         self.profile.ff_jumps += 1;
         self.profile.ff_cycles_skipped += skipped;
+        self.profile.ctrl_cycles_skipped += skipped;
         self.now = target;
         skipped
     }
@@ -1019,11 +1213,21 @@ impl System {
             FastForwardMode::Horizon => {
                 let mut hz = horizon::HorizonState::new(self.cfg.cores, self.now);
                 while !self.finished() && self.now < self.cfg.max_cycles {
-                    self.step_inner(Some(&mut hz));
-                    self.try_horizon_jump(&hz);
+                    self.step_inner(Some(&mut hz), None);
+                    self.try_horizon_jump(&hz, None);
                 }
                 // Live (non-snapshotted) core stats must match a
                 // cycle-exact run that stopped at the same cycle.
+                hz.flush(self.now, &mut self.cores, &mut self.profile);
+            }
+            FastForwardMode::Event => {
+                let mut hz = horizon::HorizonState::new(self.cfg.cores, self.now);
+                let mut ev =
+                    event::EventState::new(self.now, &self.mem.controller, &self.mem.tracker);
+                while !self.finished() && self.now < self.cfg.max_cycles {
+                    self.step_inner(Some(&mut hz), Some(&mut ev));
+                    self.try_horizon_jump(&hz, Some(&mut ev));
+                }
                 hz.flush(self.now, &mut self.cores, &mut self.profile);
             }
         }

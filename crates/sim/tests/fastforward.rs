@@ -3,10 +3,11 @@
 //! Fast-forwarding must be invisible in the results: a [`System`] run in
 //! any [`FastForwardMode`] produces a byte-identical [`Report`] to the
 //! same system stepped cycle by cycle (`Off`). These tests exercise that
-//! contract over randomized multi-core configurations — for both the
-//! global-jump mode and the per-core event horizon — check the core-cycle
-//! accounting invariant, and pin down the one event source that is always
-//! a jump bound: the accuracy tracker's interval rollover.
+//! contract over randomized multi-core configurations — for the
+//! global-jump mode, the per-core event horizon, and event-driven
+//! controller stepping — check the core-cycle and controller-cycle
+//! accounting invariants, and pin down the one event source that is
+//! always a jump bound: the accuracy tracker's interval rollover.
 
 use padc_core::SchedulingPolicy;
 use padc_sim::{FastForwardMode, SimConfig, System};
@@ -63,9 +64,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// The full report — every stat the suite serializes — is
-    /// byte-identical across all three fast-forward modes, and the
-    /// core-cycle accounting invariant holds in each:
-    /// `core_cycles_ticked + core_cycles_skipped == cores × total_cycles`.
+    /// byte-identical across all four fast-forward modes, and the
+    /// cycle-accounting invariants hold in each:
+    /// `core_cycles_ticked + core_cycles_skipped == cores × total_cycles`
+    /// and `ctrl_cycles_stepped + ctrl_cycles_skipped == total_cycles`.
     #[test]
     fn reports_are_byte_identical(seed in 1u64..1_000,
                                   cores in 1usize..4,
@@ -80,38 +82,58 @@ proptest! {
             run_mode(&cfg, cores, first_bench, FastForwardMode::Global);
         let (hor_json, hor_p, hor_now) =
             run_mode(&cfg, cores, first_bench, FastForwardMode::Horizon);
+        let (ev_json, ev_p, ev_now) =
+            run_mode(&cfg, cores, first_bench, FastForwardMode::Event);
 
         prop_assert_eq!(&off_json, &glob_json, "global-jump mode diverged");
         prop_assert_eq!(&off_json, &hor_json, "horizon mode diverged");
+        prop_assert_eq!(&off_json, &ev_json, "event mode diverged");
         // All paths must agree on termination time as well.
         prop_assert_eq!(off_now, glob_now);
         prop_assert_eq!(off_now, hor_now);
+        prop_assert_eq!(off_now, ev_now);
         // Sanity: the fast paths actually skipped something, otherwise
         // this test exercises nothing (idle cycles exist in any
         // DRAM-bound run).
         prop_assert!(glob_p.ff_cycles_skipped > 0, "global jumps never fired");
         prop_assert_eq!(glob_p.cycles_stepped,
                         off_p.cycles_stepped - glob_p.ff_cycles_skipped);
-        // Core-cycle accounting: every (core, cycle) pair was either
-        // ticked for real or replayed as a stall bump, exactly once.
-        for (name, p) in [("off", &off_p), ("global", &glob_p), ("horizon", &hor_p)] {
+        // Cycle accounting: every (core, cycle) pair was either ticked for
+        // real or replayed as a stall bump, exactly once — and every global
+        // cycle either executed the controller phase or was covered by a
+        // proven-idle bound.
+        for (name, p) in [("off", &off_p), ("global", &glob_p),
+                          ("horizon", &hor_p), ("event", &ev_p)] {
             prop_assert_eq!(
                 p.core_cycles_ticked + p.core_cycles_skipped,
                 cores as u64 * off_now,
                 "core-cycle accounting broken in {} mode", name
+            );
+            prop_assert_eq!(
+                p.ctrl_cycles_stepped + p.ctrl_cycles_skipped,
+                off_now,
+                "controller-cycle accounting broken in {} mode", name
             );
         }
         // The per-core horizon strictly supersedes global jumps: every
         // globally skippable cycle is inside some per-core lag window.
         prop_assert!(hor_p.core_cycles_skipped >= glob_p.core_cycles_skipped,
                      "horizon skipped fewer core-cycles than global");
+        // Event mode executes the controller only at proven event times,
+        // so it never steps the controller more than horizon does — and
+        // every executed controller cycle is an event it fired.
+        prop_assert!(ev_p.ctrl_cycles_stepped <= hor_p.ctrl_cycles_stepped,
+                     "event mode stepped the controller more than horizon");
+        prop_assert_eq!(ev_p.ctrl_events_fired, ev_p.ctrl_cycles_stepped);
+        prop_assert_eq!(hor_p.ctrl_events_fired, 0);
     }
 }
 
 /// An 8-core memory-hog mix (the configuration the CI perf gate guards):
-/// all three modes agree byte-for-byte and the horizon skips strictly
-/// more core-cycles than global jumps alone — the whole point of the
-/// per-core event horizon.
+/// all four modes agree byte-for-byte, the horizon skips strictly more
+/// core-cycles than global jumps alone — the whole point of the per-core
+/// event horizon — and event mode executes strictly fewer controller
+/// cycles than horizon while firing at least one event per DRAM command.
 #[test]
 fn eight_core_memory_hog_mix_agrees_across_modes() {
     let mut cfg = SimConfig::new(8, SchedulingPolicy::Padc);
@@ -140,8 +162,10 @@ fn eight_core_memory_hog_mix_agrees_across_modes() {
     let (off_json, off_p) = run(FastForwardMode::Off);
     let (glob_json, glob_p) = run(FastForwardMode::Global);
     let (hor_json, hor_p) = run(FastForwardMode::Horizon);
+    let (ev_json, ev_p) = run(FastForwardMode::Event);
     assert_eq!(off_json, glob_json);
     assert_eq!(off_json, hor_json);
+    assert_eq!(off_json, ev_json);
     assert!(
         hor_p.core_skip_ratio() > glob_p.core_skip_ratio(),
         "horizon ({:.3}) should beat global ({:.3}) on an 8-core mix",
@@ -150,6 +174,22 @@ fn eight_core_memory_hog_mix_agrees_across_modes() {
     );
     assert!(hor_p.horizon_resyncs > 0, "horizon never lagged a core");
     assert_eq!(off_p.core_cycles_skipped, 0);
+    // Event mode: the controller phase runs only at fired events, skips a
+    // real fraction of stepped cycles, and its accounting closes.
+    assert!(
+        ev_p.ctrl_cycles_stepped < hor_p.ctrl_cycles_stepped,
+        "event mode should elide controller cycles on a memory-hog mix \
+         (event {} vs horizon {})",
+        ev_p.ctrl_cycles_stepped,
+        hor_p.ctrl_cycles_stepped
+    );
+    assert!(ev_p.ctrl_events_fired > 0, "no controller events fired");
+    assert!(
+        ev_p.ctrl_skip_ratio() > hor_p.ctrl_skip_ratio(),
+        "event ctrl_skip_ratio ({:.3}) should beat horizon ({:.3})",
+        ev_p.ctrl_skip_ratio(),
+        hor_p.ctrl_skip_ratio()
+    );
 }
 
 /// PAR interval rollovers are an explicit fast-forward event source: both

@@ -83,6 +83,33 @@ fn resume_across_fast_forward_modes_is_byte_identical() {
     );
     assert_eq!((ok, skipped), (1, 1));
 
+    // Same partial resume under event-driven controller stepping.
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Event);
+    let (mixed, ok, skipped) = suite_bytes(Some(&partial));
+    assert_eq!(
+        mixed, reference,
+        "event-mode re-run diverged from off-mode bytes"
+    );
+    assert_eq!((ok, skipped), (1, 1));
+
+    // And the reverse direction: a fully settled artifact *produced* under
+    // event mode resumes byte-identically with the default mode — the new
+    // mode cannot poison artifacts consumed by older runs either.
+    let (ev_reference, ok, _) = suite_bytes(None);
+    assert_eq!(ok, IDS.len());
+    assert_eq!(
+        ev_reference, reference,
+        "event-mode artifact differs from off-mode artifact"
+    );
+    padc_sim::set_fast_forward_mode_default(FastForwardMode::Horizon);
+    let ev_artifact = ResumeArtifact::parse(std::str::from_utf8(&ev_reference).expect("utf8"));
+    let (resumed, ok, skipped) = suite_bytes(Some(&ev_artifact));
+    assert_eq!(
+        resumed, reference,
+        "event-mode rows were not re-emitted verbatim under horizon"
+    );
+    assert_eq!((ok, skipped), (0, IDS.len()));
+
     // Leave the process default at the shipped default.
     padc_sim::set_fast_forward_mode_default(FastForwardMode::Horizon);
 }

@@ -2,35 +2,37 @@
 # Local CI gate: shellcheck, formatting, lints, release build, docs, the
 # full test suite, and the EXPERIMENTS.md drift check. Everything runs
 # offline (external deps are vendored; see vendor/README.md). Each step
-# prints its elapsed seconds so CI logs show where the time budget goes.
+# prints its elapsed seconds, and the same per-step timings land in the
+# workflow step summary ($GITHUB_STEP_SUMMARY) via gate_summary.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-total_start=$SECONDS
+# shellcheck source=scripts/gate_summary.sh
+source "$(dirname "$0")/gate_summary.sh"
+gate_init "ci gate"
 
 # Runs one gate step and prints its wall time.
 step() {
     local name=$1
     shift
+    gate_section "$name"
     echo "== $name"
     local t0=$SECONDS
     "$@"
     echo "   -- ${name}: $((SECONDS - t0))s"
 }
 
-shellcheck_step() {
-    if command -v shellcheck >/dev/null 2>&1; then
-        shellcheck scripts/*.sh
-    else
-        echo "   shellcheck not installed; skipping (offline container)"
-    fi
-}
-
 doc_step() {
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 }
 
-step "shellcheck scripts/*.sh" shellcheck_step
+if command -v shellcheck >/dev/null 2>&1; then
+    step "shellcheck scripts/*.sh" shellcheck scripts/*.sh
+else
+    # Report the skip explicitly — a missing linter must never read as a
+    # silent pass in the summary table.
+    gate_skip "shellcheck scripts/*.sh" "shellcheck not installed (offline container)"
+    echo "== shellcheck scripts/*.sh: skipped (shellcheck not installed)"
+fi
 step "cargo fmt --check" cargo fmt --check
 step "cargo clippy --workspace --all-targets -- -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
@@ -41,4 +43,4 @@ step "cargo test --doc" cargo test --doc -q
 step "EXPERIMENTS.md drift check" \
     python3 scripts/make_experiments_md.py --check repro_full.jsonl
 
-echo "== ci.sh: all green in $((SECONDS - total_start))s"
+echo "== ci.sh: all green in ${SECONDS}s"

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Determinism gate: the suite's JSONL artifact must be byte-identical
 # across worker counts (the unified scheduler emits rows in registry
-# order with no timing data) and across all three fast-forward modes
-# (off / global / horizon — skipped cycles must be invisible in results,
-# DESIGN.md §11); `--resume` on a settled artifact must execute zero
+# order with no timing data) and across all four fast-forward modes
+# (off / global / horizon / event — skipped cycles must be invisible in
+# results, DESIGN.md §11); `--resume` on a settled artifact must execute zero
 # experiments while reproducing it byte for byte, even when the artifact
 # was produced under a different fast-forward mode.
 #
@@ -15,6 +15,9 @@
 # (CI uploads it on failure); otherwise a temp dir is used and cleaned.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/gate_summary.sh
+source "$(dirname "$0")/gate_summary.sh"
+gate_init "determinism gate"
 
 SUBSET=(fig1 fig2 tab5 tab6 tab7 cost)
 if [ -n "${DET_GATE_OUT:-}" ]; then
@@ -22,12 +25,14 @@ if [ -n "${DET_GATE_OUT:-}" ]; then
     mkdir -p "$OUT"
 else
     OUT="$(mktemp -d)"
-    trap 'rm -rf "$OUT"' EXIT
+    GATE_CLEANUP='rm -rf "$OUT"'
 fi
 
+gate_section "build"
 cargo build --release --workspace --quiet
 REPRO=target/release/repro
 
+gate_section "jobs 1 vs jobs 8"
 echo "== determinism: --jobs 1 vs --jobs 8 on ${SUBSET[*]} (smoke scale)"
 "$REPRO" --smoke --jobs 1 --no-progress --jsonl "$OUT/j1.jsonl" "${SUBSET[@]}" >/dev/null
 "$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/j8.jsonl" "${SUBSET[@]}" >/dev/null
@@ -38,6 +43,7 @@ if ! cmp "$OUT/j1.jsonl" "$OUT/j8.jsonl"; then
 fi
 echo "   byte-identical ($(wc -c <"$OUT/j1.jsonl") bytes, $(wc -l <"$OUT/j1.jsonl") rows)"
 
+gate_section "resume on settled artifact"
 echo "== resume: settled artifact must execute zero experiments"
 "$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/full.jsonl" >/dev/null
 cp "$OUT/full.jsonl" "$OUT/orig.jsonl"
@@ -54,20 +60,22 @@ if ! grep -q '"ok": 0,' "$OUT/summary.json"; then
 fi
 echo "   zero executions, artifact byte-identical"
 
-echo "== fast-forward: off vs global vs horizon on ${SUBSET[*]} (smoke scale)"
-for mode in off global horizon; do
+gate_section "fast-forward four-mode matrix"
+echo "== fast-forward: off vs global vs horizon vs event on ${SUBSET[*]} (smoke scale)"
+for mode in off global horizon event; do
     "$REPRO" --smoke --jobs 8 --no-progress --fast-forward "$mode" \
         --jsonl "$OUT/ff-$mode.jsonl" "${SUBSET[@]}" >/dev/null
 done
-for mode in global horizon; do
+for mode in global horizon event; do
     if ! cmp "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl"; then
         echo "FAIL: JSONL differs between --fast-forward off and $mode" >&2
         diff "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl" >&2 || true
         exit 1
     fi
 done
-echo "   byte-identical across all three modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
+echo "   byte-identical across all four modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
 
+gate_section "exec planned vs monolithic"
 echo "== exec modes: planned vs monolithic on grid/sweep/mechanism experiments"
 # The plan/reduce decomposition (DESIGN.md §10) must reproduce the legacy
 # monolithic runners byte for byte: same workloads, same arithmetic, same
@@ -86,21 +94,38 @@ if ! cmp "$OUT/exec-planned.jsonl" "$OUT/exec-monolithic.jsonl"; then
 fi
 echo "   byte-identical ($(wc -c <"$OUT/exec-planned.jsonl") bytes, $(wc -l <"$OUT/exec-planned.jsonl") rows)"
 
-echo "== resume across modes: off-mode artifact resumed under horizon"
-"$REPRO" --smoke --jobs 8 --no-progress --fast-forward horizon \
-    --resume "$OUT/ff-off.jsonl" --jsonl "$OUT/cross.jsonl" \
-    --summary "$OUT/cross-summary.json" "${SUBSET[@]}" >/dev/null
-if ! cmp "$OUT/cross.jsonl" "$OUT/ff-off.jsonl"; then
-    echo "FAIL: cross-mode resume did not re-emit settled rows verbatim" >&2
+gate_section "cross-mode resume"
+echo "== resume across modes: off-mode artifact resumed under horizon and event"
+for mode in horizon event; do
+    "$REPRO" --smoke --jobs 8 --no-progress --fast-forward "$mode" \
+        --resume "$OUT/ff-off.jsonl" --jsonl "$OUT/cross-$mode.jsonl" \
+        --summary "$OUT/cross-$mode-summary.json" "${SUBSET[@]}" >/dev/null
+    if ! cmp "$OUT/cross-$mode.jsonl" "$OUT/ff-off.jsonl"; then
+        echo "FAIL: cross-mode resume under $mode did not re-emit settled rows verbatim" >&2
+        exit 1
+    fi
+    if ! grep -q '"ok": 0,' "$OUT/cross-$mode-summary.json"; then
+        echo "FAIL: cross-mode resume under $mode executed experiments on a settled artifact:" >&2
+        cat "$OUT/cross-$mode-summary.json" >&2
+        exit 1
+    fi
+done
+echo "== resume across modes: event-mode artifact resumed under the default mode"
+"$REPRO" --smoke --jobs 8 --no-progress \
+    --resume "$OUT/ff-event.jsonl" --jsonl "$OUT/cross-back.jsonl" \
+    --summary "$OUT/cross-back-summary.json" "${SUBSET[@]}" >/dev/null
+if ! cmp "$OUT/cross-back.jsonl" "$OUT/ff-off.jsonl"; then
+    echo "FAIL: event-mode artifact was not re-emitted verbatim under the default mode" >&2
     exit 1
 fi
-if ! grep -q '"ok": 0,' "$OUT/cross-summary.json"; then
-    echo "FAIL: cross-mode resume executed experiments on a settled artifact:" >&2
-    cat "$OUT/cross-summary.json" >&2
+if ! grep -q '"ok": 0,' "$OUT/cross-back-summary.json"; then
+    echo "FAIL: event-artifact resume executed experiments on a settled artifact:" >&2
+    cat "$OUT/cross-back-summary.json" >&2
     exit 1
 fi
-echo "   zero executions, artifact byte-identical"
+echo "   zero executions, artifacts byte-identical in both directions"
 
+gate_section "store cold vs warm vs none"
 echo "== store: cold vs warm vs no-store byte identity on planned subset"
 # The persistent unit store (DESIGN.md §12) must be invisible in results:
 # a cold-store run (every unit computed and written back), a warm-store

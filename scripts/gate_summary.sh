@@ -1,0 +1,95 @@
+# shellcheck shell=bash
+# Shared gate-script reporting: per-section wall-clock timings plus a
+# pass/fail table appended to $GITHUB_STEP_SUMMARY when it is set (the
+# table is always mirrored to stderr), so a gate failure is readable from
+# the workflow summary page without downloading logs.
+#
+# Usage, from a `set -euo pipefail` gate script:
+#
+#     source "$(dirname "$0")/gate_summary.sh"
+#     GATE_CLEANUP='rm -rf "$OUT"'     # optional, evaluated on exit
+#     gate_init "perf gate"
+#     gate_section "build"
+#     ...
+#     gate_section "8-core mix floor"
+#     ...
+#     gate_skip "shellcheck" "shellcheck not installed"
+#
+# Each gate_section closes the previous one as "pass" — under `set -e`
+# the script would have exited otherwise — and the single EXIT trap
+# closes the final section with the script's real verdict, so a
+# mid-section failure is attributed to the section that was running.
+# Scripts that previously installed their own cleanup trap must use
+# GATE_CLEANUP instead (a later `trap ... EXIT` would replace ours).
+
+GATE_NAME=""
+GATE_SECTIONS=()
+GATE_CURRENT=""
+GATE_T0=0
+GATE_START=0
+
+gate_init() {
+    GATE_NAME="$1"
+    GATE_START=$SECONDS
+    trap gate__exit EXIT
+}
+
+# gate__close STATUS NOTE — record the currently open section, if any.
+gate__close() {
+    [ -n "$GATE_CURRENT" ] || return 0
+    GATE_SECTIONS+=("$GATE_CURRENT"$'\t'"$1"$'\t'"$((SECONDS - GATE_T0))"$'\t'"${2:-}")
+    GATE_CURRENT=""
+}
+
+gate_section() {
+    gate__close pass ""
+    GATE_CURRENT="$1"
+    GATE_T0=$SECONDS
+}
+
+# gate_skip NAME REASON — record a section that was deliberately not run
+# (e.g. an optional linter missing from the host) as "skip", never as a
+# silent pass.
+gate_skip() {
+    gate__close pass ""
+    GATE_SECTIONS+=("$1"$'\t'skip$'\t'0$'\t'"${2:-}")
+}
+
+gate__exit() {
+    local code=$?
+    if [ "$code" -eq 0 ]; then
+        gate__close pass ""
+    else
+        gate__close FAIL "exit status $code"
+    fi
+    local verdict=pass
+    [ "$code" -ne 0 ] && verdict=FAIL
+    local total=$((SECONDS - GATE_START))
+    local row name status secs note
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        {
+            echo "### ${GATE_NAME}: ${verdict} (${total}s)"
+            echo
+            echo "| section | result | time | note |"
+            echo "| --- | --- | ---: | --- |"
+            if [ "${#GATE_SECTIONS[@]}" -gt 0 ]; then
+                for row in "${GATE_SECTIONS[@]}"; do
+                    IFS=$'\t' read -r name status secs note <<<"$row"
+                    echo "| $name | $status | ${secs}s | $note |"
+                done
+            fi
+            echo
+        } >>"$GITHUB_STEP_SUMMARY"
+    fi
+    {
+        echo "-- ${GATE_NAME}: ${verdict} (${total}s)"
+        if [ "${#GATE_SECTIONS[@]}" -gt 0 ]; then
+            for row in "${GATE_SECTIONS[@]}"; do
+                IFS=$'\t' read -r name status secs note <<<"$row"
+                printf '   %-44s %-4s %5ss  %s\n' "$name" "$status" "$secs" "$note"
+            done
+        fi
+    } >&2
+    eval "${GATE_CLEANUP:-}"
+    exit "$code"
+}

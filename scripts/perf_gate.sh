@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI perf gate, three sections:
+# CI perf gate, four sections:
 #
 # 1. The fast-forward core-cycle skip ratio on a smoke-scale 8-core
 #    memory-hog mix must not regress below the floor recorded in
@@ -7,6 +7,13 @@
 #    silently break horizon/idle classification (e.g. a core that always
 #    reports busy): results would stay byte-identical — so the determinism
 #    gate would pass — while the multi-core speedup quietly evaporates.
+#
+# 1b. The event-mode controller skip ratio on the same mix and on the
+#    mcf single must not regress below the floors recorded in
+#    BENCH_event.json (minus tolerance). Same rationale one layer down:
+#    a change that stops proving controller idleness keeps results
+#    byte-identical while the O(events) controller loop silently
+#    degrades back to O(cycles).
 #
 # 2. The plan/reduce sub-job machinery must keep doing its job
 #    structurally (floors from BENCH_subjob.json): planned experiments
@@ -28,15 +35,19 @@
 # directory (CI uploads it on failure); otherwise a temp dir is used.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/gate_summary.sh
+source "$(dirname "$0")/gate_summary.sh"
+gate_init "perf gate"
 
 if [ -n "${PERF_GATE_OUT:-}" ]; then
     OUT="$PERF_GATE_OUT"
     mkdir -p "$OUT"
 else
     OUT="$(mktemp -d)"
-    trap 'rm -rf "$OUT"' EXIT
+    GATE_CLEANUP='rm -rf "$OUT"'
 fi
 
+gate_section "build"
 cargo build --release --workspace --quiet
 SIM=target/release/padcsim
 
@@ -52,6 +63,7 @@ print(gate["min_core_skip_pct"] - gate["tolerance_pct"])
 EOF
 )
 
+gate_section "core skip floor (horizon, 8-core mix)"
 echo "== perf: 8-core memory-hog mix, --fast-forward horizon, floor ${floor}%"
 "$SIM" "${MIX[@]}" --policy padc --instructions "$INSTRUCTIONS" \
     --fast-forward horizon --profile \
@@ -72,6 +84,56 @@ if ! awk -v s="$skip" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
 fi
 echo "   core skip ratio ${skip}% >= floor ${floor}%"
 
+# -- 1b: event-mode controller skip floors (BENCH_event.json) ----------
+CTRL_GATE=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_event.json"))["ci_gate"]
+tol = gate["tolerance_pct"]
+print(gate["mix_instructions"], gate["mix_min_ctrl_skip_pct"] - tol,
+      gate["mcf_instructions"], gate["mcf_min_ctrl_skip_pct"] - tol)
+PYEOF
+)
+read -r CTRL_MIX_INSTR CTRL_MIX_FLOOR CTRL_MCF_INSTR CTRL_MCF_FLOOR <<<"$CTRL_GATE"
+
+gate_section "ctrl skip floor (event, 8-core mix)"
+echo "== perf: 8-core mix, --fast-forward event, ctrl floor ${CTRL_MIX_FLOOR}%"
+"$SIM" "${MIX[@]}" --policy padc --instructions "$CTRL_MIX_INSTR" \
+    --fast-forward event --profile \
+    >"$OUT/event-mix-report.txt" 2>"$OUT/event-mix-profile.txt"
+grep '^profile:' "$OUT/event-mix-profile.txt"
+ctrl_skip=$(grep -o 'ctrl_skip_pct=[0-9.]*' "$OUT/event-mix-profile.txt" | head -n1 | cut -d= -f2)
+if [ -z "$ctrl_skip" ]; then
+    echo "FAIL: no ctrl_skip_pct in --profile output" >&2
+    exit 1
+fi
+if ! awk -v s="$ctrl_skip" -v f="$CTRL_MIX_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+    echo "FAIL: controller skip ratio ${ctrl_skip}% fell below the ${CTRL_MIX_FLOOR}% floor" >&2
+    echo "      (floor = ci_gate.mix_min_ctrl_skip_pct - ci_gate.tolerance_pct" >&2
+    echo "       from BENCH_event.json; re-measure and update it only if the" >&2
+    echo "       regression is understood and intended)" >&2
+    exit 1
+fi
+echo "   ctrl skip ratio ${ctrl_skip}% >= floor ${CTRL_MIX_FLOOR}%"
+
+gate_section "ctrl skip floor (event, mcf single)"
+echo "== perf: mcf single, --fast-forward event, ctrl floor ${CTRL_MCF_FLOOR}%"
+"$SIM" --bench mcf_06 --policy padc --instructions "$CTRL_MCF_INSTR" \
+    --fast-forward event --profile \
+    >"$OUT/event-mcf-report.txt" 2>"$OUT/event-mcf-profile.txt"
+grep '^profile:' "$OUT/event-mcf-profile.txt"
+ctrl_skip=$(grep -o 'ctrl_skip_pct=[0-9.]*' "$OUT/event-mcf-profile.txt" | head -n1 | cut -d= -f2)
+if [ -z "$ctrl_skip" ]; then
+    echo "FAIL: no ctrl_skip_pct in --profile output" >&2
+    exit 1
+fi
+if ! awk -v s="$ctrl_skip" -v f="$CTRL_MCF_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+    echo "FAIL: controller skip ratio ${ctrl_skip}% fell below the ${CTRL_MCF_FLOOR}% floor" >&2
+    echo "      (floor = ci_gate.mcf_min_ctrl_skip_pct - ci_gate.tolerance_pct" >&2
+    echo "       from BENCH_event.json)" >&2
+    exit 1
+fi
+echo "   ctrl skip ratio ${ctrl_skip}% >= floor ${CTRL_MCF_FLOOR}%"
+
 REPRO=target/release/repro
 
 SUBJOB_GATE=$(python3 - <<'PYEOF'
@@ -83,6 +145,7 @@ PYEOF
 )
 read -r SUBJOB_JOBS MIN_SUBJOBS MAX_SINGLES SUBJOB_SUBSET <<<"$SUBJOB_GATE"
 
+gate_section "sub-job decomposition floors"
 echo "== subjobs: ${SUBJOB_SUBSET} at smoke scale, --jobs ${SUBJOB_JOBS}"
 # shellcheck disable=SC2086
 "$REPRO" --smoke --jobs "$SUBJOB_JOBS" --no-progress --exec planned \
@@ -134,6 +197,7 @@ PYEOF
 )
 read -r STORE_JOBS MIN_WARM_HITS MAX_WARM_MISSES STORE_SUBSET <<<"$STORE_GATE"
 
+gate_section "store warm-hit floors"
 echo "== store: ${STORE_SUBSET} at smoke scale, cold then warm, --jobs ${STORE_JOBS}"
 # Floors from BENCH_store.json: a warm rerun against the store the cold
 # run just populated must resolve every unit from disk (hits >= floor,

@@ -16,15 +16,19 @@
 # (CI uploads it on failure); otherwise a temp dir is used and cleaned.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/gate_summary.sh
+source "$(dirname "$0")/gate_summary.sh"
+gate_init "store/serve gate"
 
 if [ -n "${STORE_GATE_OUT:-}" ]; then
     OUT="$STORE_GATE_OUT"
     mkdir -p "$OUT"
 else
     OUT="$(mktemp -d)"
-    trap 'rm -rf "$OUT"' EXIT
+    GATE_CLEANUP='rm -rf "$OUT"'
 fi
 
+gate_section "build"
 cargo build --release --workspace --quiet
 SIM=target/release/padcsim
 
@@ -32,12 +36,14 @@ SUBSET=(fig6 tab5)
 STORE="$OUT/store"
 rm -rf "$STORE"
 
+gate_section "cold populate"
 echo "== store: cold populate on ${SUBSET[*]} (smoke scale)"
 "$SIM" --suite --smoke --jobs 2 --exec planned --store "$STORE" \
     --jsonl "$OUT/cold.jsonl" "${SUBSET[@]}" 2>"$OUT/cold-stderr.txt"
 grep '^store:' "$OUT/cold-stderr.txt"
 "$SIM" store stats --store "$STORE"
 
+gate_section "poisoned entries recompute and heal"
 echo "== store: poisoned entries must be recomputed, not trusted"
 mapfile -t ENTRIES < <(find "$STORE/objects" -type f | sort)
 if [ "${#ENTRIES[@]}" -lt 3 ]; then
@@ -67,6 +73,7 @@ if ! grep -q '^store: hits=[0-9]* misses=0 ' "$OUT/rewarm-stderr.txt"; then
 fi
 echo "   byte-identical, 2 recomputed, store healed"
 
+gate_section "gc eviction bound"
 echo "== store: gc --max-bytes evicts down to the bound"
 BOUND=20000
 "$SIM" store gc --max-bytes "$BOUND" --store "$STORE" | tee "$OUT/gc.txt"
@@ -77,6 +84,7 @@ if [ "$remaining" -gt "$BOUND" ]; then
 fi
 echo "   $remaining bytes <= $BOUND"
 
+gate_section "serve stdio requests"
 echo "== serve: overlapping requests plus a malformed one over stdio"
 printf '%s\n' \
     '{"id":"r1","experiments":["fig6","tab5"],"scale":"smoke"}' \
