@@ -6,6 +6,8 @@
 //! `repro` binary and for backwards compatibility with existing
 //! `padc_bench::{registry, find}` callers.
 
+#![warn(missing_docs)]
+
 pub use padc_sim::experiments::registry::{
     find, registry, suite_jobs, suite_jobs_profiled, suite_jobs_with, table_stash, Experiment,
     SuiteOptions, TableStash,

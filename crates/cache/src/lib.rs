@@ -26,6 +26,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 mod config;
 mod mshr;

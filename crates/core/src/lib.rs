@@ -53,10 +53,11 @@
 mod accuracy;
 mod config;
 pub mod cost;
-mod scheduler;
+pub mod scheduler;
 mod stats;
 
 pub use accuracy::AccuracyTracker;
 pub use config::{ControllerConfig, DropThresholds, SchedulingPolicy};
+pub use scheduler::buffer::BufferStats;
 pub use scheduler::{Completion, MemoryController, TickOutput};
 pub use stats::ControllerStats;

@@ -1,0 +1,183 @@
+//! Priority arbitration: the lexicographic [`PrioKey`] and the [`KeyCtx`]
+//! snapshot of everything a key computation reads.
+//!
+//! The controller's two-level FR-FCFS selection (pick each bank's
+//! highest-priority entry, then the best ready bank) compares entries by
+//! [`PrioKey`], built from the scheduling policy (Prefetch-Aware DRAM
+//! Controllers, MICRO 2008: Rule 1 / Rule 2 with optional PAR-BS batching,
+//! urgency, and shortest-job ranking on top). [`KeyCtx`] bundles the key
+//! inputs that live outside the entry itself — policy flags, write-drain
+//! state, the accuracy tracker, and the per-core rank counts — so the
+//! buffer's owner cache can recompute keys without borrowing the whole
+//! controller, and so the invalidation rules can name exactly which input
+//! changed (DESIGN.md §13).
+//!
+//! # Worked example
+//!
+//! ```
+//! use padc_core::scheduler::arbiter::KeyCtx;
+//! use padc_core::scheduler::buffer::Entry;
+//! use padc_core::{AccuracyTracker, SchedulingPolicy};
+//! use padc_dram::{AddressMapper, Channel, DramConfig, MappingScheme};
+//! use padc_types::{AccessKind, CoreId, LineAddr, MemRequest, RequestId, RequestKind};
+//!
+//! let dram = DramConfig::default();
+//! let mapper = AddressMapper::new(&dram, MappingScheme::Linear);
+//! let ch = Channel::new(&dram);
+//! let tracker = AccuracyTracker::new(1, 100_000);
+//! let ctx = KeyCtx {
+//!     policy: SchedulingPolicy::DemandFirst,
+//!     write_drain: false,
+//!     draining_writes: false,
+//!     urgency: false,
+//!     promotion_threshold: 0.85,
+//!     accuracy: &tracker,
+//!     rank_counts: None,
+//! };
+//!
+//! // An older prefetch and a younger demand to the same closed bank:
+//! // demand-first ranks the demand's key strictly higher.
+//! let mk = |id: u64, kind| {
+//!     let req = MemRequest::new(RequestId::new(id), CoreId::new(0), LineAddr::new(id * 64),
+//!                               AccessKind::Load, kind, 0);
+//!     let target = mapper.map(req.line);
+//!     Entry::new(req, target)
+//! };
+//! let prefetch = mk(0, RequestKind::Prefetch);
+//! let demand = mk(1, RequestKind::Demand);
+//! assert!(ctx.key(&demand, &ch, 0) > ctx.key(&prefetch, &ch, 0));
+//! ```
+
+use std::cmp::Reverse;
+
+use padc_dram::Channel;
+use padc_types::{Cycle, MemRequest, RequestKind};
+
+use crate::accuracy::AccuracyTracker;
+use crate::config::SchedulingPolicy;
+
+use super::buffer::{is_writeback, Entry};
+
+/// Priority tuple compared lexicographically; larger wins. Field order
+/// implements the paper's Rule 1 / Rule 2 (with optional PAR-BS batching
+/// on top): batch > tier (critical / demand-first class) > row-hit >
+/// urgent > rank > FCFS. Keys never tie: `fcfs` carries the unique request
+/// id, so arbitration is independent of iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PrioKey {
+    /// Write-drain service class (always true when write drain is off):
+    /// reads match outside drain mode, writebacks match inside it.
+    pub class_match: bool,
+    /// Member of the current PAR-BS batch.
+    pub batched: bool,
+    /// Policy tier: criticality for the adaptive policies, the demand /
+    /// prefetch class for the fixed-priority baselines, 0 when equal.
+    pub tier: u8,
+    /// Targets the bank's currently open row.
+    pub row_hit: bool,
+    /// Demand of a core whose prefetches are inaccurate (§6.4).
+    pub urgent: bool,
+    /// Shortest-job rank: fewer outstanding critical requests wins (§6.5).
+    pub rank: Reverse<u64>,
+    /// First-come-first-served tiebreak on the unique request id.
+    pub fcfs: Reverse<u64>,
+}
+
+/// Everything a [`PrioKey`] computation reads besides the entry and the
+/// channel: policy selection, write-drain state, and accuracy inputs.
+/// Borrowed immutably for the duration of one scheduling pass; the cached
+/// owners remain valid only while every field here is unchanged (the
+/// controller invalidates on each mutation — DESIGN.md §13, B3).
+#[derive(Clone, Copy)]
+pub struct KeyCtx<'a> {
+    /// Scheduling policy selecting the key shape.
+    pub policy: SchedulingPolicy,
+    /// Write-drain feature flag (`ControllerConfig::write_drain`).
+    pub write_drain: bool,
+    /// Write-drain mode currently active.
+    pub draining_writes: bool,
+    /// Urgency feature flag (`ControllerConfig::urgency`).
+    pub urgency: bool,
+    /// Prefetch-accuracy threshold for criticality (`promotion_threshold`).
+    pub promotion_threshold: f64,
+    /// Per-core prefetch accuracy (constant between rollovers).
+    pub accuracy: &'a AccuracyTracker,
+    /// Per-core outstanding critical-request counts; `Some` iff ranking.
+    pub rank_counts: Option<&'a [u64]>,
+}
+
+impl KeyCtx<'_> {
+    /// Criticality (§6.2): demands always, prefetches iff their core's
+    /// accuracy clears the promotion threshold.
+    pub fn is_critical(&self, req: &MemRequest) -> bool {
+        match req.kind {
+            RequestKind::Demand => true,
+            RequestKind::Prefetch => self.accuracy.accuracy(req.core) >= self.promotion_threshold,
+        }
+    }
+
+    /// Urgency (§6.4): demands of cores with inaccurate prefetchers.
+    pub fn is_urgent(&self, req: &MemRequest) -> bool {
+        req.kind.is_demand() && self.accuracy.accuracy(req.core) < self.promotion_threshold
+    }
+
+    /// The entry's full priority key under this context, with `row_hit`
+    /// classified against the channel's current bank state.
+    pub fn key(&self, e: &Entry, ch: &Channel, now: Cycle) -> PrioKey {
+        let row_hit = ch.is_row_hit(e.target.bank, e.target.row, now);
+        let fcfs = Reverse(e.req.id.raw());
+        // Write-drain service class: when enabled, reads match outside
+        // drain mode and writebacks match inside it.
+        let class_match = !self.write_drain || (is_writeback(&e.req) == self.draining_writes);
+        match self.policy {
+            SchedulingPolicy::DemandPrefetchEqual => PrioKey {
+                class_match,
+                batched: e.batched,
+                tier: 0,
+                row_hit,
+                urgent: false,
+                rank: Reverse(0),
+                fcfs,
+            },
+            SchedulingPolicy::DemandFirst => PrioKey {
+                class_match,
+                batched: e.batched,
+                tier: u8::from(e.req.kind.is_demand()),
+                row_hit,
+                urgent: false,
+                rank: Reverse(0),
+                fcfs,
+            },
+            SchedulingPolicy::PrefetchFirst => PrioKey {
+                class_match,
+                batched: e.batched,
+                tier: u8::from(e.req.kind.is_prefetch()),
+                row_hit,
+                urgent: false,
+                rank: Reverse(0),
+                fcfs,
+            },
+            SchedulingPolicy::ApsOnly | SchedulingPolicy::Padc | SchedulingPolicy::PadcRank => {
+                let critical = self.is_critical(&e.req);
+                let rank = match self.rank_counts {
+                    Some(counts) if critical => {
+                        Reverse(counts.get(e.req.core.index()).copied().unwrap_or(u64::MAX))
+                    }
+                    // Non-critical requests take the worst rank (§6.5
+                    // footnote 12).
+                    Some(_) => Reverse(u64::MAX),
+                    None => Reverse(0),
+                };
+                PrioKey {
+                    class_match,
+                    batched: e.batched,
+                    tier: u8::from(critical),
+                    row_hit,
+                    urgent: self.urgency && self.is_urgent(&e.req),
+                    rank,
+                    fcfs,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,813 @@
+//! Data-oriented memory request buffer: a slab of entries with free-list
+//! reuse plus incrementally maintained scheduling state.
+//!
+//! The legacy controller kept a flat `Vec<Entry>` and rescanned all of it
+//! every time it needed anything: the per-bank highest-priority entry (the
+//! bank *owner*), the earliest APD drop deadline, the buffered writeback
+//! count, the PAR-BS batch population, and the per-core critical-request
+//! counts for ranking. [`RequestBuffer`] maintains each of those
+//! incrementally, updated on every insert/promote/remove, so scheduling is
+//! O(ready entries) instead of O(buffer size) per DRAM cycle:
+//!
+//! - a **slab** (`slots`) addressed by stable [`Slot`] indices with a LIFO
+//!   free list — an entry never moves while queued, so bitsets and heaps
+//!   can hold raw slot indices;
+//! - an **order mirror** (`order`) replaying the legacy `Vec` push /
+//!   `swap_remove` order exactly, so iteration-order-sensitive behaviour
+//!   (APD drop emission order, promotion scan order) is bit-identical to
+//!   the flat-vector controller;
+//! - per-(channel, bank) **membership bitsets**, so owner recomputation
+//!   touches only that bank's entries;
+//! - a cached per-bank **owner** (highest [`PrioKey`]
+//!   entry), recomputed lazily only when the bank is marked dirty by a
+//!   mutation that can change it;
+//! - per-core **min-heaps of APD drop arrivals**, so the earliest drop
+//!   deadline is an O(cores) peek instead of an O(buffer) scan every CPU
+//!   cycle;
+//! - running **writeback / batched / per-core criticality counts** for the
+//!   write-drain watermark, batch-reform trigger, and ranking.
+//!
+//! Cache state (owners, dirty flags, heaps, epoch snapshots, stats) is
+//! excluded from the `Debug` representation: equality of `Debug` strings is
+//! how the `next_event` soundness oracle detects observable mutation, and
+//! cache fills during proven-idle windows are not observable.
+//!
+//! # Worked example
+//!
+//! ```
+//! use padc_core::scheduler::buffer::{Entry, RequestBuffer};
+//! use padc_dram::{AddressMapper, DramConfig, MappingScheme};
+//! use padc_types::{AccessKind, CoreId, LineAddr, MemRequest, RequestId, RequestKind};
+//!
+//! let dram = DramConfig::default();
+//! let mapper = AddressMapper::new(&dram, MappingScheme::Linear);
+//! // 16-entry buffer over the default geometry, 2 cores, no ranking/APD.
+//! let mut buf = RequestBuffer::new(16, dram.channels, dram.banks, 2, false, false);
+//!
+//! // Insert a demand and a prefetch; slots are stable identities.
+//! let d = MemRequest::new(RequestId::new(0), CoreId::new(0), LineAddr::new(0),
+//!                         AccessKind::Load, RequestKind::Demand, 0);
+//! let p = MemRequest::new(RequestId::new(1), CoreId::new(1), LineAddr::new(64),
+//!                         AccessKind::Load, RequestKind::Prefetch, 0);
+//! let pt = mapper.map(p.line);
+//! let s0 = buf.insert(Entry::new(d.clone(), mapper.map(d.line)));
+//! let s1 = buf.insert(Entry::new(p, pt));
+//! assert_eq!(buf.len(), 2);
+//! assert_eq!(buf.demands_of_core(0), 1);
+//! assert_eq!(buf.prefetches_of_core(1), 1);
+//!
+//! // Promotion flips the per-core kind counts and re-keys only s1's bank.
+//! buf.promote(s1);
+//! assert_eq!(buf.demands_of_core(1), 1);
+//!
+//! // Removal frees the slot for reuse (LIFO) and keeps legacy order.
+//! let gone = buf.remove(s0);
+//! assert_eq!(gone.req.id, RequestId::new(0));
+//! assert_eq!(buf.len(), 1);
+//! let s2 = buf.insert(Entry::new(d, mapper.map(LineAddr::new(0))));
+//! assert_eq!(s2, s0, "freed slots are reused LIFO");
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use padc_dram::{Channel, RowBufferOutcome, Target};
+use padc_types::{AccessKind, Cycle, MemRequest};
+
+use crate::accuracy::AccuracyTracker;
+use crate::config::DropThresholds;
+
+use super::arbiter::{KeyCtx, PrioKey};
+
+/// Stable slab index of a queued entry. Valid from [`RequestBuffer::insert`]
+/// until the matching [`RequestBuffer::remove`]; never reused in between.
+pub type Slot = u32;
+
+/// True for buffered writebacks (store requests that never carried a
+/// prefetch bit). Writebacks are demands in this model, but the write-drain
+/// watermark and the stats need to tell them apart from demand loads.
+pub fn is_writeback(req: &MemRequest) -> bool {
+    req.access == AccessKind::Store && !req.was_prefetch
+}
+
+/// One queued request with its DRAM coordinates.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The queued request (kind may change via promotion).
+    pub req: MemRequest,
+    /// Mapped DRAM coordinates of `req.line`.
+    pub target: Target,
+    /// Row-buffer classification at the time of the request's first DRAM
+    /// command (`None` until scheduled at least once).
+    pub first_service: Option<RowBufferOutcome>,
+    /// Member of the current PAR-BS batch (always false without batching).
+    pub batched: bool,
+}
+
+impl Entry {
+    /// A freshly arrived entry: not yet serviced, not yet batched.
+    pub fn new(req: MemRequest, target: Target) -> Self {
+        Entry {
+            req,
+            target,
+            first_service: None,
+            batched: false,
+        }
+    }
+
+    /// True for buffered writebacks (see [`is_writeback`]).
+    pub fn is_writeback(&self) -> bool {
+        is_writeback(&self.req)
+    }
+}
+
+/// Telemetry for the incremental owner cache. Deliberately *not* part of
+/// [`ControllerStats`](crate::ControllerStats): these counters depend on how
+/// often the controller is stepped (fast-forward modes legitimately differ),
+/// so serializing them would break cross-mode byte-identity of reports. They
+/// surface through the opt-in simulation profile instead.
+#[derive(Clone, Copy, Default)]
+pub struct BufferStats {
+    /// Bank-owner rebuilds performed (each scans one bank's member set).
+    pub owner_recomputes: u64,
+    /// Bank-owner cache invalidations (clean-to-dirty transitions). Every
+    /// recompute consumes one invalidation, so
+    /// `owner_recomputes <= owner_invalidations` always holds.
+    pub owner_invalidations: u64,
+    /// Scheduling queries answered from a still-valid cached owner.
+    pub owner_reuses: u64,
+    /// Entries examined across all owner rebuilds (bitset-scan volume).
+    pub owner_scan_entries: u64,
+}
+
+/// Fixed-capacity bitset over slab slots.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        debug_assert_eq!(self.words[w] >> b & 1, 0, "slot already a member");
+        self.words[w] |= 1 << b;
+        self.len += 1;
+    }
+
+    fn clear(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        debug_assert_eq!(self.words[w] >> b & 1, 1, "slot not a member");
+        self.words[w] &= !(1 << b);
+        self.len -= 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `f` for every set bit, in ascending slot order.
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    fn to_vec(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.len);
+        self.for_each(|i| v.push(i));
+        v
+    }
+}
+
+/// Per-(channel, bank) membership set plus the cached owner.
+#[derive(Clone)]
+struct BankSet {
+    members: BitSet,
+    /// Highest-[`PrioKey`] member, valid while `dirty` is false and the
+    /// key inputs snapshotted by the controller are unchanged. Pure cache.
+    owner: Option<(PrioKey, Slot)>,
+    dirty: bool,
+}
+
+/// Min-heaps of APD drop candidates, one per core (drop thresholds are
+/// per-core, so the earliest deadline per core is its earliest *arrival*).
+/// Heap entries go stale when the slot is freed, reused, promoted, or
+/// serviced; stale heads are popped lazily at the next peek. Pure cache.
+#[derive(Clone, Default)]
+struct DeadlineHeaps {
+    /// `(arrival, slot, request id)` per core, min-ordered via `Reverse`.
+    heaps: Vec<BinaryHeap<Reverse<(Cycle, Slot, u64)>>>,
+}
+
+/// The data-oriented request buffer. See the module docs for the layout and
+/// the maintained invariants (DESIGN.md §13, B1–B4).
+#[derive(Clone)]
+pub struct RequestBuffer {
+    cap: usize,
+    /// Slab: `slots[s]` is the entry at slot `s`, `None` while free.
+    slots: Vec<Option<Entry>>,
+    /// LIFO free list of slab slots.
+    free: Vec<Slot>,
+    /// Legacy arrival-order mirror: replays the flat-vector controller's
+    /// push / `swap_remove` sequence exactly (B1).
+    order: Vec<Slot>,
+    /// `pos[s]` = index of slot `s` in `order` (meaningless while free).
+    pos: Vec<u32>,
+    /// Banks per channel; bank sets are indexed `channel * stride + bank`.
+    stride: usize,
+    banks: Vec<BankSet>,
+    /// Buffered writeback count (write-drain watermark input).
+    writebacks: usize,
+    /// Entries in the current PAR-BS batch.
+    batched: usize,
+    /// Per-core queued demand / prefetch counts (ranking input). Entries
+    /// whose core index exceeds the configured core count are not counted,
+    /// mirroring the legacy scan's bounds-checked accumulation.
+    demands: Vec<u64>,
+    prefetches: Vec<u64>,
+    /// Key-input flags frozen at construction from the controller config.
+    ranking: bool,
+    apd: bool,
+    apd_heaps: DeadlineHeaps,
+    /// Accuracy epoch (tracker `next_rollover`) the owner caches were
+    /// computed under; a change invalidates every adaptive-policy key.
+    rollover_seen: Cycle,
+    /// Per-channel refresh count the owner caches were computed under; a
+    /// refresh resets every bank's row state, re-keying `row_hit`.
+    refreshes_seen: Vec<u64>,
+    stats: BufferStats,
+}
+
+impl RequestBuffer {
+    /// An empty buffer for `cap` entries over `channels * banks_per_channel`
+    /// banks. `ranking` widens invalidation to all banks on membership or
+    /// criticality changes (per-core rank counts feed every key);
+    /// `apd` enables the drop-deadline heaps.
+    pub fn new(
+        cap: usize,
+        channels: usize,
+        banks_per_channel: usize,
+        cores: usize,
+        ranking: bool,
+        apd: bool,
+    ) -> Self {
+        let cores = cores.max(1);
+        RequestBuffer {
+            cap,
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            pos: Vec::new(),
+            stride: banks_per_channel,
+            banks: vec![
+                BankSet {
+                    members: BitSet::new(cap),
+                    owner: None,
+                    dirty: false,
+                };
+                channels * banks_per_channel
+            ],
+            writebacks: 0,
+            batched: 0,
+            demands: vec![0; cores],
+            prefetches: vec![0; cores],
+            ranking,
+            apd,
+            apd_heaps: DeadlineHeaps {
+                heaps: vec![BinaryHeap::new(); cores],
+            },
+            rollover_seen: 0,
+            refreshes_seen: vec![0; channels],
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Queued entry count.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Buffered writeback count (write-drain watermark input).
+    pub fn writeback_len(&self) -> usize {
+        self.writebacks
+    }
+
+    /// Entries in the current PAR-BS batch.
+    pub fn batched_len(&self) -> usize {
+        self.batched
+    }
+
+    /// Queued demand count for `core` (0 for out-of-range cores).
+    pub fn demands_of_core(&self, core: usize) -> u64 {
+        self.demands.get(core).copied().unwrap_or(0)
+    }
+
+    /// Queued prefetch count for `core` (0 for out-of-range cores).
+    pub fn prefetches_of_core(&self, core: usize) -> u64 {
+        self.prefetches.get(core).copied().unwrap_or(0)
+    }
+
+    /// Owner-cache telemetry.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// The entry at `slot`. Panics if the slot is free.
+    pub fn entry(&self, slot: Slot) -> &Entry {
+        self.slots[slot as usize].as_ref().expect("free slot")
+    }
+
+    /// Slots in legacy (push / `swap_remove`) order.
+    pub fn order_slots(&self) -> &[Slot] {
+        &self.order
+    }
+
+    /// Entries in legacy order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.order.iter().map(|&s| self.entry(s))
+    }
+
+    fn bank_index(&self, target: &Target) -> usize {
+        target.channel * self.stride + target.bank
+    }
+
+    /// Marks one bank's owner cache dirty.
+    fn mark_bank_dirty(&mut self, bank_idx: usize) {
+        let b = &mut self.banks[bank_idx];
+        if !b.dirty {
+            b.dirty = true;
+            self.stats.owner_invalidations += 1;
+        }
+    }
+
+    /// Marks every bank's owner cache dirty (a global key input changed:
+    /// write-drain flip, batch reform, accuracy rollover, rank counts).
+    pub fn invalidate_all_owners(&mut self) {
+        for i in 0..self.banks.len() {
+            self.mark_bank_dirty(i);
+        }
+    }
+
+    /// Marks one bank dirty after a DRAM state change (ACT/PRE re-keys the
+    /// bank's `row_hit` bits).
+    pub fn note_bank_command(&mut self, channel: usize, bank: usize) {
+        self.mark_bank_dirty(channel * self.stride + bank);
+    }
+
+    /// Reconciles the owner caches with the accuracy epoch: if the tracker
+    /// rolled over since the last key computation, adaptive-policy keys
+    /// (criticality, urgency, ranking) may all have changed. `adaptive`
+    /// is false for policies whose keys never read accuracy.
+    pub fn sync_rollover(&mut self, tracker: &AccuracyTracker, adaptive: bool) {
+        let epoch = tracker.next_rollover();
+        if self.rollover_seen != epoch {
+            self.rollover_seen = epoch;
+            if adaptive {
+                self.invalidate_all_owners();
+            }
+        }
+    }
+
+    /// Reconciles one channel's owner caches with its refresh count: a
+    /// refresh resets every bank's row state, re-keying `row_hit` for all
+    /// of the channel's banks.
+    pub fn sync_refresh(&mut self, channel: usize, refreshes: u64) {
+        if self.refreshes_seen[channel] != refreshes {
+            self.refreshes_seen[channel] = refreshes;
+            for bank in 0..self.stride {
+                self.mark_bank_dirty(channel * self.stride + bank);
+            }
+        }
+    }
+
+    /// Inserts an entry, returning its slot. Panics when full (the
+    /// controller checks `has_space` first).
+    pub fn insert(&mut self, e: Entry) -> Slot {
+        assert!(self.len() < self.cap, "request buffer overflow");
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.pos.push(0);
+                (self.slots.len() - 1) as Slot
+            }
+        };
+        self.pos[slot as usize] = self.order.len() as u32;
+        self.order.push(slot);
+        if e.is_writeback() {
+            self.writebacks += 1;
+        }
+        if e.batched {
+            self.batched += 1;
+        }
+        let core = e.req.core.index();
+        if e.req.kind.is_prefetch() {
+            if let Some(c) = self.prefetches.get_mut(core) {
+                *c += 1;
+            }
+            if self.apd {
+                if let Some(h) = self.apd_heaps.heaps.get_mut(core) {
+                    h.push(Reverse((e.req.arrival, slot, e.req.id.raw())));
+                }
+            }
+        } else if let Some(c) = self.demands.get_mut(core) {
+            *c += 1;
+        }
+        let bank_idx = self.bank_index(&e.target);
+        self.banks[bank_idx].members.set(slot as usize);
+        self.slots[slot as usize] = Some(e);
+        // The new entry may outrank the cached owner; under ranking any
+        // membership change shifts every core's rank counts.
+        if self.ranking {
+            self.invalidate_all_owners();
+        } else {
+            self.mark_bank_dirty(bank_idx);
+        }
+        slot
+    }
+
+    /// Removes and returns the entry at `slot`, replaying the legacy
+    /// `Vec::swap_remove` on the order mirror.
+    pub fn remove(&mut self, slot: Slot) -> Entry {
+        let e = self.slots[slot as usize].take().expect("free slot");
+        let oi = self.pos[slot as usize] as usize;
+        self.order.swap_remove(oi);
+        if let Some(&moved) = self.order.get(oi) {
+            self.pos[moved as usize] = oi as u32;
+        }
+        self.free.push(slot);
+        if e.is_writeback() {
+            self.writebacks -= 1;
+        }
+        if e.batched {
+            self.batched -= 1;
+        }
+        let core = e.req.core.index();
+        if e.req.kind.is_prefetch() {
+            if let Some(c) = self.prefetches.get_mut(core) {
+                *c -= 1;
+            }
+        } else if let Some(c) = self.demands.get_mut(core) {
+            *c -= 1;
+        }
+        let bank_idx = self.bank_index(&e.target);
+        self.banks[bank_idx].members.clear(slot as usize);
+        if self.ranking {
+            self.invalidate_all_owners();
+        } else {
+            let b = &mut self.banks[bank_idx];
+            // Removing a non-owner leaves the cached owner valid; removing
+            // the owner (or touching a dirty bank) forces a rebuild.
+            if b.owner.is_some_and(|(_, s)| s == slot) {
+                self.mark_bank_dirty(bank_idx);
+            }
+        }
+        e
+    }
+
+    /// Promotes the prefetch at `slot` to a demand (resets its `P` bit).
+    /// The caller guarantees the entry is a prefetch.
+    pub fn promote(&mut self, slot: Slot) {
+        let e = self.slots[slot as usize].as_mut().expect("free slot");
+        debug_assert!(e.req.kind.is_prefetch());
+        e.req.promote_to_demand();
+        let core = e.req.core.index();
+        let bank_idx = e.target.channel * self.stride + e.target.bank;
+        if let Some(c) = self.prefetches.get_mut(core) {
+            *c -= 1;
+        }
+        if let Some(c) = self.demands.get_mut(core) {
+            *c += 1;
+        }
+        // The promoted entry's own key changes (tier / droppability); its
+        // stale APD heap item is popped lazily.
+        if self.ranking {
+            self.invalidate_all_owners();
+        } else {
+            self.mark_bank_dirty(bank_idx);
+        }
+    }
+
+    /// Records the row-buffer classification of the entry's first DRAM
+    /// command. Not a key input, so no owner invalidation; the entry's APD
+    /// heap item (if any) goes permanently stale and is popped lazily.
+    pub fn set_first_service(&mut self, slot: Slot, class: RowBufferOutcome) {
+        let e = self.slots[slot as usize].as_mut().expect("free slot");
+        debug_assert!(e.first_service.is_none());
+        e.first_service = Some(class);
+    }
+
+    /// Adds the entry at `slot` to the current PAR-BS batch.
+    pub fn set_batched(&mut self, slot: Slot) {
+        let e = self.slots[slot as usize].as_mut().expect("free slot");
+        debug_assert!(!e.batched);
+        e.batched = true;
+        let bank_idx = e.target.channel * self.stride + e.target.bank;
+        self.batched += 1;
+        // `batched` outranks everything below `class_match`, so the bank's
+        // owner may change; rank counts (criticality) are unaffected.
+        self.mark_bank_dirty(bank_idx);
+    }
+
+    /// Per-core critical-request counts for shortest-job ranking (§6.5),
+    /// rebuilt O(cores) from the running kind counts: every demand is
+    /// critical, and a core's prefetches are critical iff its accuracy
+    /// clears `promotion_threshold`. `None` when ranking is disabled.
+    pub fn rank_counts(
+        &self,
+        tracker: &AccuracyTracker,
+        promotion_threshold: f64,
+    ) -> Option<Vec<u64>> {
+        if !self.ranking {
+            return None;
+        }
+        Some(
+            self.demands
+                .iter()
+                .zip(&self.prefetches)
+                .enumerate()
+                .map(|(core, (&d, &p))| {
+                    if p > 0
+                        && tracker.accuracy(padc_types::CoreId::new(core)) >= promotion_threshold
+                    {
+                        d + p
+                    } else {
+                        d
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Earliest APD drop deadline (`arrival + threshold + 1`) over all
+    /// queued, unserviced prefetches, or `None` if there are none. O(cores)
+    /// amortized: each core's heap head is its earliest droppable arrival,
+    /// and per-core thresholds make that head the core's earliest deadline.
+    /// Stale heads (freed, reused, promoted, or serviced slots) are popped
+    /// here.
+    pub fn earliest_drop_deadline(
+        &mut self,
+        thresholds: &DropThresholds,
+        tracker: &AccuracyTracker,
+    ) -> Option<Cycle> {
+        debug_assert!(self.apd);
+        let mut best: Option<Cycle> = None;
+        for (core, heap) in self.apd_heaps.heaps.iter_mut().enumerate() {
+            let head = loop {
+                let Some(&Reverse((arrival, slot, id))) = heap.peek() else {
+                    break None;
+                };
+                let live = self.slots.get(slot as usize).and_then(Option::as_ref);
+                let valid = live.is_some_and(|e| {
+                    e.req.id.raw() == id && e.req.kind.is_prefetch() && e.first_service.is_none()
+                });
+                if valid {
+                    break Some(arrival);
+                }
+                heap.pop();
+            };
+            if let Some(arrival) = head {
+                let limit =
+                    thresholds.threshold_for(tracker.accuracy(padc_types::CoreId::new(core)));
+                let deadline = arrival.saturating_add(limit).saturating_add(1);
+                best = Some(best.map_or(deadline, |b: Cycle| b.min(deadline)));
+            }
+        }
+        best
+    }
+
+    /// The bank's owner: its highest-[`PrioKey`] member under `ctx`, or
+    /// `None` for an empty bank. Served from cache when clean; otherwise
+    /// rebuilt by scanning the bank's membership bitset.
+    pub fn owner(
+        &mut self,
+        channel: usize,
+        bank: usize,
+        ctx: &KeyCtx<'_>,
+        ch: &Channel,
+        now: Cycle,
+    ) -> Option<(PrioKey, Slot)> {
+        let bank_idx = channel * self.stride + bank;
+        if self.banks[bank_idx].members.is_empty() {
+            self.banks[bank_idx].owner = None;
+            self.banks[bank_idx].dirty = false;
+            return None;
+        }
+        if self.banks[bank_idx].dirty {
+            self.stats.owner_recomputes += 1;
+            let mut scanned = 0u64;
+            let mut best: Option<(PrioKey, Slot)> = None;
+            let members = std::mem::replace(&mut self.banks[bank_idx].members, BitSet::new(0));
+            members.for_each(|slot| {
+                scanned += 1;
+                let e = self.slots[slot].as_ref().expect("member of freed slot");
+                let key = ctx.key(e, ch, now);
+                if best.is_none_or(|(bk, _)| key > bk) {
+                    best = Some((key, slot as Slot));
+                }
+            });
+            self.banks[bank_idx].members = members;
+            self.stats.owner_scan_entries += scanned;
+            self.banks[bank_idx].owner = best;
+            self.banks[bank_idx].dirty = false;
+        } else {
+            self.stats.owner_reuses += 1;
+        }
+        self.banks[bank_idx].owner
+    }
+
+    /// True if any queued entry wants row `row` of `(channel, bank)` — the
+    /// closed-row policy's "is this open row still useful" test, shared by
+    /// the scheduler and `next_event`.
+    pub fn wants_row(&self, channel: usize, bank: usize, row: u64) -> bool {
+        let bank_idx = channel * self.stride + bank;
+        let mut found = false;
+        self.banks[bank_idx].members.for_each(|slot| {
+            if !found {
+                let e = self.slots[slot].as_ref().expect("member of freed slot");
+                found = e.target.row == row;
+            }
+        });
+        found
+    }
+
+    /// Consistency audit for the incremental state, used by the
+    /// `buffer_consistency` proptest: recomputes every derived structure
+    /// from the slab and panics on divergence. `ctx` lets it also check
+    /// each *clean* cached owner against a from-scratch argmax.
+    #[doc(hidden)]
+    pub fn audit(&mut self, ctx: &KeyCtx<'_>, channels: &[Channel], now: Cycle) {
+        // Order mirror / pos / free-list consistency.
+        assert_eq!(
+            self.order.len() + self.free.len(),
+            self.slots.len(),
+            "order + free must partition the slab"
+        );
+        for (oi, &slot) in self.order.iter().enumerate() {
+            assert!(self.slots[slot as usize].is_some(), "queued slot is free");
+            assert_eq!(self.pos[slot as usize] as usize, oi, "pos mirror broken");
+        }
+        for &slot in &self.free {
+            assert!(self.slots[slot as usize].is_none(), "free slot occupied");
+        }
+        // Running counts.
+        let live = || self.order.iter().map(|&s| self.entry(s));
+        assert_eq!(
+            self.writebacks,
+            live().filter(|e| e.is_writeback()).count(),
+            "writeback count drifted"
+        );
+        assert_eq!(
+            self.batched,
+            live().filter(|e| e.batched).count(),
+            "batched count drifted"
+        );
+        for core in 0..self.demands.len() {
+            let d = live()
+                .filter(|e| e.req.core.index() == core && !e.req.kind.is_prefetch())
+                .count() as u64;
+            let p = live()
+                .filter(|e| e.req.core.index() == core && e.req.kind.is_prefetch())
+                .count() as u64;
+            assert_eq!(
+                self.demands[core], d,
+                "demand count drifted for core {core}"
+            );
+            assert_eq!(
+                self.prefetches[core], p,
+                "prefetch count drifted for core {core}"
+            );
+        }
+        // Membership bitsets and owners.
+        #[allow(clippy::needless_range_loop)] // `ci` indexes two parallel arrays
+        for ci in 0..self.refreshes_seen.len() {
+            for bank in 0..self.stride {
+                let bank_idx = ci * self.stride + bank;
+                let members = self.banks[bank_idx].members.to_vec();
+                let expect: Vec<usize> = (0..self.slots.len())
+                    .filter(|&s| {
+                        self.slots[s]
+                            .as_ref()
+                            .is_some_and(|e| e.target.channel == ci && e.target.bank == bank)
+                    })
+                    .collect();
+                assert_eq!(members, expect, "bitset drifted for bank ({ci}, {bank})");
+                if !self.banks[bank_idx].dirty {
+                    let ch = &channels[ci];
+                    let fresh = expect
+                        .iter()
+                        .map(|&s| {
+                            let e = self.slots[s].as_ref().unwrap();
+                            (ctx.key(e, ch, now), s as Slot)
+                        })
+                        .max_by_key(|&(k, _)| k);
+                    assert_eq!(
+                        self.banks[bank_idx].owner, fresh,
+                        "clean owner cache diverged for bank ({ci}, {bank})"
+                    );
+                }
+            }
+        }
+        // APD heaps: every droppable entry must be covered by a valid heap
+        // item, and each heap's valid minimum must be the core's true
+        // earliest droppable arrival.
+        if self.apd {
+            for (core, heap) in self.apd_heaps.heaps.iter().enumerate() {
+                let valid_min = heap
+                    .iter()
+                    .filter(|&&Reverse((_, slot, id))| {
+                        self.slots
+                            .get(slot as usize)
+                            .and_then(Option::as_ref)
+                            .is_some_and(|e| {
+                                e.req.id.raw() == id
+                                    && e.req.kind.is_prefetch()
+                                    && e.first_service.is_none()
+                            })
+                    })
+                    .map(|&Reverse((arrival, _, _))| arrival)
+                    .min();
+                let true_min = self
+                    .order
+                    .iter()
+                    .map(|&s| self.entry(s))
+                    .filter(|e| {
+                        e.req.core.index() == core
+                            && e.req.kind.is_prefetch()
+                            && e.first_service.is_none()
+                    })
+                    .map(|e| e.req.arrival)
+                    .min();
+                assert_eq!(
+                    valid_min, true_min,
+                    "APD heap minimum drifted for core {core}"
+                );
+            }
+        }
+        let stats = self.stats;
+        assert!(
+            stats.owner_recomputes <= stats.owner_invalidations,
+            "owner recomputes ({}) exceeded invalidations ({})",
+            stats.owner_recomputes,
+            stats.owner_invalidations
+        );
+    }
+}
+
+/// Manual `Debug`: prints only *observable* state (slab order, entries,
+/// free list, running counts, bank membership). The owner caches, dirty
+/// flags, APD heaps, epoch snapshots, and stats counters are pure caches
+/// that may legally mutate during proven-idle windows, and the `next_event`
+/// soundness oracle detects mutation by comparing `Debug` strings.
+impl fmt::Debug for RequestBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Ordered<'a>(&'a RequestBuffer);
+        impl fmt::Debug for Ordered<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list().entries(self.0.iter()).finish()
+            }
+        }
+        struct Members<'a>(&'a RequestBuffer);
+        impl fmt::Debug for Members<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list()
+                    .entries(self.0.banks.iter().map(|b| b.members.to_vec()))
+                    .finish()
+            }
+        }
+        f.debug_struct("RequestBuffer")
+            .field("cap", &self.cap)
+            .field("order", &self.order)
+            .field("entries", &Ordered(self))
+            .field("free", &self.free)
+            .field("writebacks", &self.writebacks)
+            .field("batched", &self.batched)
+            .field("demands", &self.demands)
+            .field("prefetches", &self.prefetches)
+            .field("bank_members", &Members(self))
+            .finish()
+    }
+}

@@ -1,16 +1,34 @@
-use std::cmp::Reverse;
+//! The memory controller: request buffer, DRAM channels, and the
+//! scheduling policies.
+//!
+//! Split into three layers (DESIGN.md §13):
+//!
+//! - [`buffer`] — the data-oriented request buffer: slab + free list,
+//!   legacy-order mirror, per-bank membership bitsets, cached per-bank
+//!   owners, APD deadline heaps, and running counts;
+//! - [`arbiter`] — the lexicographic [`PrioKey`] and the
+//!   [`KeyCtx`] snapshot of its inputs;
+//! - this module — [`MemoryController`]: the tick loop, DRAM command
+//!   issue, APD, PAR-BS batching, write drain, and the `next_event` bound
+//!   that event-mode fast-forwarding consumes.
+
+pub mod arbiter;
+pub mod buffer;
+
 use std::collections::VecDeque;
 
 use padc_dram::{
     AddressMapper, Channel, DramConfig, MappingScheme, RowBufferOutcome, RowPolicy, StepOutcome,
-    Target,
 };
 use padc_types::{
     AccessKind, CoreId, Cycle, LineAddr, MemRequest, RequestId, RequestKind,
     CPU_CYCLES_PER_DRAM_CYCLE,
 };
 
-use crate::{AccuracyTracker, ControllerConfig, ControllerStats, SchedulingPolicy};
+use crate::{AccuracyTracker, ControllerConfig, ControllerStats};
+
+use arbiter::{KeyCtx, PrioKey};
+use buffer::{BufferStats, Entry, RequestBuffer, Slot};
 
 /// A serviced request handed back to the memory system.
 #[derive(Clone, Debug)]
@@ -31,23 +49,11 @@ pub struct TickOutput {
     pub dropped: Vec<MemRequest>,
 }
 
-/// One queued request with its DRAM coordinates.
-#[derive(Clone, Debug)]
-struct Entry {
-    req: MemRequest,
-    target: Target,
-    /// Row-buffer classification at the time of the request's first DRAM
-    /// command (None until scheduled at least once).
-    first_service: Option<RowBufferOutcome>,
-    /// Member of the current PAR-BS batch (always false without batching).
-    batched: bool,
-}
-
 /// A request whose CAS has issued; completes at `completes_at`.
 #[derive(Clone, Debug)]
 struct InFlight {
     req: MemRequest,
-    target: Target,
+    target: padc_dram::Target,
     completes_at: Cycle,
     row_hit: bool,
 }
@@ -64,7 +70,7 @@ pub struct MemoryController {
     dram: DramConfig,
     mapper: AddressMapper,
     channels: Vec<Channel>,
-    buffer: Vec<Entry>,
+    buffer: RequestBuffer,
     /// Writebacks that arrived while the buffer was full; drained in order.
     writeback_overflow: VecDeque<MemRequest>,
     inflight: Vec<InFlight>,
@@ -85,12 +91,20 @@ impl MemoryController {
     pub fn new(cfg: ControllerConfig, dram: DramConfig, mapping: MappingScheme) -> Self {
         let mapper = AddressMapper::new(&dram, mapping);
         let channels = (0..dram.channels).map(|_| Channel::new(&dram)).collect();
+        let buffer = RequestBuffer::new(
+            cfg.buffer_entries,
+            dram.channels,
+            dram.banks,
+            cfg.cores,
+            cfg.ranking,
+            cfg.apd,
+        );
         MemoryController {
             cfg,
             mapper,
             channels,
             dram,
-            buffer: Vec::new(),
+            buffer,
             writeback_overflow: VecDeque::new(),
             inflight: Vec::new(),
             next_id: 0,
@@ -108,29 +122,22 @@ impl MemoryController {
         self.mutations
     }
 
-    /// True for buffered writebacks (store requests that never carried a
-    /// prefetch bit).
-    fn is_writeback(req: &MemRequest) -> bool {
-        req.access == AccessKind::Store && !req.was_prefetch
-    }
-
-    /// Updates write-drain mode from the buffered writeback count.
+    /// Updates write-drain mode from the buffered writeback count. A flip
+    /// changes every entry's write-drain service class, so it invalidates
+    /// all cached bank owners.
     fn update_write_drain(&mut self) {
         if !self.cfg.write_drain {
             return;
         }
-        let writes = self
-            .buffer
-            .iter()
-            .filter(|e| Self::is_writeback(&e.req))
-            .count()
-            + self.writeback_overflow.len();
-        if self.draining_writes {
-            if writes <= self.cfg.write_drain_low {
-                self.draining_writes = false;
-            }
-        } else if writes >= self.cfg.write_drain_high {
-            self.draining_writes = true;
+        let writes = self.buffer.writeback_len() + self.writeback_overflow.len();
+        let drain = if self.draining_writes {
+            writes > self.cfg.write_drain_low
+        } else {
+            writes >= self.cfg.write_drain_high
+        };
+        if drain != self.draining_writes {
+            self.draining_writes = drain;
+            self.buffer.invalidate_all_owners();
         }
     }
 
@@ -142,6 +149,12 @@ impl MemoryController {
     /// Accumulated statistics.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Owner-cache telemetry from the request buffer (not serialized into
+    /// reports; surfaced through the opt-in simulation profile).
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
     }
 
     /// Per-channel DRAM statistics.
@@ -164,6 +177,30 @@ impl MemoryController {
         self.buffer.is_empty() && self.inflight.is_empty() && self.writeback_overflow.is_empty()
     }
 
+    /// True when this policy's priority keys read prefetch accuracy
+    /// (criticality / urgency / ranking): such keys go stale at accuracy
+    /// rollovers, which [`RequestBuffer::sync_rollover`] detects.
+    fn adaptive_keys(&self) -> bool {
+        self.cfg.policy.is_adaptive()
+    }
+
+    /// The key-computation context for one scheduling pass.
+    fn key_ctx<'a>(
+        &self,
+        accuracy: &'a AccuracyTracker,
+        rank_counts: Option<&'a [u64]>,
+    ) -> KeyCtx<'a> {
+        KeyCtx {
+            policy: self.cfg.policy,
+            write_drain: self.cfg.write_drain,
+            draining_writes: self.draining_writes,
+            urgency: self.cfg.urgency,
+            promotion_threshold: self.cfg.promotion_threshold,
+            accuracy,
+            rank_counts,
+        }
+    }
+
     /// Enqueues a read request (demand fetch or prefetch). Returns the
     /// request id, or `None` if the buffer is full — the caller decides
     /// whether to retry (demands) or give up (prefetches), which is exactly
@@ -184,12 +221,7 @@ impl MemoryController {
         self.next_id += 1;
         let req = MemRequest::new(id, core, line, access, kind, now);
         let target = self.mapper.map(line);
-        self.buffer.push(Entry {
-            req,
-            target,
-            first_service: None,
-            batched: false,
-        });
+        self.buffer.insert(Entry::new(req, target));
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.buffer.len());
         self.mutations += 1;
         Some(id)
@@ -205,12 +237,7 @@ impl MemoryController {
         let req = MemRequest::new(id, core, line, AccessKind::Store, RequestKind::Demand, now);
         if self.has_space() {
             let target = self.mapper.map(line);
-            self.buffer.push(Entry {
-                req,
-                target,
-                first_service: None,
-                batched: false,
-            });
+            self.buffer.insert(Entry::new(req, target));
             self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.buffer.len());
         } else {
             self.writeback_overflow.push_back(req);
@@ -221,13 +248,15 @@ impl MemoryController {
     /// a prefetch entry): promote the request to a demand, resetting its `P`
     /// bit (§4.1). Returns true if a queued or in-flight prefetch was found.
     pub fn promote_prefetch(&mut self, line: LineAddr) -> bool {
-        for e in &mut self.buffer {
-            if e.req.line == line && e.req.kind.is_prefetch() {
-                e.req.promote_to_demand();
-                self.stats.promotions += 1;
-                self.mutations += 1;
-                return true;
-            }
+        let queued = self.buffer.order_slots().iter().copied().find(|&s| {
+            let e = self.buffer.entry(s);
+            e.req.line == line && e.req.kind.is_prefetch()
+        });
+        if let Some(slot) = queued {
+            self.buffer.promote(slot);
+            self.stats.promotions += 1;
+            self.mutations += 1;
+            return true;
         }
         for f in &mut self.inflight {
             if f.req.line == line && f.req.kind.is_prefetch() {
@@ -244,6 +273,7 @@ impl MemoryController {
     /// Prefetch Dropping, and (on DRAM bus cycle boundaries) issues at most
     /// one DRAM command per channel.
     pub fn tick(&mut self, now: Cycle, accuracy: &AccuracyTracker) -> TickOutput {
+        self.buffer.sync_rollover(accuracy, self.adaptive_keys());
         let mut out = TickOutput::default();
         self.collect_completions(now, &mut out);
         if self.cfg.apd {
@@ -257,6 +287,9 @@ impl MemoryController {
             self.update_write_drain();
             for ch in 0..self.channels.len() {
                 self.channels[ch].sync(now);
+                // A refresh closed every bank, re-keying row hits.
+                let refreshes = self.channels[ch].stats().refreshes;
+                self.buffer.sync_refresh(ch, refreshes);
                 self.schedule_channel(ch, now, accuracy);
             }
             if self.dram.row_policy == RowPolicy::Closed {
@@ -278,7 +311,8 @@ impl MemoryController {
     /// - in-flight CAS completions (`completes_at`, exact);
     /// - APD drop deadlines (`arrival + threshold + 1`, exact while `PAR`
     ///   is stable — the caller separately bounds the skip by
-    ///   [`AccuracyTracker::next_rollover`]);
+    ///   [`AccuracyTracker::next_rollover`]), served by the buffer's
+    ///   per-core deadline heaps in O(cores);
     /// - pending boundary-only recomputations: a drained PAR-BS batch
     ///   waiting to reform, a write-drain watermark crossing waiting to
     ///   flip, both due at the next DRAM bus boundary;
@@ -295,35 +329,33 @@ impl MemoryController {
     /// Bounds may be *early* (the tick at the returned cycle does nothing
     /// and stepping resumes) but are never late — that is what keeps
     /// fast-forwarded runs bit-identical to cycle-by-cycle stepping.
-    pub fn next_event(&self, now: Cycle, accuracy: &AccuracyTracker) -> Option<Cycle> {
+    ///
+    /// Takes `&mut self` purely for cache maintenance (lazy heap cleanup
+    /// and owner-cache fills); observable controller state is unchanged.
+    pub fn next_event(&mut self, now: Cycle, accuracy: &AccuracyTracker) -> Option<Cycle> {
+        self.buffer.sync_rollover(accuracy, self.adaptive_keys());
         let mut ev: Option<Cycle> = None;
         let mut fold = |c: Cycle| ev = Some(ev.map_or(c, |e: Cycle| e.min(c)));
         for f in &self.inflight {
             fold(f.completes_at);
         }
         if self.cfg.apd {
-            let thresholds = &self.cfg.drop_thresholds;
-            for e in &self.buffer {
-                if e.req.kind.is_prefetch() && e.first_service.is_none() {
-                    let limit = thresholds.threshold_for(accuracy.accuracy(e.req.core));
-                    fold(e.req.arrival.saturating_add(limit).saturating_add(1));
-                }
+            if let Some(d) = self
+                .buffer
+                .earliest_drop_deadline(&self.cfg.drop_thresholds, accuracy)
+            {
+                fold(d);
             }
         }
         if !self.writeback_overflow.is_empty() && self.has_space() {
             // A writeback can drain this very cycle; don't skip at all.
             fold(now);
         }
-        if self.cfg.batching && !self.buffer.is_empty() && !self.buffer.iter().any(|e| e.batched) {
+        if self.cfg.batching && !self.buffer.is_empty() && self.buffer.batched_len() == 0 {
             fold(align_up_dram(now));
         }
         if self.cfg.write_drain {
-            let writes = self
-                .buffer
-                .iter()
-                .filter(|e| Self::is_writeback(&e.req))
-                .count()
-                + self.writeback_overflow.len();
+            let writes = self.buffer.writeback_len() + self.writeback_overflow.len();
             let flips = if self.draining_writes {
                 writes <= self.cfg.write_drain_low
             } else {
@@ -350,44 +382,25 @@ impl MemoryController {
         // between rollovers; the caller caps every skip at
         // [`AccuracyTracker::next_rollover`]); buffer membership only
         // changes at executed ticks or external mutations, both of which
-        // re-prove the bound.
+        // re-prove the bound. The same stability argument is what lets the
+        // buffer serve owners from its per-bank cache here (DESIGN.md §13).
         if !self.buffer.is_empty() {
-            let rank_counts = if self.cfg.ranking {
-                let mut counts = vec![0u64; self.cfg.cores.max(1)];
-                for e in &self.buffer {
-                    if self.is_critical(&e.req, accuracy) {
-                        if let Some(c) = counts.get_mut(e.req.core.index()) {
-                            *c += 1;
-                        }
+            let rank_counts = self
+                .buffer
+                .rank_counts(accuracy, self.cfg.promotion_threshold);
+            let ctx = self.key_ctx(accuracy, rank_counts.as_deref());
+            let (buffer, channels) = (&mut self.buffer, &self.channels);
+            for (ci, ch) in channels.iter().enumerate() {
+                for bank in 0..ch.bank_count() {
+                    if let Some((_, slot)) = buffer.owner(ci, bank, &ctx, ch, now) {
+                        let e = buffer.entry(slot);
+                        fold(align_up_dram(ch.earliest_advance_at(
+                            e.target.bank,
+                            e.target.row,
+                            now,
+                        )));
                     }
                 }
-                Some(counts)
-            } else {
-                None
-            };
-            let stride = self
-                .channels
-                .iter()
-                .map(Channel::bank_count)
-                .max()
-                .unwrap_or(0);
-            let mut owners: Vec<Option<(PrioKey, usize)>> =
-                vec![None; self.channels.len() * stride];
-            for (i, e) in self.buffer.iter().enumerate() {
-                let key = self.priority_key(e, now, accuracy, rank_counts.as_deref());
-                let slot = &mut owners[e.target.channel * stride + e.target.bank];
-                if slot.as_ref().is_none_or(|(bk, _)| key > *bk) {
-                    *slot = Some((key, i));
-                }
-            }
-            for (_, i) in owners.into_iter().flatten() {
-                let e = &self.buffer[i];
-                let ch = &self.channels[e.target.channel];
-                fold(align_up_dram(ch.earliest_advance_at(
-                    e.target.bank,
-                    e.target.row,
-                    now,
-                )));
             }
         }
         if self.dram.row_policy == RowPolicy::Closed {
@@ -396,12 +409,7 @@ impl MemoryController {
                     let Some(open) = ch.effective_row(bank, now) else {
                         continue;
                     };
-                    let wanted = self.buffer.iter().any(|e| {
-                        e.target.channel == ci && e.target.bank == bank && e.target.row == open
-                    }) || self.inflight.iter().any(|f| {
-                        f.target.channel == ci && f.target.bank == bank && f.target.row == open
-                    });
-                    if !wanted {
+                    if !self.row_wanted(ci, bank, open) {
                         if let Some(t) = ch.earliest_precharge_at(bank, now) {
                             fold(align_up_dram(t));
                         }
@@ -431,21 +439,33 @@ impl MemoryController {
     /// than their core's dynamic drop threshold. Requests already being
     /// serviced (first command issued) are left alone, as are promoted
     /// prefetches (they are demands now).
+    ///
+    /// The buffer's deadline heaps answer "is anything due?" in O(cores);
+    /// only when a drop is actually due does the legacy-order scan run, so
+    /// emission order stays bit-identical to the flat-vector controller.
     fn drop_old_prefetches(
         &mut self,
         now: Cycle,
         accuracy: &AccuracyTracker,
         out: &mut TickOutput,
     ) {
-        let thresholds = &self.cfg.drop_thresholds;
+        match self
+            .buffer
+            .earliest_drop_deadline(&self.cfg.drop_thresholds, accuracy)
+        {
+            Some(deadline) if deadline <= now => {}
+            _ => return,
+        }
+        let thresholds = self.cfg.drop_thresholds;
         let mut i = 0;
         while i < self.buffer.len() {
-            let e = &self.buffer[i];
+            let slot = self.buffer.order_slots()[i];
+            let e = self.buffer.entry(slot);
             let droppable = e.req.kind.is_prefetch() && e.first_service.is_none();
             if droppable {
                 let limit = thresholds.threshold_for(accuracy.accuracy(e.req.core));
                 if e.req.age(now) > limit {
-                    let e = self.buffer.swap_remove(i);
+                    let e = self.buffer.remove(slot);
                     self.stats.prefetches_dropped += 1;
                     out.dropped.push(e.req);
                     continue;
@@ -461,30 +481,25 @@ impl MemoryController {
                 break;
             };
             let target = self.mapper.map(req.line);
-            self.buffer.push(Entry {
-                req,
-                target,
-                first_service: None,
-                batched: false,
-            });
+            self.buffer.insert(Entry::new(req, target));
         }
     }
 
     /// PAR-BS batching: when no batched request remains, mark the oldest
     /// `batch_cap` requests of each core as the new batch.
     fn reform_batch_if_drained(&mut self) {
-        if self.buffer.iter().any(|e| e.batched) || self.buffer.is_empty() {
+        if self.buffer.batched_len() > 0 || self.buffer.is_empty() {
             return;
         }
-        let mut order: Vec<usize> = (0..self.buffer.len()).collect();
-        order.sort_by_key(|&i| self.buffer[i].req.id);
+        let mut slots: Vec<Slot> = self.buffer.order_slots().to_vec();
+        slots.sort_by_key(|&s| self.buffer.entry(s).req.id);
         let mut per_core = vec![0usize; self.cfg.cores.max(1)];
-        for i in order {
-            let core = self.buffer[i].req.core.index();
+        for s in slots {
+            let core = self.buffer.entry(s).req.core.index();
             if let Some(count) = per_core.get_mut(core) {
                 if *count < self.cfg.batch_cap {
                     *count += 1;
-                    self.buffer[i].batched = true;
+                    self.buffer.set_batched(s);
                 }
             }
         }
@@ -492,63 +507,52 @@ impl MemoryController {
 
     /// Pick and issue at most one command on `channel`.
     fn schedule_channel(&mut self, channel: usize, now: Cycle, accuracy: &AccuracyTracker) {
-        let ch = &self.channels[channel];
-        if !ch.command_bus_free(now) {
+        if !self.channels[channel].command_bus_free(now) {
             return;
         }
-        // Per-core outstanding critical-request counts for ranking (§6.5).
-        let rank_counts = if self.cfg.ranking {
-            let mut counts = vec![0u64; self.cfg.cores.max(1)];
-            for e in &self.buffer {
-                if self.is_critical(&e.req, accuracy) {
-                    if let Some(c) = counts.get_mut(e.req.core.index()) {
-                        *c += 1;
-                    }
-                }
-            }
-            Some(counts)
-        } else {
-            None
-        };
+        // Per-core outstanding critical-request counts for ranking (§6.5),
+        // rebuilt O(cores) from the buffer's running kind counts.
+        let rank_counts = self
+            .buffer
+            .rank_counts(accuracy, self.cfg.promotion_threshold);
+        let ctx = self.key_ctx(accuracy, rank_counts.as_deref());
 
         // Two-level selection, as in real FR-FCFS controllers: first pick
         // the highest-priority *request* per bank (that request owns the
         // bank — a lower-priority row-conflict must not precharge a row
         // that a higher-priority row-hit is still waiting to read), then
         // pick the best bank whose owner can issue a command this cycle.
-        let mut bank_best: Vec<Option<(PrioKey, usize)>> = vec![None; ch.bank_count()];
-        for (i, e) in self.buffer.iter().enumerate() {
-            if e.target.channel != channel {
+        // The per-bank owners come from the buffer's cache; only banks
+        // whose membership or key inputs changed are rescanned.
+        let (buffer, channels) = (&mut self.buffer, &self.channels);
+        let ch = &channels[channel];
+        let mut best: Option<(PrioKey, Slot)> = None;
+        for bank in 0..ch.bank_count() {
+            let Some((key, slot)) = buffer.owner(channel, bank, &ctx, ch, now) else {
                 continue;
-            }
-            let key = self.priority_key(e, now, accuracy, rank_counts.as_deref());
-            let slot = &mut bank_best[e.target.bank];
-            if slot.as_ref().is_none_or(|(bk, _)| key > *bk) {
-                *slot = Some((key, i));
-            }
-        }
-        let mut best: Option<(PrioKey, usize)> = None;
-        for entry in bank_best.into_iter().flatten() {
-            let (key, i) = entry;
-            let e = &self.buffer[i];
+            };
+            let e = buffer.entry(slot);
             if !ch.can_advance(e.target.bank, e.target.row, now) {
                 continue;
             }
-            if best.as_ref().is_none_or(|(bk, _)| key > *bk) {
-                best = Some((key, i));
+            if best.is_none_or(|(bk, _)| key > bk) {
+                best = Some((key, slot));
             }
         }
-        let Some((_, idx)) = best else { return };
-        let (bank, row) = (self.buffer[idx].target.bank, self.buffer[idx].target.row);
+        let Some((_, slot)) = best else { return };
+        let (bank, row) = {
+            let t = &self.buffer.entry(slot).target;
+            (t.bank, t.row)
+        };
         // Record the row-buffer classification of the first command.
-        if self.buffer[idx].first_service.is_none() {
+        if self.buffer.entry(slot).first_service.is_none() {
             let class = self.channels[channel].classify(bank, row, now);
-            self.buffer[idx].first_service = Some(class);
+            self.buffer.set_first_service(slot, class);
         }
-        let is_write = self.buffer[idx].req.access == AccessKind::Store;
+        let is_write = self.buffer.entry(slot).req.access == AccessKind::Store;
         match self.channels[channel].advance(bank, row, is_write, now) {
             StepOutcome::CasIssued { completes_at } => {
-                let e = self.buffer.swap_remove(idx);
+                let e = self.buffer.remove(slot);
                 let row_hit = e.first_service == Some(RowBufferOutcome::Hit);
                 let service = completes_at.saturating_sub(e.req.arrival);
                 match e.req.kind {
@@ -586,9 +590,23 @@ impl MemoryController {
                     row_hit,
                 });
             }
-            StepOutcome::Precharged | StepOutcome::Activated => {}
+            StepOutcome::Precharged | StepOutcome::Activated => {
+                // The bank's row state changed: row-hit bits of its queued
+                // entries (the owner included) may have flipped.
+                self.buffer.note_bank_command(channel, bank);
+            }
             StepOutcome::Blocked => unreachable!("can_advance was checked"),
         }
+    }
+
+    /// True if any queued or in-flight request wants row `row` of
+    /// `(channel, bank)` — the closed-row policy's "is this open row still
+    /// useful" test, shared by the scheduler and [`MemoryController::next_event`].
+    fn row_wanted(&self, channel: usize, bank: usize, row: u64) -> bool {
+        self.buffer.wants_row(channel, bank, row)
+            || self.inflight.iter().any(|f| {
+                f.target.channel == channel && f.target.bank == bank && f.target.row == row
+            })
     }
 
     /// Closed-row policy (§6.8): precharge any bank whose open row has no
@@ -602,12 +620,11 @@ impl MemoryController {
                 let Some(open) = self.channels[ch_idx].effective_row(bank, now) else {
                     continue;
                 };
-                let wanted = self.buffer.iter().any(|e| {
-                    e.target.channel == ch_idx && e.target.bank == bank && e.target.row == open
-                }) || self.inflight.iter().any(|f| {
-                    f.target.channel == ch_idx && f.target.bank == bank && f.target.row == open
-                });
-                if !wanted && self.channels[ch_idx].precharge_bank(bank, now) {
+                if !self.row_wanted(ch_idx, bank, open)
+                    && self.channels[ch_idx].precharge_bank(bank, now)
+                {
+                    // The precharged bank's row state changed.
+                    self.buffer.note_bank_command(ch_idx, bank);
                     // One command per DRAM cycle: stop after a precharge.
                     break;
                 }
@@ -615,81 +632,19 @@ impl MemoryController {
         }
     }
 
-    fn is_critical(&self, req: &MemRequest, accuracy: &AccuracyTracker) -> bool {
-        match req.kind {
-            RequestKind::Demand => true,
-            RequestKind::Prefetch => accuracy.accuracy(req.core) >= self.cfg.promotion_threshold,
-        }
-    }
-
-    fn is_urgent(&self, req: &MemRequest, accuracy: &AccuracyTracker) -> bool {
-        req.kind.is_demand() && accuracy.accuracy(req.core) < self.cfg.promotion_threshold
-    }
-
-    fn priority_key(
-        &self,
-        e: &Entry,
-        now: Cycle,
-        accuracy: &AccuracyTracker,
-        rank_counts: Option<&[u64]>,
-    ) -> PrioKey {
-        let ch = &self.channels[e.target.channel];
-        let row_hit = ch.is_row_hit(e.target.bank, e.target.row, now);
-        let fcfs = Reverse(e.req.id.raw());
-        // Write-drain service class: when enabled, reads match outside
-        // drain mode and writebacks match inside it.
-        let class_match =
-            !self.cfg.write_drain || (Self::is_writeback(&e.req) == self.draining_writes);
-        match self.cfg.policy {
-            SchedulingPolicy::DemandPrefetchEqual => PrioKey {
-                class_match,
-                batched: e.batched,
-                tier: 0,
-                row_hit,
-                urgent: false,
-                rank: Reverse(0),
-                fcfs,
-            },
-            SchedulingPolicy::DemandFirst => PrioKey {
-                class_match,
-                batched: e.batched,
-                tier: u8::from(e.req.kind.is_demand()),
-                row_hit,
-                urgent: false,
-                rank: Reverse(0),
-                fcfs,
-            },
-            SchedulingPolicy::PrefetchFirst => PrioKey {
-                class_match,
-                batched: e.batched,
-                tier: u8::from(e.req.kind.is_prefetch()),
-                row_hit,
-                urgent: false,
-                rank: Reverse(0),
-                fcfs,
-            },
-            SchedulingPolicy::ApsOnly | SchedulingPolicy::Padc | SchedulingPolicy::PadcRank => {
-                let critical = self.is_critical(&e.req, accuracy);
-                let rank = match rank_counts {
-                    Some(counts) if critical => {
-                        Reverse(counts.get(e.req.core.index()).copied().unwrap_or(u64::MAX))
-                    }
-                    // Non-critical requests take the worst rank (§6.5
-                    // footnote 12).
-                    Some(_) => Reverse(u64::MAX),
-                    None => Reverse(0),
-                };
-                PrioKey {
-                    class_match,
-                    batched: e.batched,
-                    tier: u8::from(critical),
-                    row_hit,
-                    urgent: self.cfg.urgency && self.is_urgent(&e.req, accuracy),
-                    rank,
-                    fcfs,
-                }
-            }
-        }
+    /// Audits the buffer's incremental state (bitsets, counts, heaps, and
+    /// every *clean* cached owner) against a from-scratch recompute,
+    /// panicking on divergence. Test-only support for the
+    /// `buffer_consistency` proptest.
+    #[doc(hidden)]
+    pub fn audit_buffer(&mut self, now: Cycle, accuracy: &AccuracyTracker) {
+        self.buffer.sync_rollover(accuracy, self.adaptive_keys());
+        let rank_counts = self
+            .buffer
+            .rank_counts(accuracy, self.cfg.promotion_threshold);
+        let ctx = self.key_ctx(accuracy, rank_counts.as_deref());
+        let (buffer, channels) = (&mut self.buffer, &self.channels);
+        buffer.audit(&ctx, channels, now);
     }
 }
 
@@ -698,27 +653,10 @@ impl MemoryController {
 fn align_up_dram(t: Cycle) -> Cycle {
     t.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE) * CPU_CYCLES_PER_DRAM_CYCLE
 }
-
-/// Priority tuple compared lexicographically; larger wins. Field order
-/// implements the paper's Rule 1 / Rule 2 (with optional PAR-BS batching
-/// on top): batch > tier (critical / demand-first class) > row-hit >
-/// urgent > rank > FCFS.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-struct PrioKey {
-    /// Write-drain service class (always true when write drain is off):
-    /// reads match outside drain mode, writebacks match inside it.
-    class_match: bool,
-    batched: bool,
-    tier: u8,
-    row_hit: bool,
-    urgent: bool,
-    rank: Reverse<u64>,
-    fcfs: Reverse<u64>,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SchedulingPolicy;
 
     fn tracker(cores: usize) -> AccuracyTracker {
         AccuracyTracker::new(cores, 100_000)

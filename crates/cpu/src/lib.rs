@@ -47,6 +47,8 @@
 //! assert!(core.stats().retired_instructions > 3_000);
 //! ```
 
+#![warn(missing_docs)]
+
 mod core_model;
 mod trace;
 

@@ -49,6 +49,8 @@
 //! `ok` — only `ok` rows are trusted); the skip is visible in the summary,
 //! never in the artifact.
 
+#![warn(missing_docs)]
+
 mod resume;
 pub mod service;
 pub mod subjob;

@@ -36,6 +36,8 @@
 //! assert!(!out.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 mod cdc;
 mod ddpf;
 mod fdp;

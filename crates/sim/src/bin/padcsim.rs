@@ -500,6 +500,12 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
         p.controller_ns as f64 / 1e9,
         p.cores_ns as f64 / 1e9,
     );
+    // Owner-cache counters from the request buffer; machine-read by
+    // scripts/perf_gate.sh (BENCH_buffer.json section).
+    eprintln!(
+        "profile: owner_recomputes={} owner_invalidations={} owner_reuses={} owner_scan_entries={}",
+        p.owner_recomputes, p.owner_invalidations, p.owner_reuses, p.owner_scan_entries,
+    );
 }
 
 fn main() {

@@ -26,6 +26,8 @@
 //! assert!(report.per_core[0].ipc() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 pub mod experiments;
 pub mod metrics;

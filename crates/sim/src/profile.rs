@@ -74,6 +74,17 @@ pub struct SimProfile {
     /// Controller ticks executed because a proven event was due (`event`
     /// mode only; zero elsewhere).
     pub ctrl_events_fired: u64,
+    /// Bank-owner cache rebuilds in the controller's request buffer
+    /// (copied from [`padc_core::BufferStats`] when the run finishes).
+    pub owner_recomputes: u64,
+    /// Bank-owner cache invalidations (clean-to-dirty transitions). The
+    /// buffer maintains `owner_recomputes <= owner_invalidations`; the
+    /// perf gate asserts it end-to-end.
+    pub owner_invalidations: u64,
+    /// Scheduling queries served from a still-valid cached bank owner.
+    pub owner_reuses: u64,
+    /// Entries examined across all owner rebuilds (bitset-scan volume).
+    pub owner_scan_entries: u64,
     /// Wall time spent in the controller phase of `step` (timers on only).
     pub controller_ns: u64,
     /// Wall time spent ticking cores (timers on only).
@@ -123,6 +134,10 @@ pub struct ProfileAccum {
     ctrl_cycles_stepped: AtomicU64,
     ctrl_cycles_skipped: AtomicU64,
     ctrl_events_fired: AtomicU64,
+    owner_recomputes: AtomicU64,
+    owner_invalidations: AtomicU64,
+    owner_reuses: AtomicU64,
+    owner_scan_entries: AtomicU64,
     controller_ns: AtomicU64,
     cores_ns: AtomicU64,
     wall_ns: AtomicU64,
@@ -149,6 +164,14 @@ impl ProfileAccum {
             .fetch_add(p.ctrl_cycles_skipped, Ordering::Relaxed);
         self.ctrl_events_fired
             .fetch_add(p.ctrl_events_fired, Ordering::Relaxed);
+        self.owner_recomputes
+            .fetch_add(p.owner_recomputes, Ordering::Relaxed);
+        self.owner_invalidations
+            .fetch_add(p.owner_invalidations, Ordering::Relaxed);
+        self.owner_reuses
+            .fetch_add(p.owner_reuses, Ordering::Relaxed);
+        self.owner_scan_entries
+            .fetch_add(p.owner_scan_entries, Ordering::Relaxed);
         self.controller_ns
             .fetch_add(p.controller_ns, Ordering::Relaxed);
         self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
@@ -170,6 +193,8 @@ impl ProfileAccum {
                 "\"core_cycles_skipped\":{},\"horizon_resyncs\":{},",
                 "\"ctrl_cycles_stepped\":{},\"ctrl_cycles_skipped\":{},",
                 "\"ctrl_events_fired\":{},",
+                "\"owner_recomputes\":{},\"owner_invalidations\":{},",
+                "\"owner_reuses\":{},\"owner_scan_entries\":{},",
                 "\"controller_ns\":{},\"cores_ns\":{},\"wall_ns\":{}}}"
             ),
             self.runs.load(Ordering::Relaxed),
@@ -182,6 +207,10 @@ impl ProfileAccum {
             self.ctrl_cycles_stepped.load(Ordering::Relaxed),
             self.ctrl_cycles_skipped.load(Ordering::Relaxed),
             self.ctrl_events_fired.load(Ordering::Relaxed),
+            self.owner_recomputes.load(Ordering::Relaxed),
+            self.owner_invalidations.load(Ordering::Relaxed),
+            self.owner_reuses.load(Ordering::Relaxed),
+            self.owner_scan_entries.load(Ordering::Relaxed),
             self.controller_ns.load(Ordering::Relaxed),
             self.cores_ns.load(Ordering::Relaxed),
             self.wall_ns.load(Ordering::Relaxed),
@@ -260,6 +289,10 @@ mod tests {
             ctrl_cycles_stepped: 10,
             ctrl_cycles_skipped: 90,
             ctrl_events_fired: 0,
+            owner_recomputes: 4,
+            owner_invalidations: 6,
+            owner_reuses: 20,
+            owner_scan_entries: 12,
             controller_ns: 0,
             cores_ns: 0,
             wall_ns: 5,
@@ -274,6 +307,10 @@ mod tests {
             ctrl_cycles_stepped: 2,
             ctrl_cycles_skipped: 13,
             ctrl_events_fired: 2,
+            owner_recomputes: 1,
+            owner_invalidations: 2,
+            owner_reuses: 5,
+            owner_scan_entries: 3,
             controller_ns: 3,
             cores_ns: 4,
             wall_ns: 5,
@@ -286,6 +323,8 @@ mod tests {
              \"core_cycles_skipped\":112,\"horizon_resyncs\":7,\
              \"ctrl_cycles_stepped\":12,\"ctrl_cycles_skipped\":103,\
              \"ctrl_events_fired\":2,\
+             \"owner_recomputes\":5,\"owner_invalidations\":8,\
+             \"owner_reuses\":25,\"owner_scan_entries\":15,\
              \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10}"
         );
     }

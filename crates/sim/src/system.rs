@@ -750,7 +750,11 @@ mod event {
     }
 
     impl EventState {
-        pub(super) fn new(now: Cycle, ctrl: &MemoryController, tracker: &AccuracyTracker) -> Self {
+        pub(super) fn new(
+            now: Cycle,
+            ctrl: &mut MemoryController,
+            tracker: &AccuracyTracker,
+        ) -> Self {
             let mut s = EventState {
                 ctrl_next: now,
                 epoch: ctrl.mutation_epoch(),
@@ -762,7 +766,7 @@ mod event {
         /// Re-proves the bound from the controller's live state. `from`
         /// is the first cycle whose tick has not yet executed, so the
         /// bound is clamped to at least `from`.
-        fn reprove(&mut self, from: Cycle, ctrl: &MemoryController, tracker: &AccuracyTracker) {
+        fn reprove(&mut self, from: Cycle, ctrl: &mut MemoryController, tracker: &AccuracyTracker) {
             let mut bound = tracker.next_rollover();
             if let Some(ev) = ctrl.next_event(from, tracker) {
                 bound = bound.min(ev);
@@ -776,7 +780,7 @@ mod event {
         pub(super) fn validate(
             &mut self,
             now: Cycle,
-            ctrl: &MemoryController,
+            ctrl: &mut MemoryController,
             tracker: &AccuracyTracker,
         ) {
             if ctrl.mutation_epoch() != self.epoch {
@@ -788,7 +792,7 @@ mod event {
         pub(super) fn controller_due(
             &mut self,
             now: Cycle,
-            ctrl: &MemoryController,
+            ctrl: &mut MemoryController,
             tracker: &AccuracyTracker,
         ) -> bool {
             self.validate(now, ctrl, tracker);
@@ -805,7 +809,7 @@ mod event {
         pub(super) fn rearm(
             &mut self,
             now: Cycle,
-            ctrl: &MemoryController,
+            ctrl: &mut MemoryController,
             tracker: &AccuracyTracker,
         ) {
             self.reprove(now + 1, ctrl, tracker);
@@ -991,7 +995,7 @@ impl System {
         let timing = profile::timing_enabled();
         let run_ctrl = match ev.as_deref_mut() {
             None => true,
-            Some(ev) => ev.controller_due(now, &self.mem.controller, &self.mem.tracker),
+            Some(ev) => ev.controller_due(now, &mut self.mem.controller, &self.mem.tracker),
         };
         if run_ctrl {
             let t0 = timing.then(std::time::Instant::now);
@@ -1020,7 +1024,7 @@ impl System {
                 self.mem.on_interval_rollover();
             }
             if let Some(ev) = ev {
-                ev.rearm(now, &self.mem.controller, &self.mem.tracker);
+                ev.rearm(now, &mut self.mem.controller, &self.mem.tracker);
             }
             if let Some(t0) = t0 {
                 self.profile.controller_ns += t0.elapsed().as_nanos() as u64;
@@ -1131,7 +1135,7 @@ impl System {
         let mut target = self.mem.tracker.next_rollover().min(hz.min_due());
         match ev {
             Some(ev) => {
-                ev.validate(now, &self.mem.controller, &self.mem.tracker);
+                ev.validate(now, &mut self.mem.controller, &self.mem.tracker);
                 target = target.min(ev.ctrl_next());
             }
             None => {
@@ -1223,7 +1227,7 @@ impl System {
             FastForwardMode::Event => {
                 let mut hz = horizon::HorizonState::new(self.cfg.cores, self.now);
                 let mut ev =
-                    event::EventState::new(self.now, &self.mem.controller, &self.mem.tracker);
+                    event::EventState::new(self.now, &mut self.mem.controller, &self.mem.tracker);
                 while !self.finished() && self.now < self.cfg.max_cycles {
                     self.step_inner(Some(&mut hz), Some(&mut ev));
                     self.try_horizon_jump(&hz, Some(&mut ev));
@@ -1232,6 +1236,11 @@ impl System {
             }
         }
         self.profile.wall_ns += start.elapsed().as_nanos() as u64;
+        let bs = self.mem.controller.buffer_stats();
+        self.profile.owner_recomputes = bs.owner_recomputes;
+        self.profile.owner_invalidations = bs.owner_invalidations;
+        self.profile.owner_reuses = bs.owner_reuses;
+        self.profile.owner_scan_entries = bs.owner_scan_entries;
         profile::note_run(&self.profile);
         self.report()
     }

@@ -28,6 +28,8 @@
 //! least-recently-used entries (loads touch mtimes, best-effort) until the
 //! store fits a byte budget.
 
+#![warn(missing_docs)]
+
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};

@@ -30,6 +30,8 @@
 //! assert!(ops.iter().any(|op| op.is_memory()));
 //! ```
 
+#![warn(missing_docs)]
+
 mod chase;
 mod generator;
 mod multiprog;

@@ -15,6 +15,12 @@
 #    byte-identical while the O(events) controller loop silently
 #    degrades back to O(cycles).
 #
+# 1c. The request buffer's owner cache must stay effective (floors from
+#    BENCH_buffer.json, counters from the same event-mix run):
+#    owner_recomputes must not exceed owner_invalidations (structural
+#    dirty-bit invariant) and the owner reuse rate must not fall below
+#    the recorded floor. Deterministic counts, not timings.
+#
 # 2. The plan/reduce sub-job machinery must keep doing its job
 #    structurally (floors from BENCH_subjob.json): planned experiments
 #    must decompose into at least the recorded number of sub-jobs, peak
@@ -114,6 +120,48 @@ if ! awk -v s="$ctrl_skip" -v f="$CTRL_MIX_FLOOR" 'BEGIN { exit !(s >= f) }'; th
     exit 1
 fi
 echo "   ctrl skip ratio ${ctrl_skip}% >= floor ${CTRL_MIX_FLOOR}%"
+
+# -- 1c: request-buffer owner-cache floors (BENCH_buffer.json) ---------
+# Reuses the event-mix profile captured above. Two checks: the
+# structural invariant owner_recomputes <= owner_invalidations (each
+# recompute consumes one clean->dirty transition; a violation means the
+# owner cache is being bypassed), and a reuse-rate floor (catches
+# over-invalidation: results stay byte-identical while every mutation
+# dirties every bank and the O(entries) scans quietly return).
+BUF_FLOOR=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_buffer.json"))["ci_gate"]
+print(gate["mix_min_reuse_pct"] - gate["tolerance_pct"])
+PYEOF
+)
+
+gate_section "owner-cache floors (event, 8-core mix)"
+echo "== perf: owner cache on the same event-mix run, reuse floor ${BUF_FLOOR}%"
+owner_line=$(grep '^profile: owner_' "$OUT/event-mix-profile.txt" || true)
+recomputes=$(echo "$owner_line" | grep -o 'owner_recomputes=[0-9]*' | cut -d= -f2)
+invalidations=$(echo "$owner_line" | grep -o 'owner_invalidations=[0-9]*' | cut -d= -f2)
+reuses=$(echo "$owner_line" | grep -o 'owner_reuses=[0-9]*' | cut -d= -f2)
+if [ -z "$recomputes" ] || [ -z "$invalidations" ] || [ -z "$reuses" ]; then
+    echo "FAIL: no owner_* counters in --profile output" >&2
+    exit 1
+fi
+if [ "$recomputes" -gt "$invalidations" ]; then
+    echo "FAIL: owner_recomputes=$recomputes > owner_invalidations=$invalidations" >&2
+    echo "      — each recompute must consume one clean->dirty transition;" >&2
+    echo "      the owner cache's dirty-bit protocol is being bypassed" >&2
+    exit 1
+fi
+reuse_pct=$(awk -v r="$reuses" -v c="$recomputes" \
+    'BEGIN { printf "%.1f", 100 * r / (r + c) }')
+if ! awk -v s="$reuse_pct" -v f="$BUF_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+    echo "FAIL: owner reuse rate ${reuse_pct}% fell below the ${BUF_FLOOR}% floor" >&2
+    echo "      (floor = ci_gate.mix_min_reuse_pct - ci_gate.tolerance_pct" >&2
+    echo "       from BENCH_buffer.json; re-measure and update it only if" >&2
+    echo "       the extra invalidation is understood and intended)" >&2
+    exit 1
+fi
+echo "   owner reuse ${reuse_pct}% >= floor ${BUF_FLOOR}%," \
+     "recomputes $recomputes <= invalidations $invalidations"
 
 gate_section "ctrl skip floor (event, mcf single)"
 echo "== perf: mcf single, --fast-forward event, ctrl floor ${CTRL_MCF_FLOOR}%"
