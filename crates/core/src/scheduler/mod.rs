@@ -292,8 +292,10 @@ impl MemoryController {
                 self.buffer.sync_refresh(ch, refreshes);
                 self.schedule_channel(ch, now, accuracy);
             }
-            if self.dram.row_policy == RowPolicy::Closed {
-                self.apply_closed_row_policy(now);
+            match self.dram.row_policy {
+                RowPolicy::Open => {}
+                RowPolicy::Closed => self.apply_closed_row_policy(now),
+                RowPolicy::Happy => self.apply_happy_row_policy(now),
             }
         }
         out
@@ -322,7 +324,11 @@ impl MemoryController {
     ///   bank), aligned up to the next DRAM bus boundary;
     /// - pending refresh boundaries ([`Channel::next_refresh_boundary`]);
     /// - closed-row-policy precharges of open banks no queued or in-flight
-    ///   request wants ([`Channel::earliest_precharge_at`]);
+    ///   request wants ([`Channel::earliest_precharge_at`]); under the
+    ///   HAPPY policy the same bound applies only to banks whose open row
+    ///   the per-row predictor votes to close
+    ///   ([`Channel::happy_votes_close`], a pure read — predictor state
+    ///   mutates only when commands issue, i.e. only at executed ticks);
     /// - overflowed writebacks that could drain into freed buffer space
     ///   (due immediately, so the caller simply does not skip).
     ///
@@ -403,12 +409,16 @@ impl MemoryController {
                 }
             }
         }
-        if self.dram.row_policy == RowPolicy::Closed {
+        if matches!(self.dram.row_policy, RowPolicy::Closed | RowPolicy::Happy) {
+            let happy = self.dram.row_policy == RowPolicy::Happy;
             for (ci, ch) in self.channels.iter().enumerate() {
                 for bank in 0..ch.bank_count() {
                     let Some(open) = ch.effective_row(bank, now) else {
                         continue;
                     };
+                    if happy && !ch.happy_votes_close(bank, now) {
+                        continue;
+                    }
                     if !self.row_wanted(ci, bank, open) {
                         if let Some(t) = ch.earliest_precharge_at(bank, now) {
                             fold(align_up_dram(t));
@@ -620,6 +630,37 @@ impl MemoryController {
                 let Some(open) = self.channels[ch_idx].effective_row(bank, now) else {
                     continue;
                 };
+                if !self.row_wanted(ch_idx, bank, open)
+                    && self.channels[ch_idx].precharge_bank(bank, now)
+                {
+                    // The precharged bank's row state changed.
+                    self.buffer.note_bank_command(ch_idx, bank);
+                    // One command per DRAM cycle: stop after a precharge.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// HAPPY hybrid page policy: like the closed-row policy, but a bank's
+    /// idle open row is precharged only when the per-row predictor votes to
+    /// close it ([`Channel::happy_votes_close`]); rows the predictor deems
+    /// reusable stay open as under the open-row policy. Each policy
+    /// precharge is a bank-state-changing command, so it must invalidate
+    /// the bank's cached owner exactly like the closed-row path (the
+    /// HAPPY-precharge rule of the owner-cache enumeration, DESIGN.md §13).
+    fn apply_happy_row_policy(&mut self, now: Cycle) {
+        for ch_idx in 0..self.channels.len() {
+            if !self.channels[ch_idx].command_bus_free(now) {
+                continue;
+            }
+            for bank in 0..self.channels[ch_idx].bank_count() {
+                let Some(open) = self.channels[ch_idx].effective_row(bank, now) else {
+                    continue;
+                };
+                if !self.channels[ch_idx].happy_votes_close(bank, now) {
+                    continue;
+                }
                 if !self.row_wanted(ch_idx, bank, open)
                     && self.channels[ch_idx].precharge_bank(bank, now)
                 {
@@ -1246,6 +1287,68 @@ mod tests {
             latency <= closed + 2 * CPU_CYCLES_PER_DRAM_CYCLE,
             "expected row-closed latency, got {latency} (conflict would add {})",
             d.t_rp_cpu()
+        );
+    }
+
+    #[test]
+    fn happy_policy_keeps_untrained_rows_open_and_precharges_trained_ones() {
+        let dram = DramConfig {
+            row_policy: RowPolicy::Happy,
+            ..DramConfig::default()
+        };
+        let mut mc = MemoryController::new(
+            ControllerConfig::from_policy(SchedulingPolicy::DemandFirst, 1),
+            dram,
+            MappingScheme::Linear,
+        );
+        let t = tracker(1);
+        let lpr = DramConfig::default().lines_per_row();
+        // Enqueues one demand at `at` and returns its service latency.
+        fn service(mc: &mut MemoryController, t: &AccuracyTracker, line: u64, at: Cycle) -> Cycle {
+            mc.enqueue(
+                CoreId::new(0),
+                LineAddr::new(line),
+                AccessKind::Load,
+                RequestKind::Demand,
+                at,
+            )
+            .unwrap();
+            let mut now = at;
+            loop {
+                if !mc.tick(now, t).completions.is_empty() {
+                    return now - at;
+                }
+                now += 1;
+                assert!(now < at + 100_000, "controller wedged");
+            }
+        }
+        let d = DramConfig::default();
+        let closed = d.t_rcd_cpu() + d.cl_cpu() + d.burst_cpu();
+        let slack = 2 * CPU_CYCLES_PER_DRAM_CYCLE;
+
+        // Residency 1: row 0 opens, serves a single CAS, then idles.
+        // Untrained rows vote open, so the idle window must not precharge.
+        service(&mut mc, &t, 0, 0);
+        for now in 1000..1200 {
+            mc.tick(now, &t);
+        }
+        // The conflicting access pays the full conflict penalty — proof the
+        // row stayed open — and its precharge trains row 0 toward closed.
+        let lat = service(&mut mc, &t, lpr * 8, 1200);
+        assert!(
+            lat > closed + slack,
+            "untrained row must stay open like open-row policy (lat {lat})"
+        );
+        // Residency 2 of row 0: another single-CAS visit.
+        service(&mut mc, &t, 0, 3000);
+        // Row 0 now votes close: the HAPPY policy precharges it while idle.
+        for now in 4000..4200 {
+            mc.tick(now, &t);
+        }
+        let lat = service(&mut mc, &t, lpr * 16, 4200);
+        assert!(
+            lat <= closed + slack,
+            "trained single-use row must be precharged like closed-row policy (lat {lat})"
         );
     }
 

@@ -54,6 +54,10 @@ fn all_policies() -> [SchedulingPolicy; 6] {
     ]
 }
 
+/// Every row-buffer management policy, so B1–B4 cover the closed-row *and*
+/// HAPPY policy-precharge invalidation rules automatically.
+const ROW_POLICIES: [RowPolicy; 3] = [RowPolicy::Open, RowPolicy::Closed, RowPolicy::Happy];
+
 /// Runs the op sequence, auditing the buffer after every mutation point.
 /// `accuracy_interval` is deliberately short so PAR rollovers (a cached-key
 /// input change) happen mid-sequence.
@@ -124,12 +128,13 @@ proptest! {
     }
 
     /// Same property with the key inputs the owner cache is most sensitive
-    /// to turned on explicitly: urgency, batching, write drain, and a
-    /// closed-row DRAM policy (extra precharges → extra invalidations).
+    /// to turned on explicitly: urgency, batching, write drain, and every
+    /// row policy (closed-row and HAPPY add policy precharges → extra
+    /// owner invalidations, the closed-/HAPPY-precharge rules of §13).
     #[test]
     fn incremental_state_matches_recompute_extended(ops in prop::collection::vec(arb_op(), 1..60),
                                                     policy_idx in 3usize..6,
-                                                    closed_row in any::<bool>()) {
+                                                    row_policy_idx in 0usize..ROW_POLICIES.len()) {
         let mut cfg = ControllerConfig::from_policy(all_policies()[policy_idx], 4);
         cfg.urgency = true;
         cfg.batching = true;
@@ -138,7 +143,7 @@ proptest! {
         cfg.write_drain_high = 6;
         cfg.write_drain_low = 2;
         let dram = DramConfig {
-            row_policy: if closed_row { RowPolicy::Closed } else { RowPolicy::Open },
+            row_policy: ROW_POLICIES[row_policy_idx],
             ..DramConfig::default()
         };
         drive_and_audit(&ops, cfg, dram);

@@ -56,6 +56,12 @@ fn all_policies() -> [SchedulingPolicy; 6] {
     ]
 }
 
+/// Every row-buffer management policy: the closed-row and HAPPY policies
+/// add spontaneous precharges that `next_event` must bound, and the HAPPY
+/// predictor must never mutate inside a proven-idle window (the Debug
+/// oracle below would catch it — predictor state is part of the string).
+const ROW_POLICIES: [RowPolicy; 3] = [RowPolicy::Open, RowPolicy::Closed, RowPolicy::Happy];
+
 /// Steps a clone of `mc` from `now` up to (not including) the claimed
 /// event cycle, asserting every tick is a proven no-op. Windows are
 /// truncated to keep the test fast; soundness of a prefix is what event
@@ -94,22 +100,22 @@ proptest! {
 
     /// Every `next_event` claim taken while servicing an arbitrary
     /// request mix is verified against cycle-by-cycle stepping, across
-    /// all six policies, both row policies, and with the extended DDR3
-    /// constraints (tFAW/refresh) both off and on.
+    /// all six policies, all three row policies, and with the extended
+    /// DDR3 constraints (tFAW/refresh) both off and on.
     #[test]
     fn next_event_never_claims_past_real_work(
         reqs in prop::collection::vec(arb_req(), 1..40),
         policy_idx in 0usize..6,
-        closed_row in any::<bool>(),
+        row_policy_idx in 0usize..ROW_POLICIES.len(),
         extended in any::<bool>(),
     ) {
         let policy = all_policies()[policy_idx];
         let mut cfg = ControllerConfig::from_policy(policy, 4);
         cfg.buffer_entries = 24;
-        let mut dram = DramConfig::default();
-        if closed_row {
-            dram.row_policy = RowPolicy::Closed;
-        }
+        let mut dram = DramConfig {
+            row_policy: ROW_POLICIES[row_policy_idx],
+            ..DramConfig::default()
+        };
         if extended {
             dram.extended = Some(ExtendedTiming::default());
         }

@@ -49,6 +49,11 @@ pub enum BankState {
 #[derive(Clone, Debug)]
 pub struct Bank {
     state: BankState,
+    /// CAS commands served by the currently/last open row (reset on ACT).
+    /// The HAPPY page-policy predictor reads this at precharge time: a row
+    /// that served several CAS bursts while open earned its open-row
+    /// residency, one that served only its opening access did not.
+    cas_served: u32,
 }
 
 impl Default for Bank {
@@ -62,6 +67,7 @@ impl Bank {
     pub fn new() -> Self {
         Bank {
             state: BankState::Closed,
+            cas_served: 0,
         }
     }
 
@@ -142,11 +148,23 @@ impl Bank {
             row,
             ready_at: now + t_rcd,
         };
+        self.cas_served = 0;
     }
 
     /// True if a CAS (read/write) to `row` may issue at `now`.
     pub fn can_cas(&self, row: u64, now: Cycle) -> bool {
         self.open_row(now) == Some(row)
+    }
+
+    /// Records a CAS issued to the open row (called by the channel).
+    pub fn note_cas(&mut self) {
+        self.cas_served = self.cas_served.saturating_add(1);
+    }
+
+    /// CAS commands served since the row currently open (or last open) was
+    /// activated. See the field docs: this is the HAPPY training signal.
+    pub fn cas_served(&self) -> u32 {
+        self.cas_served
     }
 
     /// The next cycle at which the bank's *resolved* state changes on its
@@ -206,6 +224,22 @@ mod tests {
         b.activate(5, 0, 50);
         assert_eq!(b.classify(5, 50), RowBufferOutcome::Hit);
         assert_eq!(b.classify(6, 50), RowBufferOutcome::Conflict);
+    }
+
+    #[test]
+    fn cas_count_resets_on_activate() {
+        let mut b = Bank::new();
+        assert_eq!(b.cas_served(), 0);
+        b.activate(5, 0, 50);
+        b.note_cas();
+        b.note_cas();
+        assert_eq!(b.cas_served(), 2);
+        // The count survives the precharge (it is read at precharge time)...
+        b.precharge(60, 50);
+        assert_eq!(b.cas_served(), 2);
+        // ...and resets when the next row opens.
+        b.activate(6, 200, 50);
+        assert_eq!(b.cas_served(), 0);
     }
 
     #[test]

@@ -2,7 +2,9 @@ use std::collections::VecDeque;
 
 use padc_types::{Cycle, CPU_CYCLES_PER_DRAM_CYCLE};
 
-use crate::{Bank, BankState, ChannelStats, DramConfig, RowBufferOutcome};
+use crate::{
+    Bank, BankState, ChannelStats, DramConfig, HappyPredictor, RowBufferOutcome, RowPolicy,
+};
 
 /// Extended timing converted to CPU cycles (see [`crate::ExtendedTiming`]).
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +60,10 @@ pub struct Channel {
     act_history: VecDeque<Cycle>,
     /// Refreshes applied so far (each closes every bank).
     refreshes_applied: u64,
+    /// HAPPY per-row open/closed predictor; present only under
+    /// [`RowPolicy::Happy`], so the other policies' channel state (and
+    /// therefore their result bytes) is untouched by this mechanism.
+    happy: Option<HappyPredictor>,
 }
 
 impl Channel {
@@ -88,6 +94,7 @@ impl Channel {
             min_precharge_at: vec![0; cfg.banks],
             act_history: VecDeque::with_capacity(4),
             refreshes_applied: 0,
+            happy: (cfg.row_policy == RowPolicy::Happy).then(HappyPredictor::new),
         }
     }
 
@@ -207,6 +214,9 @@ impl Channel {
         let b = &mut self.banks[bank];
         match b.classify(row, now) {
             RowBufferOutcome::Conflict => {
+                if let (Some(h), Some(victim)) = (self.happy.as_mut(), b.open_row(now)) {
+                    h.train_from_precharge(bank, victim, b.cas_served());
+                }
                 b.precharge(now, self.t_rp);
                 self.stats.precharges += 1;
                 StepOutcome::Precharged
@@ -239,6 +249,7 @@ impl Channel {
                     *slot = (*slot).max(earliest);
                 }
                 self.stats.data_bus_busy_cycles += self.burst;
+                b.note_cas();
                 StepOutcome::CasIssued { completes_at }
             }
         }
@@ -359,9 +370,32 @@ impl Channel {
             return false;
         }
         self.cmd_bus_free_at = now + CPU_CYCLES_PER_DRAM_CYCLE;
-        self.banks[bank].precharge(now, self.t_rp);
+        let b = &mut self.banks[bank];
+        if let (Some(h), Some(victim)) = (self.happy.as_mut(), b.open_row(now)) {
+            h.train_from_precharge(bank, victim, b.cas_served());
+        }
+        b.precharge(now, self.t_rp);
         self.stats.precharges += 1;
         true
+    }
+
+    /// True if the HAPPY predictor recommends precharging `bank`'s open (or
+    /// opening) row once it is idle. Always false for the other row
+    /// policies (no predictor) and for banks with no effective row.
+    ///
+    /// This is a pure read: consulting it never mutates predictor state, so
+    /// the controller's `next_event` proof may evaluate it freely
+    /// (DESIGN.md §11). Training happens only inside [`Channel::advance`]
+    /// and [`Channel::precharge_bank`], i.e. only when a command issues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn happy_votes_close(&self, bank: usize, now: Cycle) -> bool {
+        match (&self.happy, self.banks[bank].effective_row(now)) {
+            (Some(h), Some(row)) => h.votes_close(bank, row),
+            _ => false,
+        }
     }
 }
 
@@ -470,5 +504,47 @@ mod tests {
     fn precharge_bank_refuses_when_closed() {
         let (_, mut c) = ch();
         assert!(!c.precharge_bank(0, 0));
+    }
+
+    #[test]
+    fn happy_predictor_is_absent_under_other_policies() {
+        let (cfg, mut c) = ch();
+        c.advance(0, 1, false, 0);
+        assert!(
+            !c.happy_votes_close(0, cfg.t_rcd_cpu()),
+            "open/closed-policy channels must never vote to close"
+        );
+    }
+
+    #[test]
+    fn happy_trains_close_on_single_use_and_open_on_reuse() {
+        let cfg = DramConfig {
+            row_policy: RowPolicy::Happy,
+            ..DramConfig::default()
+        };
+        let mut c = Channel::new(&cfg);
+        // Open row 1, serve a single CAS, then policy-precharge it.
+        c.advance(0, 1, false, 0);
+        let t = cfg.t_rcd_cpu();
+        assert!(!c.happy_votes_close(0, t), "untrained rows default to open");
+        c.advance(0, 1, false, t);
+        let t = t + cfg.cl_cpu() + cfg.burst_cpu();
+        // The policy precharge trains toward closed (1 CAS served).
+        assert!(c.precharge_bank(0, t));
+        // Reopened, the single-use row now votes close...
+        let t = t + cfg.t_rp_cpu();
+        c.advance(0, 1, false, t);
+        assert!(c.happy_votes_close(0, t));
+        // ...but two CAS bursts in the next residency train it back open
+        // when the conflict precharge for row 2 retires it.
+        let t = t + cfg.t_rcd_cpu();
+        c.advance(0, 1, false, t);
+        let t = t + cfg.cl_cpu() + cfg.burst_cpu();
+        c.advance(0, 1, false, t);
+        let t = t + cfg.cl_cpu() + cfg.burst_cpu();
+        assert_eq!(c.advance(0, 2, false, t), StepOutcome::Precharged);
+        let t = t + cfg.t_rp_cpu();
+        c.advance(0, 1, false, t);
+        assert!(!c.happy_votes_close(0, t));
     }
 }

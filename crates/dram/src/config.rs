@@ -12,6 +12,12 @@ pub enum RowPolicy {
     Open,
     /// Precharge as soon as no outstanding request targets the open row.
     Closed,
+    /// HAPPY-style hybrid address-based policy (Ghasempour et al.; see
+    /// PAPERS.md): a per-row predictor votes, from each row's history of
+    /// CAS-per-activation, whether to keep it open (like
+    /// [`RowPolicy::Open`]) or precharge it once idle (like
+    /// [`RowPolicy::Closed`]).
+    Happy,
 }
 
 /// DRAM geometry and timing, defaulting to the paper's Table 4 system:

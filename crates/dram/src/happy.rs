@@ -1,0 +1,135 @@
+//! HAPPY-style per-row open/closed predictor (Ghasempour, Jaleel, Garside
+//! & Luján, "HAPPY: Hybrid Address-based Page Policy in DRAMs"; see
+//! PAPERS.md).
+//!
+//! HAPPY observes that neither a blanket open-row nor a blanket closed-row
+//! policy wins everywhere: rows with spatial locality amortize their ACT
+//! over many CAS bursts and should stay open, while rows touched once pay a
+//! conflict penalty for every cycle they linger. The predictor keeps a
+//! small table of 2-bit saturating counters hashed by `(bank, row)` and is
+//! trained at precharge time from the bank's CAS-per-activation count: a
+//! row that served at least [`REUSE_THRESHOLD`] CAS commands while open
+//! trains toward *open*, a row that served only its opening access trains
+//! toward *closed*. The controller consults [`HappyPredictor::votes_close`]
+//! before issuing a policy precharge, so each row individually behaves like
+//! the better of the two static policies once its history accumulates.
+
+/// Entries in the predictor's counter table (power of two).
+const TABLE_ENTRIES: usize = 1024;
+
+/// CAS commands per activation at or above which a row trains toward
+/// staying open.
+pub const REUSE_THRESHOLD: u32 = 2;
+
+/// Counter value a fresh (untrained) row starts at: weakly *open*, so an
+/// untrained HAPPY system behaves like the paper's default open-row policy
+/// until evidence accumulates.
+const RESET_VALUE: u8 = 2;
+
+/// A table of 2-bit saturating per-row counters voting open (>= 2) or
+/// closed (< 2).
+///
+/// ```
+/// use padc_dram::HappyPredictor;
+/// let mut p = HappyPredictor::new();
+/// assert!(!p.votes_close(0, 7)); // untrained rows default to open-row
+/// p.train_close(0, 7);
+/// assert!(p.votes_close(0, 7));
+/// p.train_open(0, 7);
+/// assert!(!p.votes_close(0, 7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HappyPredictor {
+    counters: Vec<u8>,
+}
+
+impl Default for HappyPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HappyPredictor {
+    /// Creates a predictor with every row weakly voting open.
+    pub fn new() -> Self {
+        HappyPredictor {
+            counters: vec![RESET_VALUE; TABLE_ENTRIES],
+        }
+    }
+
+    fn index(bank: usize, row: u64) -> usize {
+        let key = (row << 4) ^ bank as u64;
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % TABLE_ENTRIES
+    }
+
+    /// True if the predictor recommends precharging `(bank, row)` as soon
+    /// as it is idle (closed-row behavior for this row).
+    pub fn votes_close(&self, bank: usize, row: u64) -> bool {
+        self.counters[Self::index(bank, row)] < RESET_VALUE
+    }
+
+    /// Trains `(bank, row)` toward open-row behavior (saturating).
+    pub fn train_open(&mut self, bank: usize, row: u64) {
+        let c = &mut self.counters[Self::index(bank, row)];
+        *c = (*c + 1).min(3);
+    }
+
+    /// Trains `(bank, row)` toward closed-row behavior (saturating).
+    pub fn train_close(&mut self, bank: usize, row: u64) {
+        let c = &mut self.counters[Self::index(bank, row)];
+        *c = c.saturating_sub(1);
+    }
+
+    /// Trains from a precharge observation: the row served `cas_served` CAS
+    /// commands during the residency that just ended.
+    pub fn train_from_precharge(&mut self, bank: usize, row: u64, cas_served: u32) {
+        if cas_served >= REUSE_THRESHOLD {
+            self.train_open(bank, row);
+        } else {
+            self.train_close(bank, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate_in_both_directions() {
+        let mut p = HappyPredictor::new();
+        for _ in 0..10 {
+            p.train_open(3, 42);
+        }
+        assert!(!p.votes_close(3, 42));
+        for _ in 0..10 {
+            p.train_close(3, 42);
+        }
+        assert!(p.votes_close(3, 42));
+        // Two opens climb back out of the saturated closed state.
+        p.train_open(3, 42);
+        p.train_open(3, 42);
+        assert!(!p.votes_close(3, 42));
+    }
+
+    #[test]
+    fn precharge_training_uses_the_reuse_threshold() {
+        let mut p = HappyPredictor::new();
+        // Single-access residencies (only the opening CAS): train closed.
+        p.train_from_precharge(0, 9, 1);
+        assert!(p.votes_close(0, 9));
+        // Reused residencies train back toward open.
+        p.train_from_precharge(0, 9, REUSE_THRESHOLD);
+        assert!(!p.votes_close(0, 9));
+    }
+
+    #[test]
+    fn rows_are_tracked_independently() {
+        let mut p = HappyPredictor::new();
+        p.train_close(0, 1);
+        p.train_close(0, 1);
+        assert!(p.votes_close(0, 1));
+        assert!(!p.votes_close(0, 2), "untrained row keeps the open default");
+        assert!(!p.votes_close(1, 1), "other banks keep the open default");
+    }
+}

@@ -38,6 +38,7 @@
 mod bank;
 mod channel;
 mod config;
+mod happy;
 mod mapping;
 mod stats;
 mod timing;
@@ -45,6 +46,7 @@ mod timing;
 pub use bank::{Bank, BankState};
 pub use channel::{Channel, StepOutcome};
 pub use config::{DramConfig, RowPolicy};
+pub use happy::{HappyPredictor, REUSE_THRESHOLD};
 pub use mapping::{AddressMapper, MappingScheme, Target};
 pub use stats::ChannelStats;
 pub use timing::ExtendedTiming;

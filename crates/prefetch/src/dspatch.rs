@@ -1,0 +1,442 @@
+//! DSPatch-style dual-spatial-pattern prefetcher (Bera et al., MICRO 2019;
+//! see PAPERS.md).
+//!
+//! DSPatch learns per-page *bit patterns* of accessed cache lines, keyed by
+//! the PC that first touched the page, and keeps **two** predictions per
+//! signature: a coverage-biased pattern (`CovP`, the OR-union of every
+//! observed pattern) and an accuracy-biased pattern (`AccP`, the running
+//! intersection). A modulator driven by measured prefetch accuracy and
+//! issued-bandwidth pressure selects which table drives prediction, so the
+//! prefetcher's accuracy as seen by PADC's `AccuracyTracker` is *modal*: it
+//! jumps discretely when the modulator flips, instead of drifting smoothly
+//! like the stream/stride/Markov/C-DC prefetchers.
+
+use padc_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessEvent, Prefetcher};
+
+/// Cache lines per spatial region ("page"): 64 lines x 64 B = 4 KB.
+pub const PAGE_LINES: u64 = 64;
+const PAGE_SHIFT: u32 = 6;
+
+/// Parameters of the DSPatch prefetcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DsPatchConfig {
+    /// Concurrently tracked active pages (accumulation buffers).
+    pub pages: usize,
+    /// Signature (pattern) table entries, direct-mapped by PC hash.
+    pub signatures: usize,
+    /// Maximum candidates issued per page trigger.
+    pub degree: u32,
+    /// `CovP` population-count ceiling: an OR-merge that exceeds this
+    /// density resets the pattern to the newest observation (the "rotate"
+    /// step), keeping coverage predictions from saturating to all-ones.
+    pub density_max: u32,
+    /// Page evictions per modulator interval; the Cov/Acc choice is
+    /// re-evaluated at each interval boundary.
+    pub interval_triggers: u32,
+    /// Accuracy (percent) below which the modulator drops to the
+    /// accuracy-biased `AccP` pattern.
+    pub acc_low_pct: u64,
+    /// Accuracy (percent) at or above which the modulator returns to the
+    /// coverage-biased `CovP` pattern (hysteresis band with `acc_low_pct`).
+    pub acc_high_pct: u64,
+    /// Issued-candidate budget per interval: exceeding it while accuracy is
+    /// below `acc_high_pct` counts as bandwidth pressure and forces the
+    /// accuracy-biased mode.
+    pub bw_cap: u64,
+}
+
+impl Default for DsPatchConfig {
+    fn default() -> Self {
+        DsPatchConfig {
+            pages: 32,
+            signatures: 256,
+            degree: 8,
+            density_max: 48,
+            interval_triggers: 16,
+            acc_low_pct: 45,
+            acc_high_pct: 60,
+            bw_cap: 96,
+        }
+    }
+}
+
+/// Which pattern table currently drives prediction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DsPatchMode {
+    /// Coverage-biased: predict from the OR-merged `CovP` pattern.
+    Coverage,
+    /// Accuracy-biased: predict from the intersected `AccP` pattern.
+    Accuracy,
+}
+
+/// One active page accumulating its access bit pattern.
+#[derive(Clone, Copy, Debug)]
+struct ActivePage {
+    page: u64,
+    /// Raw per-offset access bitmap (bit `o` = line `page*64 + o` touched).
+    bitmap: u64,
+    /// Pattern issued at trigger time, anchored so bit 0 is the trigger
+    /// offset; used to measure accuracy when the page retires.
+    predicted: u64,
+    trigger_offset: u32,
+    sig: usize,
+    lru: u64,
+}
+
+/// One signature-table entry: the dual predictions.
+#[derive(Clone, Copy, Debug, Default)]
+struct Signature {
+    /// Coverage-biased pattern: OR of observed patterns (anchored).
+    cov: u64,
+    /// Accuracy-biased pattern: intersection of observed patterns.
+    acc: u64,
+}
+
+/// DSPatch-style dual-spatial-pattern prefetcher (see module docs).
+#[derive(Clone, Debug)]
+pub struct DsPatchPrefetcher {
+    cfg: DsPatchConfig,
+    active: Vec<Option<ActivePage>>,
+    sigs: Vec<Signature>,
+    mode: DsPatchMode,
+    mode_flips: u64,
+    interval_issued: u64,
+    interval_useful: u64,
+    interval_evictions: u32,
+    clock: u64,
+}
+
+impl DsPatchPrefetcher {
+    /// Creates a DSPatch prefetcher with the given parameters.
+    pub fn new(cfg: DsPatchConfig) -> Self {
+        DsPatchPrefetcher {
+            active: vec![None; cfg.pages.max(1)],
+            sigs: vec![Signature::default(); cfg.signatures.max(1)],
+            cfg,
+            mode: DsPatchMode::Coverage,
+            mode_flips: 0,
+            interval_issued: 0,
+            interval_useful: 0,
+            interval_evictions: 0,
+            clock: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DsPatchConfig {
+        &self.cfg
+    }
+
+    /// The pattern table the modulator currently selects from.
+    pub fn mode(&self) -> DsPatchMode {
+        self.mode
+    }
+
+    /// The `(CovP, AccP)` anchored patterns stored for `pc`'s signature.
+    ///
+    /// Test introspection: every candidate a trigger emits must correspond
+    /// to a set bit of one of these two patterns (the modulator can only
+    /// *select*, never invent).
+    pub fn signature_patterns(&self, pc: u64) -> (u64, u64) {
+        let s = self.sigs[self.sig_index(pc)];
+        (s.cov, s.acc)
+    }
+
+    fn sig_index(&self, pc: u64) -> usize {
+        (((pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize) % self.sigs.len()
+    }
+
+    /// Retires an active page: trains both pattern tables with the observed
+    /// bitmap and folds the page's prediction outcome into the modulator's
+    /// interval accounting.
+    fn retire(&mut self, entry: ActivePage) {
+        let observed = entry.bitmap.rotate_right(entry.trigger_offset);
+        let s = &mut self.sigs[entry.sig];
+        s.cov |= observed;
+        if s.cov.count_ones() > self.cfg.density_max {
+            s.cov = observed;
+        }
+        if s.acc & !1 == 0 {
+            s.acc = observed;
+        } else {
+            s.acc &= observed;
+            if s.acc & !1 == 0 {
+                s.acc = observed;
+            }
+        }
+        self.interval_useful += u64::from((entry.predicted & observed).count_ones());
+        self.interval_evictions += 1;
+        if self.interval_evictions >= self.cfg.interval_triggers {
+            self.modulate();
+        }
+    }
+
+    /// Interval-boundary mode selection with a hysteresis band: low measured
+    /// accuracy (or bandwidth overrun at mediocre accuracy) selects the
+    /// accuracy-biased table, high accuracy restores the coverage-biased
+    /// table, and the band between the thresholds keeps the current mode.
+    fn modulate(&mut self) {
+        // An interval with no issued predictions reads as full accuracy:
+        // nothing to be cautious about, so favor coverage to regain
+        // candidates.
+        let acc_pct = (self.interval_useful * 100)
+            .checked_div(self.interval_issued)
+            .unwrap_or(100);
+        let bandwidth_pressure =
+            self.interval_issued > self.cfg.bw_cap && acc_pct < self.cfg.acc_high_pct;
+        let next = if acc_pct < self.cfg.acc_low_pct || bandwidth_pressure {
+            DsPatchMode::Accuracy
+        } else if acc_pct >= self.cfg.acc_high_pct {
+            DsPatchMode::Coverage
+        } else {
+            self.mode
+        };
+        if next != self.mode {
+            self.mode = next;
+            self.mode_flips += 1;
+        }
+        self.interval_issued = 0;
+        self.interval_useful = 0;
+        self.interval_evictions = 0;
+    }
+
+    /// Emits up to `degree` candidates for a fresh trigger at
+    /// `page`/`trigger_offset` from the modulator-selected pattern. Returns
+    /// the anchored bitmap of what was actually issued.
+    fn predict(
+        &mut self,
+        page: u64,
+        trigger_offset: u32,
+        sig: usize,
+        out: &mut Vec<LineAddr>,
+    ) -> u64 {
+        let s = self.sigs[sig];
+        let pattern = match self.mode {
+            DsPatchMode::Coverage => s.cov,
+            DsPatchMode::Accuracy => s.acc,
+        } & !1; // the trigger line itself is already being fetched
+        let mut issued = 0u64;
+        let mut n = 0u32;
+        for b in 1..u64::BITS {
+            if pattern >> b & 1 == 1 {
+                let off = (trigger_offset + b) % PAGE_LINES as u32;
+                out.push(LineAddr::new((page << PAGE_SHIFT) + u64::from(off)));
+                issued |= 1 << b;
+                n += 1;
+                if n >= self.cfg.degree {
+                    break;
+                }
+            }
+        }
+        self.interval_issued += u64::from(n);
+        issued
+    }
+}
+
+impl Prefetcher for DsPatchPrefetcher {
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<LineAddr>) {
+        self.clock += 1;
+        let page = ev.line.raw() >> PAGE_SHIFT;
+        let offset = (ev.line.raw() & (PAGE_LINES - 1)) as u32;
+
+        // An access inside an already-active page just accumulates.
+        if let Some(entry) = self.active.iter_mut().flatten().find(|e| e.page == page) {
+            entry.bitmap |= 1 << offset;
+            entry.lru = self.clock;
+            return;
+        }
+
+        // Page trigger. Runahead accesses follow the paper's "only-train"
+        // rule (§6.14): no new accumulation state, no predictions.
+        if ev.runahead {
+            return;
+        }
+        let slot = self
+            .active
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.active
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
+                    .map(|(i, _)| i)
+                    .expect("active-page table is non-empty")
+            });
+        if let Some(old) = self.active[slot].take() {
+            self.retire(old);
+        }
+        let sig = self.sig_index(ev.pc);
+        let predicted = self.predict(page, offset, sig, out);
+        self.active[slot] = Some(ActivePage {
+            page,
+            bitmap: 1 << offset,
+            predicted,
+            trigger_offset: offset,
+            sig,
+            lru: self.clock,
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "dspatch"
+    }
+
+    fn mode_flips(&self) -> u64 {
+        self.mode_flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use padc_types::CoreId;
+
+    use super::*;
+
+    fn ev(line: u64, pc: u64) -> AccessEvent {
+        AccessEvent {
+            core: CoreId::new(0),
+            line: LineAddr::new(line),
+            pc,
+            hit: false,
+            runahead: false,
+        }
+    }
+
+    /// A one-page active table retires the previous page on every trigger,
+    /// which makes training effects immediately observable.
+    fn single_page() -> DsPatchPrefetcher {
+        DsPatchPrefetcher::new(DsPatchConfig {
+            pages: 1,
+            ..DsPatchConfig::default()
+        })
+    }
+
+    /// Touch offsets `offs` of `page` (first element is the trigger).
+    fn touch(p: &mut DsPatchPrefetcher, page: u64, offs: &[u64], pc: u64) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        for &o in offs {
+            p.on_access(&ev(page * PAGE_LINES + o, pc), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn covp_or_merges_observed_patterns() {
+        let mut p = single_page();
+        touch(&mut p, 1, &[0, 1, 2], 0x40);
+        touch(&mut p, 2, &[0, 5], 0x40); // retires page 1
+        touch(&mut p, 3, &[0], 0x40); // retires page 2
+        let (cov, _) = p.signature_patterns(0x40);
+        assert_eq!(cov, 0b10_0111, "CovP must be the union of both patterns");
+    }
+
+    #[test]
+    fn covp_resets_when_density_exceeded() {
+        let mut p = DsPatchPrefetcher::new(DsPatchConfig {
+            pages: 1,
+            density_max: 4,
+            ..DsPatchConfig::default()
+        });
+        touch(&mut p, 1, &[0, 1, 2, 3], 0x40);
+        touch(&mut p, 2, &[0, 9], 0x40); // merge would reach 5 bits > 4
+        touch(&mut p, 3, &[0], 0x40);
+        let (cov, _) = p.signature_patterns(0x40);
+        assert_eq!(cov, 0b10_0000_0001, "dense CovP resets to newest pattern");
+    }
+
+    #[test]
+    fn accp_intersects_and_reseeds_on_collapse() {
+        let mut p = single_page();
+        touch(&mut p, 1, &[0, 1, 2, 3], 0x40);
+        touch(&mut p, 2, &[0, 1, 2], 0x40);
+        touch(&mut p, 3, &[0], 0x40);
+        let (_, acc) = p.signature_patterns(0x40);
+        assert_eq!(acc, 0b0111, "AccP keeps only always-observed offsets");
+        // A disjoint observation would collapse AccP to just the trigger
+        // bit; it reseeds from the new pattern instead of going dead.
+        touch(&mut p, 4, &[0, 9], 0x40);
+        touch(&mut p, 5, &[0], 0x40);
+        let (_, acc) = p.signature_patterns(0x40);
+        assert_eq!(acc, 0b10_0000_0001);
+    }
+
+    #[test]
+    fn patterns_are_anchored_to_the_trigger_offset() {
+        let mut p = single_page();
+        // Trigger at offset 10, then +1/+2: anchored pattern is 0b111.
+        touch(&mut p, 1, &[10, 11, 12], 0x40);
+        touch(&mut p, 2, &[0], 0x40);
+        let (cov, _) = p.signature_patterns(0x40);
+        assert_eq!(cov, 0b0111);
+        // A new trigger at offset 20 predicts 21 and 22.
+        let out = touch(&mut p, 3, &[20], 0x40);
+        assert_eq!(
+            out,
+            vec![
+                LineAddr::new(3 * PAGE_LINES + 21),
+                LineAddr::new(3 * PAGE_LINES + 22)
+            ]
+        );
+    }
+
+    #[test]
+    fn prediction_respects_degree_and_stays_in_page() {
+        let mut p = DsPatchPrefetcher::new(DsPatchConfig {
+            pages: 1,
+            degree: 3,
+            ..DsPatchConfig::default()
+        });
+        touch(&mut p, 1, &[0, 1, 2, 3, 4, 5, 6, 7], 0x40);
+        let out = touch(&mut p, 2, &[60], 0x40);
+        assert_eq!(out.len(), 3, "degree caps the candidate count");
+        for cand in &out {
+            assert_eq!(cand.raw() >> PAGE_SHIFT, 2, "candidates stay in-page");
+        }
+    }
+
+    #[test]
+    fn runahead_trigger_neither_allocates_nor_predicts() {
+        let mut p = single_page();
+        touch(&mut p, 1, &[0, 1, 2], 0x40);
+        let mut out = Vec::new();
+        p.on_access(
+            &AccessEvent {
+                runahead: true,
+                ..ev(2 * PAGE_LINES, 0x40)
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "runahead must not predict");
+        // Page 1 was not retired: its pattern is still unlearned.
+        let (cov, _) = p.signature_patterns(0x40);
+        assert_eq!(cov, 0, "runahead must not retire/train either");
+    }
+
+    #[test]
+    fn modulator_flips_between_modes_and_counts() {
+        let mut p = DsPatchPrefetcher::new(DsPatchConfig {
+            pages: 1,
+            interval_triggers: 2,
+            ..DsPatchConfig::default()
+        });
+        assert_eq!(p.mode(), DsPatchMode::Coverage);
+        // Teach a dense pattern, then trigger pages that never touch the
+        // predicted offsets: measured accuracy is 0% -> flip to Accuracy.
+        touch(&mut p, 1, &[0, 1, 2, 3], 0x40);
+        for page in 2..8 {
+            touch(&mut p, page, &[0], 0x40);
+        }
+        assert_eq!(p.mode(), DsPatchMode::Accuracy);
+        assert!(p.mode_flips() >= 1);
+        // Now make every prediction land: accuracy 100% -> flip back.
+        for page in 8..16 {
+            touch(&mut p, page, &[0, 1, 2, 3], 0x40);
+        }
+        assert_eq!(p.mode(), DsPatchMode::Coverage);
+        assert!(p.mode_flips() >= 2);
+    }
+}

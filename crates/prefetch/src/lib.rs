@@ -9,6 +9,10 @@
 //! * [`StridePrefetcher`] — PC-based stride detection (Baer & Chen).
 //! * [`MarkovPrefetcher`] — miss-address correlation (Joseph & Grunwald).
 //! * [`CdcPrefetcher`] — CZone/Delta-Correlation (Nesbit et al.).
+//! * [`DsPatchPrefetcher`] — DSPatch dual-spatial-pattern prediction (Bera
+//!   et al., MICRO 2019; see PAPERS.md): an extension arm whose
+//!   coverage/accuracy modulator gives PADC a prefetcher with *modal*
+//!   accuracy.
 //! * [`Ddpf`] — Dynamic Data Prefetch Filtering (Zhuang & Lee): a history
 //!   table predicts and suppresses useless prefetches at issue.
 //! * [`Fdp`] — Feedback-Directed Prefetching (Srinath et al.): throttles the
@@ -40,6 +44,7 @@
 
 mod cdc;
 mod ddpf;
+mod dspatch;
 mod fdp;
 mod markov;
 mod stream;
@@ -48,6 +53,7 @@ mod traits;
 
 pub use cdc::{CdcConfig, CdcPrefetcher};
 pub use ddpf::{Ddpf, DdpfConfig};
+pub use dspatch::{DsPatchConfig, DsPatchMode, DsPatchPrefetcher, PAGE_LINES};
 pub use fdp::{fdp_feedback, Fdp, FdpConfig, FdpFeedback, FdpLevel, PollutionFilter};
 pub use markov::{MarkovConfig, MarkovPrefetcher};
 pub use stream::{StreamConfig, StreamPrefetcher};
@@ -67,5 +73,6 @@ pub fn build(kind: PrefetcherKind) -> Box<dyn Prefetcher> {
         PrefetcherKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::default())),
         PrefetcherKind::Markov => Box::new(MarkovPrefetcher::new(MarkovConfig::default())),
         PrefetcherKind::Cdc => Box::new(CdcPrefetcher::new(CdcConfig::default())),
+        PrefetcherKind::DsPatch => Box::new(DsPatchPrefetcher::new(DsPatchConfig::default())),
     }
 }

@@ -31,15 +31,20 @@ pub enum PrefetcherKind {
     Markov,
     /// CZone/Delta-Correlation prefetcher.
     Cdc,
+    /// DSPatch dual-spatial-pattern prefetcher (Bera et al.; extension arm,
+    /// not part of the paper's Fig. 28 quartet).
+    DsPatch,
 }
 
 impl PrefetcherKind {
-    /// All kinds, in the order Fig. 28 presents them.
-    pub const ALL: [PrefetcherKind; 4] = [
+    /// All kinds: the four of Fig. 28 in presentation order, then the
+    /// extension arms.
+    pub const ALL: [PrefetcherKind; 5] = [
         PrefetcherKind::Stream,
         PrefetcherKind::Stride,
         PrefetcherKind::Cdc,
         PrefetcherKind::Markov,
+        PrefetcherKind::DsPatch,
     ];
 }
 
@@ -64,5 +69,14 @@ pub trait Prefetcher {
     /// Current (degree, distance), if the prefetcher has that notion.
     fn aggressiveness(&self) -> Option<(u32, u32)> {
         None
+    }
+
+    /// How many times the prefetcher has discretely switched prediction
+    /// modes (nonzero only for modal prefetchers such as DSPatch, whose
+    /// coverage/accuracy modulator is the interesting stressor for PADC's
+    /// accuracy tracking). Surfaces in `--profile` output so CI can prove
+    /// the modal path was exercised.
+    fn mode_flips(&self) -> u64 {
+        0
     }
 }

@@ -1,8 +1,9 @@
 //! Property tests for the prefetchers.
 
 use padc_prefetch::{
-    AccessEvent, CdcConfig, CdcPrefetcher, Ddpf, DdpfConfig, MarkovConfig, MarkovPrefetcher,
-    Prefetcher, StreamConfig, StreamPrefetcher, StrideConfig, StridePrefetcher,
+    AccessEvent, CdcConfig, CdcPrefetcher, Ddpf, DdpfConfig, DsPatchConfig, DsPatchPrefetcher,
+    MarkovConfig, MarkovPrefetcher, Prefetcher, StreamConfig, StreamPrefetcher, StrideConfig,
+    StridePrefetcher, PAGE_LINES,
 };
 use padc_types::{CoreId, LineAddr};
 use proptest::prelude::*;
@@ -66,6 +67,7 @@ proptest! {
             Box::new(StridePrefetcher::new(StrideConfig::default())),
             Box::new(MarkovPrefetcher::new(MarkovConfig::default())),
             Box::new(CdcPrefetcher::new(CdcConfig::default())),
+            Box::new(DsPatchPrefetcher::new(DsPatchConfig::default())),
         ];
         let mut out = Vec::new();
         for (line, hit) in &lines {
@@ -101,6 +103,61 @@ proptest! {
                 prop_assert!(delta > 0);
             }
             line = line.wrapping_add(stride as u64);
+        }
+    }
+
+    /// The DSPatch modulator can only *select* a prediction one of its two
+    /// pattern tables produced: every candidate a trigger emits corresponds
+    /// to a set bit of the signature's CovP or AccP pattern (anchored at
+    /// the trigger offset), lies inside the triggering page, and never
+    /// duplicates the trigger line itself.
+    #[test]
+    fn dspatch_candidates_come_from_a_pattern_table(
+        accesses in prop::collection::vec((0u64..2048, 0u64..8, any::<bool>()), 1..400),
+        pages in 1usize..8,
+        interval in 1u32..8,
+    ) {
+        let mut p = DsPatchPrefetcher::new(DsPatchConfig {
+            pages,
+            interval_triggers: interval,
+            ..DsPatchConfig::default()
+        });
+        let mut out = Vec::new();
+        for (line, pc_slot, hit) in &accesses {
+            let pc = 0x400 + pc_slot * 4;
+            out.clear();
+            p.on_access(
+                &AccessEvent {
+                    core: CoreId::new(0),
+                    line: LineAddr::new(*line),
+                    pc,
+                    hit: *hit,
+                    runahead: false,
+                },
+                &mut out,
+            );
+            if out.is_empty() {
+                continue;
+            }
+            // Candidates only appear on a page trigger; tables are not
+            // mutated after prediction within the call, so the patterns we
+            // read now are the ones prediction selected from.
+            let (cov, acc) = p.signature_patterns(pc);
+            let union = (cov | acc) & !1;
+            let page = line / PAGE_LINES;
+            let trigger_off = (line % PAGE_LINES) as u32;
+            for cand in &out {
+                prop_assert_eq!(cand.raw() / PAGE_LINES, page, "candidate left the page");
+                prop_assert_ne!(cand.raw(), *line, "trigger line re-predicted");
+                let off = (cand.raw() % PAGE_LINES) as u32;
+                let anchored = (off + PAGE_LINES as u32 - trigger_off) % PAGE_LINES as u32;
+                prop_assert_eq!(
+                    union >> anchored & 1,
+                    1,
+                    "candidate bit {} set in neither CovP {:#x} nor AccP {:#x}",
+                    anchored, cov, acc
+                );
+            }
         }
     }
 

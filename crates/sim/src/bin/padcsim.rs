@@ -506,6 +506,9 @@ fn print_profile(p: &padc_sim::profile::SimProfile) {
         "profile: owner_recomputes={} owner_invalidations={} owner_reuses={} owner_scan_entries={}",
         p.owner_recomputes, p.owner_invalidations, p.owner_reuses, p.owner_scan_entries,
     );
+    if p.dspatch_flips > 0 {
+        eprintln!("profile: dspatch_flips={}", p.dspatch_flips);
+    }
 }
 
 fn main() {

@@ -433,6 +433,74 @@ pub(crate) fn ext_wdrain_kind() -> ExpKind {
     )
 }
 
+/// The stream-vs-DSPatch arm sets: the same four base arms run under the
+/// default stream prefetcher and under the DSPatch spatial prefetcher
+/// (Bera et al., MICRO 2019; see PAPERS.md). DSPatch's dual-pattern
+/// modulator changes its measured accuracy over time, which is exactly
+/// the input PADC's APS/APD mechanisms key on — this set probes whether
+/// PADC's win holds when the prefetcher's accuracy is itself adaptive.
+fn ext_dspatch_sets() -> Vec<(&'static str, Vec<PolicyArm>)> {
+    fn keep_stream(_: &mut SimConfig) {}
+    fn set_dspatch(cfg: &mut SimConfig) {
+        cfg.prefetcher = cfg.prefetcher.map(|_| PrefetcherKind::DsPatch);
+    }
+    let base: [(&'static str, SchedulingPolicy, bool); 4] = [
+        ("no-pref", SchedulingPolicy::DemandFirst, false),
+        ("demand-first", SchedulingPolicy::DemandFirst, true),
+        (
+            "demand-pref-equal",
+            SchedulingPolicy::DemandPrefetchEqual,
+            true,
+        ),
+        ("PADC", SchedulingPolicy::Padc, true),
+    ];
+    vec![
+        ("stream", arms_with(&base, keep_stream)),
+        ("dspatch", arms_with(&base, set_dspatch)),
+    ]
+}
+
+fn ext_dspatch_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = mech_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for (name, arms) in ext_dspatch_sets() {
+        for arm in &arms {
+            for w in &workloads {
+                units.push(SimUnit::workload(arm, name, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn ext_dspatch_reduce(exp: &ExpConfig, results: &[UnitResult]) -> Vec<ExpTable> {
+    let idx = UnitResults::new(results);
+    ext_dspatch_sets()
+        .into_iter()
+        .map(|(name, arms)| {
+            reduce_arm_set(
+                &format!("ext-dspatch-{name}"),
+                &format!("Extension: PADC under the {name} prefetcher, 4-core"),
+                &arms,
+                name,
+                exp,
+                &idx,
+            )
+        })
+        .collect()
+}
+
+/// Extension (beyond the paper): PADC under the DSPatch dual-pattern
+/// spatial prefetcher versus the paper's stream prefetcher, 4-core
+/// averages (one table per prefetcher set).
+pub fn ext_dspatch(exp: &ExpConfig) -> Vec<ExpTable> {
+    ext_dspatch_kind().tables(exp, ExecMode::Planned)
+}
+
+pub(crate) fn ext_dspatch_kind() -> ExpKind {
+    ExpKind::planned(ext_dspatch_plan, ext_dspatch_reduce)
+}
+
 /// Tables 1 and 2: the hardware-cost model, evaluated for the paper's
 /// 1/2/4/8-core systems.
 pub fn tab1_2_cost(_exp: &ExpConfig) -> ExpTable {
@@ -502,6 +570,40 @@ mod tests {
         let t = tab6_thresholds(&ExpConfig::at(Scale::Smoke));
         assert_eq!(t.get("0-10%", "drop_threshold"), Some(100.0));
         assert_eq!(t.get("70-100%", "drop_threshold"), Some(100_000.0));
+    }
+
+    #[test]
+    fn ext_dspatch_plan_shares_alone_units_across_its_two_tables() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let units = ext_dspatch_plan(&exp);
+        let alone_count = units.iter().filter(|u| u.key.variant == "alone").count();
+        let workloads = mech_workloads(&exp);
+        let distinct: std::collections::HashSet<_> = workloads
+            .iter()
+            .flat_map(|w| w.benchmarks.iter().map(|b| b.name.clone()))
+            .collect();
+        assert_eq!(
+            alone_count,
+            distinct.len(),
+            "alone units planned once, not per table"
+        );
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(
+            keys.len(),
+            units.len(),
+            "duplicate unit keys in ext-dspatch plan"
+        );
+    }
+
+    #[test]
+    fn ext_dspatch_arms_swap_only_the_prefetcher_kind() {
+        let sets = ext_dspatch_sets();
+        let stream_padc = sets[0].1.last().unwrap().build(4);
+        let dspatch_padc = sets[1].1.last().unwrap().build(4);
+        assert_eq!(stream_padc.prefetcher, Some(PrefetcherKind::Stream));
+        assert_eq!(dspatch_padc.prefetcher, Some(PrefetcherKind::DsPatch));
+        // The no-pref arm stays prefetcher-less under both sets.
+        assert_eq!(sets[1].1[0].build(4).prefetcher, None);
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub use infra::{
     PlannedExperiment, PolicyArm, Scale, SimUnit, UnitKey, UnitResult, UnitResults,
 };
 pub use mechanisms::{
-    ext_batching, ext_timing, ext_write_drain, fig28_prefetchers, fig29_ddpf_fdp_demand_first,
-    fig30_ddpf_fdp_equal, fig31_permutation, fig32_runahead, tab1_2_cost, tab6_thresholds,
+    ext_batching, ext_dspatch, ext_timing, ext_write_drain, fig28_prefetchers,
+    fig29_ddpf_fdp_demand_first, fig30_ddpf_fdp_equal, fig31_permutation, fig32_runahead,
+    tab1_2_cost, tab6_thresholds,
 };
 pub use micro::{fig2_scheduling_example, fig4_service_time_and_phases};
 pub use multi::{
@@ -50,7 +51,7 @@ pub use registry::{
 pub use single::{
     fig1_motivation, fig6_single_core_ipc, fig7_spl, fig8_traffic, tab5_characteristics, tab7_rbhu,
 };
-pub use sweeps::{fig23_row_buffer_sweep, fig24_closed_row, fig25_cache_sweep};
+pub use sweeps::{ext_happy, fig23_row_buffer_sweep, fig24_closed_row, fig25_cache_sweep};
 pub use unit_cache::{
     fingerprint as store_fingerprint, install_unit_store, set_unit_coalescing, unit_cache_stats,
     unit_store_installed, UnitCacheStats, RESULT_SCHEMA_VERSION,

@@ -229,6 +229,16 @@ pub fn registry() -> Vec<Experiment> {
             kind: exp::mechanisms::ext_wdrain_kind(),
         },
         Experiment {
+            id: "ext-dspatch",
+            paper_ref: "Extension: DSPatch dual-pattern prefetcher under PADC",
+            kind: exp::mechanisms::ext_dspatch_kind(),
+        },
+        Experiment {
+            id: "ext-happy",
+            paper_ref: "Extension: HAPPY hybrid page policy",
+            kind: exp::sweeps::ext_happy_kind(),
+        },
+        Experiment {
             id: "cost",
             paper_ref: "Tables 1-2 (hardware cost)",
             kind: single_table!(exp::tab1_2_cost),

@@ -1,5 +1,6 @@
 //! Parameter sweeps: row-buffer size (Fig. 23), closed-row policy
-//! (Fig. 24), and last-level cache size (Fig. 25).
+//! (Fig. 24), last-level cache size (Fig. 25), and the HAPPY hybrid
+//! page-policy extension (`ext-happy`).
 //!
 //! Sweeps are the densest grids in the suite: every sweep point re-runs
 //! the standard arms over the 4-core workload set. Each point's arms are
@@ -168,6 +169,72 @@ pub(crate) fn fig24_kind() -> ExpKind {
     ExpKind::planned(fig24_plan, |exp, results| vec![fig24_reduce(exp, results)])
 }
 
+/// The arms the HAPPY extension reports: the demand-first baseline (APS
+/// and APD both off) against APS alone and the full PADC (APS + APD).
+const EXT_HAPPY_ARMS: [&str; 3] = ["demand-first", "aps-only", "aps-apd (PADC)"];
+
+/// The row policies the HAPPY extension compares, keyed by unit variant.
+const EXT_HAPPY_POLICIES: [(&str, RowPolicy); 3] = [
+    ("open-row", RowPolicy::Open),
+    ("closed-row", RowPolicy::Closed),
+    ("happy", RowPolicy::Happy),
+];
+
+fn ext_happy_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = sweep_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for (variant, policy) in EXT_HAPPY_POLICIES {
+        for arm in standard_arms() {
+            if !EXT_HAPPY_ARMS.contains(&arm.label) {
+                continue;
+            }
+            let arm = arm.mutated(move |cfg| cfg.dram.row_policy = policy);
+            for w in &workloads {
+                units.push(SimUnit::workload(&arm, variant, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn ext_happy_reduce(exp: &ExpConfig, results: &[UnitResult]) -> ExpTable {
+    let workloads = sweep_workloads(exp);
+    let idx = UnitResults::new(results);
+    let alone: Vec<Vec<f64>> = workloads.iter().map(|w| idx.alone_ipcs(w, exp)).collect();
+    let mut t = ExpTable::new(
+        "ext-happy",
+        "Extension: HAPPY hybrid page policy vs static open-/closed-row, 4-core",
+        &["WS", "traffic(lines)"],
+    );
+    for (variant, _) in EXT_HAPPY_POLICIES {
+        for arm in standard_arms() {
+            if !EXT_HAPPY_ARMS.contains(&arm.label) {
+                continue;
+            }
+            let (ws, tr) = sweep_point_means(&idx, &workloads, &alone, arm.label, variant, exp);
+            t.push(format!("{} ({variant})", arm.label), vec![ws, tr]);
+        }
+    }
+    t
+}
+
+/// Extension (beyond the paper): the HAPPY-style per-row hybrid page
+/// policy (Ghasempour et al.; see PAPERS.md) against the paper's static
+/// open-row baseline and the Fig. 24 closed-row policy, crossed with
+/// PADC's APS/APD mechanisms off (`demand-first`) and on (`aps-only`,
+/// `aps-apd`). Prefetch-aware scheduling changes which rows look reusable
+/// at precharge time, so the predictor's training feeds back into the
+/// schedule this table probes.
+pub fn ext_happy(exp: &ExpConfig) -> ExpTable {
+    ext_happy_kind().tables(exp, ExecMode::Planned).remove(0)
+}
+
+pub(crate) fn ext_happy_kind() -> ExpKind {
+    ExpKind::planned(ext_happy_plan, |exp, results| {
+        vec![ext_happy_reduce(exp, results)]
+    })
+}
+
 const FIG25_SIZES_KB: [u64; 5] = [512, 1024, 2048, 4096, 8192];
 
 fn fig25_plan(exp: &ExpConfig) -> Vec<SimUnit> {
@@ -234,6 +301,33 @@ mod tests {
             .rows
             .iter()
             .any(|(l, _)| l.contains("closed-row") && l.contains("PADC")));
+    }
+
+    #[test]
+    fn ext_happy_plan_crosses_every_policy_with_every_reported_arm() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let units = ext_happy_plan(&exp);
+        let workloads = sweep_workloads(&exp).len();
+        let grid = units.iter().filter(|u| u.key.variant != "alone").count();
+        assert_eq!(
+            grid,
+            EXT_HAPPY_POLICIES.len() * EXT_HAPPY_ARMS.len() * workloads,
+            "ext-happy grid is not the full policy x arm x workload cross"
+        );
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(
+            keys.len(),
+            units.len(),
+            "duplicate unit keys in ext-happy plan"
+        );
+    }
+
+    #[test]
+    fn ext_happy_arms_capture_their_row_policy() {
+        let arm = standard_arms().remove(1); // demand-first
+        let happy = arm.mutated(|cfg| cfg.dram.row_policy = RowPolicy::Happy);
+        assert_eq!(happy.build(4).dram.row_policy, RowPolicy::Happy);
+        assert_eq!(arm.build(4).dram.row_policy, RowPolicy::Open);
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct SimProfile {
     pub owner_reuses: u64,
     /// Entries examined across all owner rebuilds (bitset-scan volume).
     pub owner_scan_entries: u64,
+    /// DSPatch modulator mode flips (Coverage <-> Accuracy) summed over
+    /// every core's prefetcher when the run finishes; zero for all other
+    /// prefetchers. `scripts/mech_gate.sh` asserts this is nonzero for the
+    /// `ext-dspatch` family, proving the dual-pattern modulator actually
+    /// exercises both modes at smoke scale.
+    pub dspatch_flips: u64,
     /// Wall time spent in the controller phase of `step` (timers on only).
     pub controller_ns: u64,
     /// Wall time spent ticking cores (timers on only).
@@ -138,6 +144,7 @@ pub struct ProfileAccum {
     owner_invalidations: AtomicU64,
     owner_reuses: AtomicU64,
     owner_scan_entries: AtomicU64,
+    dspatch_flips: AtomicU64,
     controller_ns: AtomicU64,
     cores_ns: AtomicU64,
     wall_ns: AtomicU64,
@@ -172,6 +179,8 @@ impl ProfileAccum {
             .fetch_add(p.owner_reuses, Ordering::Relaxed);
         self.owner_scan_entries
             .fetch_add(p.owner_scan_entries, Ordering::Relaxed);
+        self.dspatch_flips
+            .fetch_add(p.dspatch_flips, Ordering::Relaxed);
         self.controller_ns
             .fetch_add(p.controller_ns, Ordering::Relaxed);
         self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
@@ -195,6 +204,7 @@ impl ProfileAccum {
                 "\"ctrl_events_fired\":{},",
                 "\"owner_recomputes\":{},\"owner_invalidations\":{},",
                 "\"owner_reuses\":{},\"owner_scan_entries\":{},",
+                "\"dspatch_flips\":{},",
                 "\"controller_ns\":{},\"cores_ns\":{},\"wall_ns\":{}}}"
             ),
             self.runs.load(Ordering::Relaxed),
@@ -211,6 +221,7 @@ impl ProfileAccum {
             self.owner_invalidations.load(Ordering::Relaxed),
             self.owner_reuses.load(Ordering::Relaxed),
             self.owner_scan_entries.load(Ordering::Relaxed),
+            self.dspatch_flips.load(Ordering::Relaxed),
             self.controller_ns.load(Ordering::Relaxed),
             self.cores_ns.load(Ordering::Relaxed),
             self.wall_ns.load(Ordering::Relaxed),
@@ -293,6 +304,7 @@ mod tests {
             owner_invalidations: 6,
             owner_reuses: 20,
             owner_scan_entries: 12,
+            dspatch_flips: 3,
             controller_ns: 0,
             cores_ns: 0,
             wall_ns: 5,
@@ -311,6 +323,7 @@ mod tests {
             owner_invalidations: 2,
             owner_reuses: 5,
             owner_scan_entries: 3,
+            dspatch_flips: 2,
             controller_ns: 3,
             cores_ns: 4,
             wall_ns: 5,
@@ -325,6 +338,7 @@ mod tests {
              \"ctrl_events_fired\":2,\
              \"owner_recomputes\":5,\"owner_invalidations\":8,\
              \"owner_reuses\":25,\"owner_scan_entries\":15,\
+             \"dspatch_flips\":5,\
              \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10}"
         );
     }

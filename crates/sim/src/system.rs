@@ -1241,6 +1241,7 @@ impl System {
         self.profile.owner_invalidations = bs.owner_invalidations;
         self.profile.owner_reuses = bs.owner_reuses;
         self.profile.owner_scan_entries = bs.owner_scan_entries;
+        self.profile.dspatch_flips = self.mem.prefetchers.iter().map(|p| p.mode_flips()).sum();
         profile::note_run(&self.profile);
         self.report()
     }

@@ -212,6 +212,23 @@ simpler three-latency model.""",
     "ext-wdrain": """**Extension** (not in the paper): watermark write-drain. Measured: at
 these scales writeback pressure is modest, so effects are small; the
 mechanism is exercised by unit tests.""",
+    "ext-dspatch": """**Extension** (not in the paper): the DSPatch dual-spatial-pattern
+prefetcher (Bera et al., MICRO 2019) swapped in for the stream
+prefetcher, same four arms per table. Measured: the modal
+coverage/accuracy modulator makes DSPatch far less accurate than stream
+on these generated workloads (demand-first WS 2.23 vs 2.84), and under
+it the arm ordering *inverts*: PADC becomes the best arm (WS 2.34,
++4.6% over demand-first) where under stream demand-first wins — PADC's
+adaptive dropping matters most exactly when prefetch accuracy is low
+and shifting, the paper's core claim (§6.4).""",
+    "ext-happy": """**Extension** (not in the paper): the HAPPY hybrid page policy
+(Ghasempour et al. 2015) as a third row policy beside static open-/
+closed-row, crossed with the APS/APD arms. Measured: closed-row wins on
+these workloads (demand-first WS 2.93 vs 2.84 open) and HAPPY's per-row
+2-bit reuse counters land between the statics, recovering ~52% of the
+closed-row gain (WS 2.89) with no oracle knowledge — and the ordering
+is stable across all three arms. Orthogonal to PADC: policy choice
+moves WS by ~3% while arm choice moves it by ~10%.""",
     "cost": """**Paper**: Tables 1–2 — 34,720 bits (~4.25KB) on the 4-core system, 0.2%
 of L2 capacity; 1,824 bits if prefetch bits already exist.
 **Measured**: the cost model reproduces the paper's table *exactly* (the

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Mechanisms gate: the two mechanism-arm experiment families added on top
+# of the paper grid — `ext-dspatch` (DSPatch dual-pattern prefetcher under
+# PADC) and `ext-happy` (HAPPY hybrid page policy crossed with APS/APD) —
+# must satisfy the same determinism contract as the rest of the suite:
+# byte-identical JSONL across --jobs 1 / --jobs 8 and across all four
+# --fast-forward modes. A profiled run must additionally show a nonzero
+# DSPatch modulator flip count ("dspatch_flips" in the profile object),
+# proving the Coverage<->Accuracy modulator actually engages at smoke
+# scale rather than sitting in one mode, and the ext-happy table must
+# carry rows for all three row policies.
+#
+# No determinism comparison uses --profile: profiled payloads carry wall
+# times and are legitimately nondeterministic. The profiled run is only
+# mined for the (deterministic) flip counter.
+#
+# Set MECH_GATE_OUT to keep the produced artifacts in a known directory
+# (CI uploads it on failure); otherwise a temp dir is used and cleaned.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+# shellcheck source=scripts/gate_summary.sh
+source "$(dirname "$0")/gate_summary.sh"
+gate_init "mechanisms gate"
+
+FAMILIES=(ext-dspatch ext-happy)
+if [ -n "${MECH_GATE_OUT:-}" ]; then
+    OUT="$MECH_GATE_OUT"
+    mkdir -p "$OUT"
+else
+    OUT="$(mktemp -d)"
+    GATE_CLEANUP='rm -rf "$OUT"'
+fi
+
+gate_section "build"
+cargo build --release --workspace --quiet
+REPRO=target/release/repro
+
+gate_section "jobs 1 vs jobs 8"
+echo "== mechanisms: --jobs 1 vs --jobs 8 on ${FAMILIES[*]} (smoke scale)"
+"$REPRO" --smoke --jobs 1 --no-progress --jsonl "$OUT/j1.jsonl" "${FAMILIES[@]}" >/dev/null
+"$REPRO" --smoke --jobs 8 --no-progress --jsonl "$OUT/j8.jsonl" "${FAMILIES[@]}" >/dev/null
+if ! cmp "$OUT/j1.jsonl" "$OUT/j8.jsonl"; then
+    echo "FAIL: JSONL differs between --jobs 1 and --jobs 8" >&2
+    diff "$OUT/j1.jsonl" "$OUT/j8.jsonl" >&2 || true
+    exit 1
+fi
+echo "   byte-identical ($(wc -c <"$OUT/j1.jsonl") bytes, $(wc -l <"$OUT/j1.jsonl") rows)"
+
+gate_section "fast-forward four-mode matrix"
+echo "== mechanisms: off vs global vs horizon vs event on ${FAMILIES[*]}"
+for mode in off global horizon event; do
+    "$REPRO" --smoke --jobs 8 --no-progress --fast-forward "$mode" \
+        --jsonl "$OUT/ff-$mode.jsonl" "${FAMILIES[@]}" >/dev/null
+done
+for mode in global horizon event; do
+    if ! cmp "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl"; then
+        echo "FAIL: JSONL differs between --fast-forward off and $mode" >&2
+        diff "$OUT/ff-off.jsonl" "$OUT/ff-$mode.jsonl" >&2 || true
+        exit 1
+    fi
+done
+echo "   byte-identical across all four modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
+
+gate_section "table shape"
+echo "== mechanisms: ext-dspatch emits both prefetcher sets, ext-happy all three policies"
+for table in ext-dspatch-stream ext-dspatch-dspatch; do
+    if ! grep -q "\"id\":\"$table\"" "$OUT/j1.jsonl"; then
+        echo "FAIL: ext-dspatch artifact misses table $table" >&2
+        exit 1
+    fi
+done
+for variant in open-row closed-row happy; do
+    if ! grep -q "($variant)" "$OUT/j1.jsonl"; then
+        echo "FAIL: ext-happy artifact misses the $variant rows" >&2
+        exit 1
+    fi
+done
+echo "   both ext-dspatch tables present; ext-happy covers open/closed/happy"
+
+gate_section "dspatch modulator engages"
+echo "== mechanisms: profiled ext-dspatch run must report nonzero dspatch_flips"
+"$REPRO" --smoke --jobs 8 --no-progress --profile \
+    --jsonl "$OUT/profiled.jsonl" "${FAMILIES[@]}" >/dev/null
+FLIPS=$(grep '"id":"ext-dspatch-' "$OUT/profiled.jsonl" \
+    | grep -o '"dspatch_flips":[0-9]*' | head -n1 | cut -d: -f2)
+if [ -z "$FLIPS" ]; then
+    echo "FAIL: profiled ext-dspatch payload carries no dspatch_flips counter" >&2
+    exit 1
+fi
+if [ "$FLIPS" -eq 0 ]; then
+    echo "FAIL: DSPatch modulator never flipped modes at smoke scale (dspatch_flips=0)" >&2
+    exit 1
+fi
+echo "   dspatch_flips=$FLIPS (nonzero; modulator exercised both modes)"
+
+echo "== mech_gate.sh: all green"

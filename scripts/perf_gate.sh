@@ -37,6 +37,14 @@
 #    where warm runs silently recompute everything while results stay
 #    byte-identical.
 #
+# 4. The mechanism-arm families (ext-dspatch, ext-happy) must keep their
+#    structural shape (floors from BENCH_mech.json): the cold run must
+#    decompose into at least min_subjobs_executed units under the --jobs
+#    bound with the memo deduplicating alone references, and a warm
+#    rerun must resolve entirely from the store. This catches the new
+#    arms' configs (DsPatchConfig, RowPolicy::Happy) going fingerprint-
+#    unstable while results stay byte-identical.
+#
 # Set PERF_GATE_OUT to keep the report and profile output in a known
 # directory (CI uploads it on failure); otherwise a temp dir is used.
 set -euo pipefail
@@ -290,4 +298,70 @@ if [ "$warm_exec" -ne 0 ]; then
 fi
 echo "   warm: $hits hits (floor $MIN_WARM_HITS), $misses misses" \
      "(ceiling $MAX_WARM_MISSES), 0 units executed"
+
+MECH_GATE=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_mech.json"))["ci_gate"]
+print(gate["jobs"], gate["min_subjobs_executed"], gate["max_singles_computed"],
+      gate["min_warm_hits"], gate["max_warm_misses"], " ".join(gate["subset"]))
+PYEOF
+)
+read -r MECH_JOBS MECH_MIN_SUBJOBS MECH_MAX_SINGLES MECH_MIN_HITS MECH_MAX_MISSES MECH_SUBSET <<<"$MECH_GATE"
+
+gate_section "mechanism-family floors"
+echo "== mech: ${MECH_SUBSET} at smoke scale, cold then warm, --jobs ${MECH_JOBS}"
+MECH_STORE="$OUT/mech-store"
+rm -rf "$MECH_STORE"
+# shellcheck disable=SC2086
+"$REPRO" --smoke --jobs "$MECH_JOBS" --no-progress --exec planned \
+    --store "$MECH_STORE" --jsonl "$OUT/mech-cold.jsonl" \
+    --summary "$OUT/mech-cold-summary.json" \
+    $MECH_SUBSET >/dev/null 2>"$OUT/mech-cold-stderr.txt"
+# shellcheck disable=SC2086
+"$REPRO" --smoke --jobs "$MECH_JOBS" --no-progress --exec planned \
+    --store "$MECH_STORE" --jsonl "$OUT/mech-warm.jsonl" \
+    --summary "$OUT/mech-warm-summary.json" \
+    $MECH_SUBSET >/dev/null 2>"$OUT/mech-warm-stderr.txt"
+
+mech_exec=$(grep -o '"subjobs_executed": [0-9]*' "$OUT/mech-cold-summary.json" | grep -o '[0-9]*$')
+mech_peak=$(grep -o '"subjobs_peak_concurrent": [0-9]*' "$OUT/mech-cold-summary.json" | grep -o '[0-9]*$')
+mech_memo=$(grep '^single_run_memo:' "$OUT/mech-cold-stderr.txt" || true)
+mech_computed=$(echo "$mech_memo" | grep -o 'computed=[0-9]*' | cut -d= -f2)
+mech_store_line=$(grep '^store:' "$OUT/mech-warm-stderr.txt" || true)
+mech_hits=$(echo "$mech_store_line" | grep -o 'hits=[0-9]*' | cut -d= -f2)
+mech_misses=$(echo "$mech_store_line" | grep -o 'misses=[0-9]*' | cut -d= -f2)
+mech_warm_exec=$(grep -o '"subjobs_executed": [0-9]*' "$OUT/mech-warm-summary.json" | grep -o '[0-9]*$')
+if [ -z "$mech_exec" ] || [ -z "$mech_peak" ] || [ -z "$mech_computed" ] ||
+    [ -z "$mech_hits" ] || [ -z "$mech_misses" ] || [ -z "$mech_warm_exec" ]; then
+    echo "FAIL: mechanism-family telemetry missing (summary, memo, or store line)" >&2
+    exit 1
+fi
+if [ "$mech_exec" -lt "$MECH_MIN_SUBJOBS" ]; then
+    echo "FAIL: only $mech_exec mechanism units executed (floor $MECH_MIN_SUBJOBS):" >&2
+    echo "      ext-dspatch/ext-happy stopped decomposing into their arm grids" >&2
+    exit 1
+fi
+if [ "$mech_peak" -gt "$MECH_JOBS" ]; then
+    echo "FAIL: peak mechanism sub-job concurrency $mech_peak exceeds --jobs $MECH_JOBS" >&2
+    exit 1
+fi
+if [ "$mech_computed" -gt "$MECH_MAX_SINGLES" ]; then
+    echo "FAIL: $mech_computed single-core runs computed (ceiling $MECH_MAX_SINGLES):" >&2
+    echo "      the families stopped sharing IPC_alone references" >&2
+    exit 1
+fi
+if [ "$mech_hits" -lt "$MECH_MIN_HITS" ] || [ "$mech_misses" -gt "$MECH_MAX_MISSES" ]; then
+    echo "FAIL: warm mechanism run: hits=$mech_hits (floor $MECH_MIN_HITS)," >&2
+    echo "      misses=$mech_misses (ceiling $MECH_MAX_MISSES) — the new arms'" >&2
+    echo "      configs are no longer fingerprinting stably (BENCH_mech.json)" >&2
+    exit 1
+fi
+if [ "$mech_warm_exec" -ne 0 ]; then
+    echo "FAIL: warm mechanism run executed $mech_warm_exec units (expected 0)" >&2
+    exit 1
+fi
+echo "   cold: $mech_exec units (floor $MECH_MIN_SUBJOBS), peak $mech_peak <= $MECH_JOBS," \
+     "memo computed $mech_computed <= $MECH_MAX_SINGLES"
+echo "   warm: $mech_hits hits (floor $MECH_MIN_HITS), $mech_misses misses" \
+     "(ceiling $MECH_MAX_MISSES), 0 units executed"
 echo "== perf_gate.sh: all green"
