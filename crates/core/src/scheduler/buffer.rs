@@ -654,6 +654,28 @@ impl RequestBuffer {
         found
     }
 
+    /// True when no queued entry targets `(channel, bank)` — the DARP
+    /// refresh-pull pass's idle-bank test (DESIGN.md §15). Pure read of the
+    /// membership bitset, so `next_event` may consult it freely.
+    pub fn bank_is_empty(&self, channel: usize, bank: usize) -> bool {
+        self.banks[channel * self.stride + bank].members.is_empty()
+    }
+
+    /// True if any queued writeback targets `(channel, bank)`. During
+    /// write-drain phases a pending refresh can hide behind the drain on
+    /// any bank the drain itself does not need (DESIGN.md §15).
+    pub fn bank_has_writeback(&self, channel: usize, bank: usize) -> bool {
+        let bank_idx = channel * self.stride + bank;
+        let mut found = false;
+        self.banks[bank_idx].members.for_each(|slot| {
+            if !found {
+                let e = self.slots[slot].as_ref().expect("member of freed slot");
+                found = e.is_writeback();
+            }
+        });
+        found
+    }
+
     /// Consistency audit for the incremental state, used by the
     /// `buffer_consistency` proptest: recomputes every derived structure
     /// from the slab and panics on divergence. `ctx` lets it also check

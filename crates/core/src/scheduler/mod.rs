@@ -18,7 +18,8 @@ pub mod buffer;
 use std::collections::VecDeque;
 
 use padc_dram::{
-    AddressMapper, Channel, DramConfig, MappingScheme, RowBufferOutcome, RowPolicy, StepOutcome,
+    AddressMapper, Channel, DramConfig, MappingScheme, RefreshCounters, RefreshPolicy,
+    RowBufferOutcome, RowPolicy, StepOutcome,
 };
 use padc_types::{
     AccessKind, CoreId, Cycle, LineAddr, MemRequest, RequestId, RequestKind,
@@ -162,6 +163,18 @@ impl MemoryController {
         self.channels.iter().map(|c| c.stats()).collect()
     }
 
+    /// Refresh side counters summed over channels (not serialized into
+    /// reports; surfaced through the opt-in simulation profile).
+    pub fn refresh_counters(&self) -> RefreshCounters {
+        self.channels.iter().map(|c| c.refresh_counters()).fold(
+            RefreshCounters::default(),
+            |a, c| RefreshCounters {
+                pulls: a.pulls + c.pulls,
+                stall_cycles: a.stall_cycles + c.stall_cycles,
+            },
+        )
+    }
+
     /// Current buffer occupancy.
     pub fn occupancy(&self) -> usize {
         self.buffer.len()
@@ -297,6 +310,9 @@ impl MemoryController {
                 RowPolicy::Closed => self.apply_closed_row_policy(now),
                 RowPolicy::Happy => self.apply_happy_row_policy(now),
             }
+            if self.dram.refresh_policy == RefreshPolicy::Darp {
+                self.apply_darp_refresh_pulls(now);
+            }
         }
         out
     }
@@ -322,7 +338,13 @@ impl MemoryController {
     ///   ([`Channel::earliest_advance_at`] for the bank *owner* only —
     ///   two-level arbitration means no other entry can issue on that
     ///   bank), aligned up to the next DRAM bus boundary;
-    /// - pending refresh boundaries ([`Channel::next_refresh_boundary`]);
+    /// - pending refresh boundaries ([`Channel::next_refresh_boundary`] —
+    ///   per-bank staggered deadlines under the per-bank refresh policies);
+    /// - DARP refresh-pull opportunities on pull-eligible banks
+    ///   ([`Channel::earliest_refresh_pull_at`]); eligibility is a pure
+    ///   read of bank membership and the write-drain flag, both constant
+    ///   across a proven-idle window (membership changes only at executed
+    ///   ticks or external mutations, drain flips are folded above);
     /// - closed-row-policy precharges of open banks no queued or in-flight
     ///   request wants ([`Channel::earliest_precharge_at`]); under the
     ///   HAPPY policy the same bound applies only to banks whose open row
@@ -374,6 +396,18 @@ impl MemoryController {
         for ch in &self.channels {
             if let Some(r) = ch.next_refresh_boundary(now) {
                 fold(r);
+            }
+        }
+        if self.dram.refresh_policy == RefreshPolicy::Darp {
+            for (ci, ch) in self.channels.iter().enumerate() {
+                for bank in 0..ch.bank_count() {
+                    if !self.refresh_pull_eligible(ci, bank) {
+                        continue;
+                    }
+                    if let Some(t) = ch.earliest_refresh_pull_at(bank, now) {
+                        fold(align_up_dram(t));
+                    }
+                }
             }
         }
         // Owner-aware advance bound. [`MemoryController::schedule_channel`]'s
@@ -667,6 +701,45 @@ impl MemoryController {
                     // The precharged bank's row state changed.
                     self.buffer.note_bank_command(ch_idx, bank);
                     // One command per DRAM cycle: stop after a precharge.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// True when pulling a refresh into `(channel, bank)` cannot delay work
+    /// the scheduler still wants from the bank: the bank has no queued
+    /// requests at all, or a write-drain phase is active and the bank has
+    /// no queued writebacks (its reads are not being serviced anyway, so
+    /// the refresh hides behind the drain — DARP's drain pairing).
+    fn refresh_pull_eligible(&self, channel: usize, bank: usize) -> bool {
+        self.buffer.bank_is_empty(channel, bank)
+            || (self.draining_writes && !self.buffer.bank_has_writeback(channel, bank))
+    }
+
+    /// DARP out-of-order refresh pulls (DESIGN.md §15): on each channel
+    /// with a free command bus, issue at most one pending per-bank refresh
+    /// into a pull-eligible bank ([`MemoryController::refresh_pull_eligible`]),
+    /// paying the bank's current refresh window early so its deadline-forced
+    /// refresh never lands on top of demand work. Runs after the scheduler
+    /// and the row policy, so a pull never displaces a real command. Each
+    /// pull changes the bank's row state (the REF implicitly precharges),
+    /// so the bank's cached owner is invalidated exactly like a policy
+    /// precharge (the dirty-owner rule, DESIGN.md §13).
+    fn apply_darp_refresh_pulls(&mut self, now: Cycle) {
+        for ch_idx in 0..self.channels.len() {
+            if !self.channels[ch_idx].command_bus_free(now) {
+                continue;
+            }
+            for bank in 0..self.channels[ch_idx].bank_count() {
+                if !self.channels[ch_idx].refresh_pending(bank, now)
+                    || !self.refresh_pull_eligible(ch_idx, bank)
+                {
+                    continue;
+                }
+                if self.channels[ch_idx].pull_refresh(bank, now) {
+                    self.buffer.note_bank_command(ch_idx, bank);
+                    // One command per DRAM cycle: stop after a pull.
                     break;
                 }
             }
@@ -1350,6 +1423,32 @@ mod tests {
             lat <= closed + slack,
             "trained single-use row must be precharged like closed-row policy (lat {lat})"
         );
+    }
+
+    #[test]
+    fn darp_pulls_refresh_into_idle_banks() {
+        let dram = DramConfig {
+            extended: Some(padc_dram::ExtendedTiming::default()),
+            refresh_policy: RefreshPolicy::Darp,
+            ..DramConfig::default()
+        };
+        let t_refi = dram.extended.unwrap().t_refi * CPU_CYCLES_PER_DRAM_CYCLE;
+        let mut mc = MemoryController::new(
+            ControllerConfig::from_policy(SchedulingPolicy::DemandFirst, 1),
+            dram,
+            MappingScheme::Linear,
+        );
+        let t = tracker(1);
+        // An idle controller pulls each bank's refresh as soon as its
+        // staggered window opens; by the first t_REFI boundary every bank
+        // has been refreshed early and no forced refresh remains.
+        for now in 0..t_refi {
+            mc.tick(now, &t);
+        }
+        let rc = mc.refresh_counters();
+        assert_eq!(rc.pulls, 8, "one pull per bank per t_REFI");
+        assert_eq!(mc.channel_stats()[0].refreshes, 8, "all early, none forced");
+        assert!(rc.stall_cycles > 0);
     }
 
     #[test]

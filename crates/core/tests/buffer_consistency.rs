@@ -5,7 +5,7 @@
 //! panics on divergence — invariants B1–B4 in DESIGN.md §13).
 
 use padc_core::{AccuracyTracker, ControllerConfig, MemoryController, SchedulingPolicy};
-use padc_dram::{DramConfig, MappingScheme, RowPolicy};
+use padc_dram::{DramConfig, ExtendedTiming, MappingScheme, RefreshPolicy, RowPolicy};
 use padc_types::{AccessKind, CoreId, LineAddr, RequestKind};
 use proptest::prelude::*;
 
@@ -57,6 +57,16 @@ fn all_policies() -> [SchedulingPolicy; 6] {
 /// Every row-buffer management policy, so B1–B4 cover the closed-row *and*
 /// HAPPY policy-precharge invalidation rules automatically.
 const ROW_POLICIES: [RowPolicy; 3] = [RowPolicy::Open, RowPolicy::Closed, RowPolicy::Happy];
+
+/// Every refresh policy (with extended timing enabled). Short sequences
+/// never reach a forced t_REFI boundary, but DARP's idle-bank pulls fire
+/// from cycle 0 — each one a bank-state-changing command whose owner
+/// invalidation (the §13 dirty-owner rule) the audit must confirm.
+const REFRESH_POLICIES: [RefreshPolicy; 3] = [
+    RefreshPolicy::AllBank,
+    RefreshPolicy::PerBank,
+    RefreshPolicy::Darp,
+];
 
 /// Runs the op sequence, auditing the buffer after every mutation point.
 /// `accuracy_interval` is deliberately short so PAR rollovers (a cached-key
@@ -128,13 +138,15 @@ proptest! {
     }
 
     /// Same property with the key inputs the owner cache is most sensitive
-    /// to turned on explicitly: urgency, batching, write drain, and every
-    /// row policy (closed-row and HAPPY add policy precharges → extra
-    /// owner invalidations, the closed-/HAPPY-precharge rules of §13).
+    /// to turned on explicitly: urgency, batching, write drain, every row
+    /// policy (closed-row and HAPPY add policy precharges → extra owner
+    /// invalidations, the closed-/HAPPY-precharge rules of §13), and every
+    /// refresh policy (DARP adds refresh pulls → the same rule again).
     #[test]
     fn incremental_state_matches_recompute_extended(ops in prop::collection::vec(arb_op(), 1..60),
                                                     policy_idx in 3usize..6,
-                                                    row_policy_idx in 0usize..ROW_POLICIES.len()) {
+                                                    row_policy_idx in 0usize..ROW_POLICIES.len(),
+                                                    refresh_idx in 0usize..REFRESH_POLICIES.len()) {
         let mut cfg = ControllerConfig::from_policy(all_policies()[policy_idx], 4);
         cfg.urgency = true;
         cfg.batching = true;
@@ -144,6 +156,8 @@ proptest! {
         cfg.write_drain_low = 2;
         let dram = DramConfig {
             row_policy: ROW_POLICIES[row_policy_idx],
+            extended: Some(ExtendedTiming::default()),
+            refresh_policy: REFRESH_POLICIES[refresh_idx],
             ..DramConfig::default()
         };
         drive_and_audit(&ops, cfg, dram);

@@ -14,7 +14,7 @@
 //! at [`AccuracyTracker::next_rollover`] — invariant E3).
 
 use padc_core::{AccuracyTracker, ControllerConfig, MemoryController, SchedulingPolicy};
-use padc_dram::{DramConfig, ExtendedTiming, MappingScheme, RowPolicy};
+use padc_dram::{DramConfig, ExtendedTiming, MappingScheme, RefreshPolicy, RowPolicy};
 use padc_types::{AccessKind, CoreId, LineAddr, RequestKind};
 use proptest::prelude::*;
 
@@ -62,6 +62,16 @@ fn all_policies() -> [SchedulingPolicy; 6] {
 /// oracle below would catch it — predictor state is part of the string).
 const ROW_POLICIES: [RowPolicy; 3] = [RowPolicy::Open, RowPolicy::Closed, RowPolicy::Happy];
 
+/// Extended-timing / refresh-policy combinations: `None` disables extended
+/// timing entirely; the per-bank policies add staggered forced refreshes
+/// (and, for DARP, spontaneous refresh pulls) that `next_event` must bound.
+const REFRESH_MODES: [Option<RefreshPolicy>; 4] = [
+    None,
+    Some(RefreshPolicy::AllBank),
+    Some(RefreshPolicy::PerBank),
+    Some(RefreshPolicy::Darp),
+];
+
 /// Steps a clone of `mc` from `now` up to (not including) the claimed
 /// event cycle, asserting every tick is a proven no-op. Windows are
 /// truncated to keep the test fast; soundness of a prefix is what event
@@ -100,14 +110,14 @@ proptest! {
 
     /// Every `next_event` claim taken while servicing an arbitrary
     /// request mix is verified against cycle-by-cycle stepping, across
-    /// all six policies, all three row policies, and with the extended
-    /// DDR3 constraints (tFAW/refresh) both off and on.
+    /// all six policies, all three row policies, and every extended-timing
+    /// / refresh-policy mode (off, all-bank, per-bank, DARP).
     #[test]
     fn next_event_never_claims_past_real_work(
         reqs in prop::collection::vec(arb_req(), 1..40),
         policy_idx in 0usize..6,
         row_policy_idx in 0usize..ROW_POLICIES.len(),
-        extended in any::<bool>(),
+        refresh_idx in 0usize..REFRESH_MODES.len(),
     ) {
         let policy = all_policies()[policy_idx];
         let mut cfg = ControllerConfig::from_policy(policy, 4);
@@ -116,8 +126,9 @@ proptest! {
             row_policy: ROW_POLICIES[row_policy_idx],
             ..DramConfig::default()
         };
-        if extended {
+        if let Some(refresh_policy) = REFRESH_MODES[refresh_idx] {
             dram.extended = Some(ExtendedTiming::default());
+            dram.refresh_policy = refresh_policy;
         }
         let mut mc = MemoryController::new(cfg, dram, MappingScheme::Linear);
         let tracker = AccuracyTracker::new(4, 100_000);

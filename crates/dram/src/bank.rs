@@ -151,6 +151,15 @@ impl Bank {
         self.cas_served = 0;
     }
 
+    /// Applies a per-bank refresh (REF_pb): whatever row was open (or
+    /// opening) is lost without a PRE, and the bank re-accepts commands —
+    /// closed — at `ready_at`. Modeled as a precharge-like occupancy so
+    /// [`Bank::next_event`] and `classify` cover the busy window for free.
+    pub fn refresh(&mut self, ready_at: Cycle) {
+        self.state = BankState::Precharging { ready_at };
+        self.cas_served = 0;
+    }
+
     /// True if a CAS (read/write) to `row` may issue at `now`.
     pub fn can_cas(&self, row: u64, now: Cycle) -> bool {
         self.open_row(now) == Some(row)
@@ -240,6 +249,22 @@ mod tests {
         // ...and resets when the next row opens.
         b.activate(6, 200, 50);
         assert_eq!(b.cas_served(), 0);
+    }
+
+    #[test]
+    fn refresh_closes_any_state_and_occupies_until_ready() {
+        let mut b = Bank::new();
+        b.activate(5, 0, 50);
+        b.note_cas();
+        b.refresh(200);
+        // Busy (neither ACT nor PRE accepted) until ready_at...
+        assert!(!b.can_activate(199));
+        assert_eq!(b.next_event(100), Some(200));
+        // ...then closed, with the row and its CAS history gone.
+        assert!(b.can_activate(200));
+        assert_eq!(b.open_row(200), None);
+        assert_eq!(b.cas_served(), 0);
+        assert_eq!(b.classify(5, 200), RowBufferOutcome::Closed);
     }
 
     #[test]

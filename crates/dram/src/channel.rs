@@ -3,7 +3,8 @@ use std::collections::VecDeque;
 use padc_types::{Cycle, CPU_CYCLES_PER_DRAM_CYCLE};
 
 use crate::{
-    Bank, BankState, ChannelStats, DramConfig, HappyPredictor, RowBufferOutcome, RowPolicy,
+    Bank, BankState, ChannelStats, DramConfig, HappyPredictor, RefreshPolicy, RowBufferOutcome,
+    RowPolicy,
 };
 
 /// Extended timing converted to CPU cycles (see [`crate::ExtendedTiming`]).
@@ -15,6 +16,50 @@ struct ExtCpu {
     t_faw: Cycle,
     t_refi: Cycle,
     t_rfc: Cycle,
+}
+
+/// Side counters for the refresh model (DESIGN.md §15). Kept out of
+/// [`ChannelStats`] — which is serialized into per-run reports — so that
+/// result bytes stay identical across refresh-policy-free configs; runs
+/// surface these through the profile instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RefreshCounters {
+    /// Refreshes pulled early into idle/drain slots ([`RefreshPolicy::Darp`]).
+    pub pulls: u64,
+    /// Bank-unavailable CPU cycles charged to refresh: `t_rfc` per bank per
+    /// all-bank refresh, `t_rfcpb` per per-bank refresh (forced or pulled).
+    pub stall_cycles: u64,
+}
+
+/// Per-bank refresh bookkeeping, present only under the per-bank policies
+/// ([`RefreshPolicy::PerBank`] / [`RefreshPolicy::Darp`]) with extended
+/// timing enabled — the legacy all-bank path's state is untouched, keeping
+/// its behavior (and Debug oracle strings) bit-exact.
+///
+/// Bank `b`'s k-th refresh window covers
+/// `[(k-1)*t_refi + b*stride, k*t_refi + b*stride)`: windows are staggered
+/// across banks by `stride = t_refi / nbanks` so deadline-forced refreshes
+/// never pile up on one cycle, mirroring how real controllers spread
+/// per-bank REF commands across the retention interval.
+#[derive(Clone, Debug)]
+struct PerBankRefresh {
+    /// DARP out-of-order pulls enabled ([`RefreshPolicy::Darp`]).
+    darp: bool,
+    /// Refresh windows applied so far, per bank.
+    applied: Vec<u64>,
+    /// Stagger between consecutive banks' windows (`t_refi / nbanks`).
+    stride: Cycle,
+    /// Bank-busy duration of one per-bank refresh, CPU cycles. Derived as
+    /// `t_rfc / 2`: per-bank REF on DDR4 LPDDR parts costs roughly half the
+    /// all-bank window since only one bank's worth of rows restores.
+    t_rfcpb: Cycle,
+}
+
+impl PerBankRefresh {
+    /// Start of bank `b`'s staggered window grid.
+    fn offset(&self, bank: usize) -> Cycle {
+        self.stride * bank as Cycle
+    }
 }
 
 /// Result of issuing one command toward a request via [`Channel::advance`].
@@ -58,8 +103,13 @@ pub struct Channel {
     min_precharge_at: Vec<Cycle>,
     /// Times of the most recent ACTs (tFAW window).
     act_history: VecDeque<Cycle>,
-    /// Refreshes applied so far (each closes every bank).
+    /// All-bank refreshes applied so far (each closes every bank). Unused
+    /// under the per-bank policies, which track windows in `refresh`.
     refreshes_applied: u64,
+    /// Per-bank refresh state (None = legacy all-bank refresh).
+    refresh: Option<PerBankRefresh>,
+    /// Refresh side counters (see [`RefreshCounters`]).
+    refresh_counters: RefreshCounters,
     /// HAPPY per-row open/closed predictor; present only under
     /// [`RowPolicy::Happy`], so the other policies' channel state (and
     /// therefore their result bytes) is untouched by this mechanism.
@@ -81,6 +131,15 @@ impl Channel {
                 t_rfc: e.t_rfc * k,
             }
         });
+        let refresh = match (&ext, cfg.refresh_policy) {
+            (Some(e), p) if p.per_bank() && e.t_refi > 0 => Some(PerBankRefresh {
+                darp: p == RefreshPolicy::Darp,
+                applied: vec![0; cfg.banks],
+                stride: e.t_refi / cfg.banks as Cycle,
+                t_rfcpb: (e.t_rfc / 2).max(1),
+            }),
+            _ => None,
+        };
         Channel {
             banks: (0..cfg.banks).map(|_| Bank::new()).collect(),
             data_bus_free_at: 0,
@@ -94,32 +153,68 @@ impl Channel {
             min_precharge_at: vec![0; cfg.banks],
             act_history: VecDeque::with_capacity(4),
             refreshes_applied: 0,
+            refresh,
+            refresh_counters: RefreshCounters::default(),
             happy: (cfg.row_policy == RowPolicy::Happy).then(HappyPredictor::new),
         }
     }
 
-    /// True while a periodic refresh occupies the channel at `now`.
+    /// True while a periodic refresh occupies the channel at `now`. Always
+    /// false under the per-bank policies: their refresh occupancy lives in
+    /// the individual banks' state, not a channel-wide window.
     fn in_refresh(&self, now: Cycle) -> bool {
+        if self.refresh.is_some() {
+            return false;
+        }
         match self.ext {
             Some(e) if e.t_refi > 0 => now % e.t_refi < e.t_rfc && now >= e.t_refi,
             _ => false,
         }
     }
 
-    /// Applies any refresh boundaries passed since the last call: each
-    /// refresh closes every bank. Call once per DRAM scheduling cycle
-    /// (no-op without extended timing).
+    /// Applies any refresh boundaries passed since the last call. Under the
+    /// all-bank policy each refresh closes every bank; under the per-bank
+    /// policies each bank whose own (staggered) window boundary passed gets
+    /// a deadline-forced per-bank refresh, occupying just that bank for
+    /// `t_rfcpb`. Call once per DRAM scheduling cycle (no-op without
+    /// extended timing).
     pub fn sync(&mut self, now: Cycle) {
         let Some(e) = self.ext else { return };
         if e.t_refi == 0 {
             return;
         }
-        let due = now / e.t_refi;
-        if due > self.refreshes_applied {
-            self.refreshes_applied = due;
-            self.stats.refreshes += 1;
-            for b in &mut self.banks {
-                *b = Bank::new();
+        match &mut self.refresh {
+            None => {
+                let due = now / e.t_refi;
+                if due > self.refreshes_applied {
+                    self.refreshes_applied = due;
+                    self.stats.refreshes += 1;
+                    self.refresh_counters.stall_cycles += e.t_rfc * self.banks.len() as Cycle;
+                    for b in &mut self.banks {
+                        *b = Bank::new();
+                    }
+                }
+            }
+            Some(r) => {
+                for (bank, applied) in r.applied.iter_mut().enumerate() {
+                    let offset = r.stride * bank as Cycle;
+                    let due = if now >= offset {
+                        (now - offset) / e.t_refi
+                    } else {
+                        0
+                    };
+                    // Same one-application-per-sync quirk as the all-bank
+                    // path: however many boundaries passed, one refresh is
+                    // charged — fast-forwarding resumes at every boundary
+                    // (`next_refresh_boundary`), so in practice `due`
+                    // advances one window at a time.
+                    if due > *applied {
+                        *applied = due;
+                        self.stats.refreshes += 1;
+                        self.refresh_counters.stall_cycles += r.t_rfcpb;
+                        self.banks[bank].refresh(now + r.t_rfcpb);
+                    }
+                }
             }
         }
     }
@@ -274,16 +369,112 @@ impl Channel {
     }
 
     /// Next refresh boundary not yet applied by [`Channel::sync`] (`None`
-    /// without extended timing). May equal `now` when the boundary's
-    /// scheduling tick has not run yet. Fast-forwarding must never skip
-    /// across one: `sync` counts one refresh per application regardless of
-    /// how many boundaries have passed, so stat parity with cycle-by-cycle
-    /// stepping requires resuming at every boundary.
+    /// without extended timing). Under the per-bank policies this is the
+    /// earliest unapplied *per-bank* window boundary across all banks. May
+    /// equal `now` when the boundary's scheduling tick has not run yet.
+    /// Fast-forwarding must never skip across one: `sync` counts one
+    /// refresh per application regardless of how many boundaries have
+    /// passed, so stat parity with cycle-by-cycle stepping requires
+    /// resuming at every boundary.
     pub fn next_refresh_boundary(&self, now: Cycle) -> Option<Cycle> {
-        match self.ext {
-            Some(e) if e.t_refi > 0 => Some(((self.refreshes_applied + 1) * e.t_refi).max(now)),
+        match (&self.refresh, self.ext) {
+            (Some(r), Some(e)) => {
+                let next = r
+                    .applied
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &k)| (k + 1) * e.t_refi + r.offset(b))
+                    .min()
+                    .expect("channel has at least one bank");
+                Some(next.max(now))
+            }
+            (None, Some(e)) if e.t_refi > 0 => {
+                Some(((self.refreshes_applied + 1) * e.t_refi).max(now))
+            }
             _ => None,
         }
+    }
+
+    /// True when `bank`'s current refresh window is open but not yet
+    /// refreshed (per-bank policies only): unless pulled earlier, the
+    /// deadline-forced refresh for it fires at the window's end boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range for a per-bank-policy channel.
+    pub fn refresh_pending(&self, bank: usize, now: Cycle) -> bool {
+        match (&self.refresh, self.ext) {
+            (Some(r), Some(e)) => now >= r.applied[bank] * e.t_refi + r.offset(bank),
+            _ => false,
+        }
+    }
+
+    /// Lower bound on the first cycle `m >= now` at which
+    /// [`Channel::pull_refresh`]`(bank, m)` can succeed, assuming no command
+    /// issues on the channel in between; `None` when pulls can never happen
+    /// (not [`RefreshPolicy::Darp`]). Early-never-late, like
+    /// [`Channel::earliest_advance_at`]: this is the DARP contribution to
+    /// the controller's `next_event` fold (DESIGN.md §15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn earliest_refresh_pull_at(&self, bank: usize, now: Cycle) -> Option<Cycle> {
+        let (r, e) = match (&self.refresh, self.ext) {
+            (Some(r), Some(e)) if r.darp => (r, e),
+            _ => return None,
+        };
+        let window_open = r.applied[bank] * e.t_refi + r.offset(bank);
+        // A pull needs the bank command-ready: closed, or open with its row
+        // legally precharge-able (the REF implicitly closes it).
+        let bank_ready = match self.banks[bank].state_at(now) {
+            BankState::Closed => now,
+            BankState::Open { .. } => now.max(self.min_precharge_at[bank]),
+            BankState::Activating { ready_at, .. } => ready_at.max(self.min_precharge_at[bank]),
+            BankState::Precharging { ready_at } => ready_at,
+        };
+        Some(
+            window_open
+                .max(bank_ready)
+                .max(self.cmd_bus_free_at)
+                .max(now),
+        )
+    }
+
+    /// DARP out-of-order refresh: issues `bank`'s pending refresh *now*,
+    /// ahead of its deadline, occupying the bank for `t_rfcpb` and the
+    /// command bus for one DRAM cycle. At most one refresh is pulled per
+    /// window (the window's deadline-forced refresh is then already paid).
+    /// An open row is implicitly precharged by the REF — without HAPPY
+    /// training, since a refresh eviction says nothing about locality.
+    ///
+    /// Returns false when ineligible: not [`RefreshPolicy::Darp`], window
+    /// not yet open (or already refreshed), bank mid-ACT/PRE or its open
+    /// row not yet precharge-able, or command bus busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn pull_refresh(&mut self, bank: usize, now: Cycle) -> bool {
+        match self.earliest_refresh_pull_at(bank, now) {
+            Some(t) if t <= now => {}
+            _ => return false,
+        }
+        let r = self.refresh.as_mut().expect("pull bound implies per-bank");
+        r.applied[bank] += 1;
+        let t_rfcpb = r.t_rfcpb;
+        self.cmd_bus_free_at = now + CPU_CYCLES_PER_DRAM_CYCLE;
+        self.stats.refreshes += 1;
+        self.refresh_counters.pulls += 1;
+        self.refresh_counters.stall_cycles += t_rfcpb;
+        self.banks[bank].refresh(now + t_rfcpb);
+        true
+    }
+
+    /// Refresh side counters (profile surface, not part of the serialized
+    /// [`ChannelStats`]).
+    pub fn refresh_counters(&self) -> RefreshCounters {
+        self.refresh_counters
     }
 
     /// Lower bound on the first cycle `m >= now` at which
@@ -401,10 +592,23 @@ impl Channel {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
+    use crate::ExtendedTiming;
 
     fn ch() -> (DramConfig, Channel) {
         let cfg = DramConfig::default();
+        let c = Channel::new(&cfg);
+        (cfg, c)
+    }
+
+    fn ext_ch(policy: RefreshPolicy) -> (DramConfig, Channel) {
+        let cfg = DramConfig {
+            extended: Some(ExtendedTiming::default()),
+            refresh_policy: policy,
+            ..DramConfig::default()
+        };
         let c = Channel::new(&cfg);
         (cfg, c)
     }
@@ -514,6 +718,141 @@ mod tests {
             !c.happy_votes_close(0, cfg.t_rcd_cpu()),
             "open/closed-policy channels must never vote to close"
         );
+    }
+
+    #[test]
+    fn all_bank_refresh_charges_whole_channel_stall() {
+        let (cfg, mut c) = ext_ch(RefreshPolicy::AllBank);
+        let e = cfg.extended.unwrap();
+        let t_refi = e.t_refi * CPU_CYCLES_PER_DRAM_CYCLE;
+        let t_rfc = e.t_rfc * CPU_CYCLES_PER_DRAM_CYCLE;
+        c.sync(t_refi);
+        assert_eq!(c.stats().refreshes, 1);
+        assert_eq!(
+            c.refresh_counters(),
+            RefreshCounters {
+                pulls: 0,
+                stall_cycles: t_rfc * cfg.banks as Cycle,
+            }
+        );
+        // All-bank channels never expose the per-bank surface.
+        assert!(!c.refresh_pending(0, t_refi));
+        assert_eq!(c.earliest_refresh_pull_at(0, t_refi), None);
+        assert!(!c.pull_refresh(0, t_refi));
+    }
+
+    #[test]
+    fn per_bank_refresh_staggers_and_isolates_banks() {
+        let (cfg, mut c) = ext_ch(RefreshPolicy::PerBank);
+        let e = cfg.extended.unwrap();
+        let t_refi = e.t_refi * CPU_CYCLES_PER_DRAM_CYCLE;
+        let t_rfcpb = (e.t_rfc * CPU_CYCLES_PER_DRAM_CYCLE / 2).max(1);
+        // The first boundary is bank 0's own deadline, not a channel window.
+        assert_eq!(c.next_refresh_boundary(0), Some(t_refi));
+        c.sync(t_refi);
+        assert_eq!(c.stats().refreshes, 1);
+        assert_eq!(c.refresh_counters().stall_cycles, t_rfcpb);
+        // Bank 0 is busy refreshing, but bank 1 keeps serving accesses —
+        // the refresh-access parallelism the all-bank window forbids.
+        assert!(!c.can_advance(0, 1, t_refi));
+        assert_eq!(c.advance(1, 1, false, t_refi), StepOutcome::Activated);
+        // Bank 0 re-accepts commands once its t_rfcpb elapses.
+        assert!(c.can_advance(0, 1, t_refi + t_rfcpb));
+        // Bank 1's own deadline sits one stagger stride later.
+        let stride = t_refi / cfg.banks as Cycle;
+        c.sync(t_refi + stride);
+        assert_eq!(c.stats().refreshes, 2);
+    }
+
+    #[test]
+    fn darp_pull_pays_the_window_early_and_skips_the_forced_refresh() {
+        let (cfg, mut c) = ext_ch(RefreshPolicy::Darp);
+        let e = cfg.extended.unwrap();
+        let t_refi = e.t_refi * CPU_CYCLES_PER_DRAM_CYCLE;
+        // Bank 0's first window is open from cycle 0; pull it immediately.
+        assert!(c.refresh_pending(0, 0));
+        assert_eq!(c.earliest_refresh_pull_at(0, 0), Some(0));
+        assert!(c.pull_refresh(0, 0));
+        assert_eq!(c.stats().refreshes, 1);
+        assert_eq!(c.refresh_counters().pulls, 1);
+        // One pull per window: the next opportunity is the next window.
+        assert!(!c.refresh_pending(0, CPU_CYCLES_PER_DRAM_CYCLE));
+        assert!(!c.pull_refresh(0, t_refi / 2));
+        // The deadline-forced refresh at bank 0's boundary is already paid;
+        // the earliest unapplied boundary now belongs to bank 1.
+        c.sync(t_refi);
+        assert_eq!(c.stats().refreshes, 1);
+        let stride = t_refi / cfg.banks as Cycle;
+        assert_eq!(c.next_refresh_boundary(0), Some(t_refi + stride));
+    }
+
+    #[test]
+    fn darp_pull_implicitly_closes_an_idle_open_row() {
+        let (cfg, mut c) = ext_ch(RefreshPolicy::Darp);
+        c.advance(0, 7, false, 0);
+        let t = cfg.t_rcd_cpu();
+        assert!(matches!(
+            c.advance(0, 7, false, t),
+            StepOutcome::CasIssued { .. }
+        ));
+        // tRAS/tRTP gate the implicit precharge exactly like an explicit one.
+        let ready = c.earliest_refresh_pull_at(0, t).unwrap();
+        assert!(ready > t);
+        assert!(!c.pull_refresh(0, ready - 1));
+        assert!(c.pull_refresh(0, ready));
+        assert_eq!(c.effective_row(0, ready), None);
+        assert_eq!(c.classify(0, 7, ready), RowBufferOutcome::Closed);
+        // The REF is not a PRE: no precharge is counted (or HAPPY-trained).
+        assert_eq!(c.stats().precharges, 0);
+    }
+
+    #[test]
+    fn pull_refresh_requires_darp() {
+        let (_, mut c) = ext_ch(RefreshPolicy::PerBank);
+        assert!(c.refresh_pending(0, 0));
+        assert_eq!(c.earliest_refresh_pull_at(0, 0), None);
+        assert!(!c.pull_refresh(0, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The deadline-soundness property of DESIGN.md §15: under the
+        /// per-bank policies — with or without adversarial DARP pulls —
+        /// no bank's refresh ever slips past its window's end boundary,
+        /// provided `sync` runs each DRAM scheduling cycle (as the
+        /// controller guarantees).
+        #[test]
+        fn per_bank_refresh_never_misses_its_deadline(
+            darp in any::<bool>(),
+            pulls in prop::collection::vec(0usize..8, 0..96),
+        ) {
+            let policy = if darp { RefreshPolicy::Darp } else { RefreshPolicy::PerBank };
+            let (cfg, mut c) = ext_ch(policy);
+            let t_refi = cfg.extended.unwrap().t_refi * CPU_CYCLES_PER_DRAM_CYCLE;
+            let mut pulls = pulls.into_iter();
+            let mut now = 0;
+            while now < 3 * t_refi {
+                c.sync(now);
+                let r = c.refresh.as_ref().expect("per-bank policy");
+                for (b, &applied) in r.applied.iter().enumerate() {
+                    let off = r.offset(b);
+                    let due = if now >= off { (now - off) / t_refi } else { 0 };
+                    prop_assert!(
+                        applied >= due,
+                        "bank {b} missed its deadline at {now}: \
+                         applied {applied} < due window {due}"
+                    );
+                }
+                if let Some(bank) = pulls.next() {
+                    c.pull_refresh(bank, now);
+                }
+                now += CPU_CYCLES_PER_DRAM_CYCLE;
+            }
+            // Bookkeeping sanity: every pull is one of the refreshes.
+            prop_assert!(c.refresh_counters().pulls <= c.stats().refreshes);
+            prop_assert!(darp || c.refresh_counters().pulls == 0);
+        }
     }
 
     #[test]

@@ -20,6 +20,46 @@ pub enum RowPolicy {
     Happy,
 }
 
+/// How periodic refresh is organized across a channel's banks (only
+/// meaningful with [`crate::ExtendedTiming`] enabled and `t_refi > 0`;
+/// without extended timing no refresh happens under any policy).
+///
+/// The default [`RefreshPolicy::AllBank`] reproduces the legacy model
+/// bit-exactly: every `t_refi` the whole channel stalls for `t_rfc` and
+/// all rows close. The per-bank policies replace the channel-wide window
+/// with staggered per-bank windows (DESIGN.md §15), after Chang et al.'s
+/// refresh-access parallelism work (DARP/SARP; see PAPERS.md).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum RefreshPolicy {
+    /// All banks refresh together; the channel is unusable for `t_rfc`
+    /// every `t_refi` (the legacy model, and the default).
+    #[default]
+    AllBank,
+    /// Each bank refreshes on its own staggered `t_refi` window, occupying
+    /// only that bank for `t_rfcpb` while the rest of the channel keeps
+    /// serving requests.
+    PerBank,
+    /// [`RefreshPolicy::PerBank`] plus DARP-style out-of-order refresh:
+    /// the controller may *pull* a bank's pending refresh early while the
+    /// bank is idle (or during write drains), instead of always paying the
+    /// deadline-forced refresh at the window boundary.
+    Darp,
+}
+
+impl RefreshPolicy {
+    /// True for the default policy (serde skip helper: configs carrying the
+    /// default omit the field, keeping pre-existing serializations — and
+    /// therefore store digests — byte-identical).
+    pub fn is_all_bank(&self) -> bool {
+        *self == RefreshPolicy::AllBank
+    }
+
+    /// True for the policies with per-bank refresh windows.
+    pub fn per_bank(&self) -> bool {
+        !self.is_all_bank()
+    }
+}
+
 /// DRAM geometry and timing, defaulting to the paper's Table 4 system:
 /// DDR3-1333, 8 banks, 4KB rows, 15ns per command, BL=4 over a 16B bus.
 ///
@@ -59,6 +99,10 @@ pub struct DramConfig {
     /// `None` reproduces the paper's three-latency model exactly.
     #[serde(default)]
     pub extended: Option<ExtendedTiming>,
+    /// Refresh organization (ignored without [`DramConfig::extended`]).
+    /// Skipped when default so legacy serializations stay byte-identical.
+    #[serde(default, skip_serializing_if = "RefreshPolicy::is_all_bank")]
+    pub refresh_policy: RefreshPolicy,
 }
 
 impl Default for DramConfig {
@@ -73,6 +117,7 @@ impl Default for DramConfig {
             burst: 4,
             row_policy: RowPolicy::Open,
             extended: None,
+            refresh_policy: RefreshPolicy::AllBank,
         }
     }
 }
@@ -149,6 +194,29 @@ mod tests {
         let c = DramConfig::default();
         assert!(c.row_hit_latency() < c.row_closed_latency());
         assert!(c.row_closed_latency() < c.row_conflict_latency());
+    }
+
+    #[test]
+    fn default_refresh_policy_is_skipped_in_serialization() {
+        // Store digests hash the serialized config: the new field must be
+        // invisible for pre-existing (AllBank) configs, and round-trip for
+        // the per-bank ones.
+        let json = serde_json::to_string(&DramConfig::default()).unwrap();
+        assert!(!json.contains("refresh_policy"), "default leaked: {json}");
+        let back: DramConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.refresh_policy, RefreshPolicy::AllBank);
+
+        let darp = DramConfig {
+            refresh_policy: RefreshPolicy::Darp,
+            ..DramConfig::default()
+        };
+        let json = serde_json::to_string(&darp).unwrap();
+        assert!(
+            json.contains("\"refresh_policy\":\"Darp\""),
+            "missing: {json}"
+        );
+        let back: DramConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, darp);
     }
 
     #[test]

@@ -44,8 +44,8 @@ mod stats;
 mod timing;
 
 pub use bank::{Bank, BankState};
-pub use channel::{Channel, StepOutcome};
-pub use config::{DramConfig, RowPolicy};
+pub use channel::{Channel, RefreshCounters, StepOutcome};
+pub use config::{DramConfig, RefreshPolicy, RowPolicy};
 pub use happy::{HappyPredictor, REUSE_THRESHOLD};
 pub use mapping::{AddressMapper, MappingScheme, Target};
 pub use stats::ChannelStats;

@@ -11,12 +11,23 @@
 
 use padc_core::SchedulingPolicy;
 use padc_cpu::TraceSource;
+use padc_dram::RefreshPolicy;
 use padc_sim::{FastForwardMode, SimConfig, System};
 use padc_workloads::{profiles, TraceFileSource};
 
 /// Parses `--fast-forward MODE` / `--fast-forward=MODE`.
 fn parse_ff_mode(s: &str) -> Result<FastForwardMode, String> {
     s.parse()
+}
+
+/// Parses `--refresh-policy MODE` (`all-bank` | `per-bank` | `darp`).
+fn parse_refresh_policy(s: &str) -> Result<RefreshPolicy, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "all-bank" | "allbank" => RefreshPolicy::AllBank,
+        "per-bank" | "perbank" => RefreshPolicy::PerBank,
+        "darp" => RefreshPolicy::Darp,
+        other => return Err(format!("unknown refresh policy {other:?}")),
+    })
 }
 
 fn parse_policy(s: &str) -> Result<SchedulingPolicy, String> {
@@ -43,6 +54,8 @@ struct Args {
     json: bool,
     profile: bool,
     fast_forward: Option<FastForwardMode>,
+    refresh_policy: Option<RefreshPolicy>,
+    extended_timing: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         profile: false,
         fast_forward: None,
+        refresh_policy: None,
+        extended_timing: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +94,10 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => args.profile = true,
             "--fast-forward" => args.fast_forward = Some(parse_ff_mode(&value("--fast-forward")?)?),
             "--no-fast-forward" => args.fast_forward = Some(FastForwardMode::Off),
+            "--refresh-policy" => {
+                args.refresh_policy = Some(parse_refresh_policy(&value("--refresh-policy")?)?)
+            }
+            "--extended-timing" => args.extended_timing = true,
             other if other.starts_with("--fast-forward=") => {
                 args.fast_forward = Some(parse_ff_mode(&other["--fast-forward=".len()..])?)
             }
@@ -93,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: padcsim [--config FILE.json] [--cores N] [--policy P] \
                      [--instructions N] [--no-prefetch] [--json] [--profile] \
                      [--fast-forward off|global|horizon|event] [--no-fast-forward] \
+                     [--refresh-policy all-bank|per-bank|darp] [--extended-timing] \
                      (--bench NAME ... | --trace FILE ...) | --print-config | --list-benchmarks"
                 );
                 std::process::exit(0);
@@ -468,47 +488,17 @@ fn run_store_mode(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
-/// `--profile`: one-line hot-path summary on stderr, so it composes with
-/// `--json` on stdout.
+/// `--profile`: the hot-path counters as one `profile: {json}` stderr
+/// line, so it composes with `--json` on stdout. The object is the
+/// serde-serialized [`padc_sim::profile::SimProfile`] — the same shape
+/// the suite surfaces (`repro`, `padcsim --suite`, `padcsim serve`) embed
+/// in JSONL rows — and scripts/perf_gate.sh greps its `"core_skip_pct"`,
+/// `"ctrl_skip_pct"`, and `"owner_*"` keys; keep them stable.
 fn print_profile(p: &padc_sim::profile::SimProfile) {
-    let total = p.cycles_stepped + p.ff_cycles_skipped;
-    let skipped_pct = if total > 0 {
-        100.0 * p.ff_cycles_skipped as f64 / total as f64
-    } else {
-        0.0
-    };
-    // `core_skip_pct=` and `ctrl_skip_pct=` are machine-read by
-    // scripts/perf_gate.sh; keep the key=value forms stable.
     eprintln!(
-        "profile: {} cycles ({} stepped + {} fast-forwarded in {} jumps, {skipped_pct:.1}% skipped); \
-         core-cycles: {} ticked + {} replayed in {} resyncs (core_skip_pct={:.1}); \
-         ctrl-cycles: {} stepped + {} skipped, {} events (ctrl_skip_pct={:.1}); \
-         wall {:.3}s (controller {:.3}s, cores {:.3}s)",
-        total,
-        p.cycles_stepped,
-        p.ff_cycles_skipped,
-        p.ff_jumps,
-        p.core_cycles_ticked,
-        p.core_cycles_skipped,
-        p.horizon_resyncs,
-        100.0 * p.core_skip_ratio(),
-        p.ctrl_cycles_stepped,
-        p.ctrl_cycles_skipped,
-        p.ctrl_events_fired,
-        100.0 * p.ctrl_skip_ratio(),
-        p.wall_ns as f64 / 1e9,
-        p.controller_ns as f64 / 1e9,
-        p.cores_ns as f64 / 1e9,
+        "profile: {}",
+        serde_json::to_string(p).expect("profile serializes")
     );
-    // Owner-cache counters from the request buffer; machine-read by
-    // scripts/perf_gate.sh (BENCH_buffer.json section).
-    eprintln!(
-        "profile: owner_recomputes={} owner_invalidations={} owner_reuses={} owner_scan_entries={}",
-        p.owner_recomputes, p.owner_invalidations, p.owner_reuses, p.owner_scan_entries,
-    );
-    if p.dspatch_flips > 0 {
-        eprintln!("profile: dspatch_flips={}", p.dspatch_flips);
-    }
 }
 
 fn main() {
@@ -551,6 +541,12 @@ fn main() {
         if args.no_prefetch {
             cfg = cfg.without_prefetching();
         }
+    }
+    if args.extended_timing {
+        cfg = cfg.with_extended_timing(padc_dram::ExtendedTiming::default());
+    }
+    if let Some(policy) = args.refresh_policy {
+        cfg = cfg.with_refresh_policy(policy);
     }
     if args.print_config {
         println!(

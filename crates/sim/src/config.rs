@@ -1,10 +1,61 @@
 use padc_cache::CacheConfig;
 use padc_core::{ControllerConfig, SchedulingPolicy};
 use padc_cpu::CoreConfig;
-use padc_dram::{DramConfig, MappingScheme};
+use padc_dram::{DramConfig, ExtendedTiming, MappingScheme, RefreshPolicy, RowPolicy};
 use padc_prefetch::PrefetcherKind;
 use padc_types::Cycle;
 use serde::{Deserialize, Serialize};
+
+/// The memory-policy surface of a [`SimConfig`], gathered into one typed
+/// struct: row-buffer management (including the HAPPY hybrid policy that
+/// used to be reachable only through the raw `dram.row_policy` knob),
+/// refresh organization, and the optional extended DDR3 timing set the
+/// refresh machinery depends on (`t_refi`/`t_rfc` live there).
+///
+/// This is a *view*: the fields are stored on [`SimConfig::dram`] (whose
+/// serialized form — and therefore every store digest — is unchanged),
+/// and [`SimConfig::mem_policy`] / [`SimConfig::with_mem_policy`] project
+/// it out and back. Builder methods mirror the `SimConfig` ones so policy
+/// bundles compose before being applied.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MemPolicyConfig {
+    /// Row-buffer management policy (open/closed/HAPPY).
+    pub row_policy: RowPolicy,
+    /// Refresh organization (all-bank, per-bank, or per-bank + DARP
+    /// pulls). Ignored unless `extended` timing is enabled.
+    pub refresh_policy: RefreshPolicy,
+    /// Extended DDR3 constraints (tRAS/tWR/tRTP/tFAW + `t_refi`/`t_rfc`);
+    /// `None` keeps the paper's three-latency model and disables refresh.
+    pub extended: Option<ExtendedTiming>,
+}
+
+impl MemPolicyConfig {
+    /// Returns the bundle with a different row policy.
+    #[must_use]
+    pub fn with_row_policy(mut self, policy: RowPolicy) -> Self {
+        self.row_policy = policy;
+        self
+    }
+
+    /// Returns the bundle with a different refresh policy. Per-bank
+    /// policies only refresh with extended timing enabled, so this turns
+    /// it on (at the DDR3 defaults) when it is still off.
+    #[must_use]
+    pub fn with_refresh_policy(mut self, policy: RefreshPolicy) -> Self {
+        self.refresh_policy = policy;
+        if policy.per_bank() && self.extended.is_none() {
+            self.extended = Some(ExtendedTiming::default());
+        }
+        self
+    }
+
+    /// Returns the bundle with the extended DDR3 timing set enabled.
+    #[must_use]
+    pub fn with_extended_timing(mut self, timing: ExtendedTiming) -> Self {
+        self.extended = Some(timing);
+        self
+    }
+}
 
 /// Complete description of one simulated system. Defaults reproduce the
 /// paper's baseline (Tables 3 and 4).
@@ -89,6 +140,61 @@ impl SimConfig {
     pub fn without_prefetching(mut self) -> Self {
         self.prefetcher = None;
         self
+    }
+
+    /// The memory-policy bundle currently stored on [`SimConfig::dram`].
+    pub fn mem_policy(&self) -> MemPolicyConfig {
+        MemPolicyConfig {
+            row_policy: self.dram.row_policy,
+            refresh_policy: self.dram.refresh_policy,
+            extended: self.dram.extended,
+        }
+    }
+
+    /// Returns the config with the whole memory-policy bundle applied.
+    #[must_use]
+    pub fn with_mem_policy(mut self, policy: MemPolicyConfig) -> Self {
+        self.dram.row_policy = policy.row_policy;
+        self.dram.refresh_policy = policy.refresh_policy;
+        self.dram.extended = policy.extended;
+        self
+    }
+
+    /// Returns the config with a different row-buffer policy.
+    #[must_use]
+    pub fn with_row_policy(self, policy: RowPolicy) -> Self {
+        let p = self.mem_policy().with_row_policy(policy);
+        self.with_mem_policy(p)
+    }
+
+    /// Returns the config with a different refresh policy (enabling
+    /// extended timing when a per-bank policy needs it; see
+    /// [`MemPolicyConfig::with_refresh_policy`]).
+    #[must_use]
+    pub fn with_refresh_policy(self, policy: RefreshPolicy) -> Self {
+        let p = self.mem_policy().with_refresh_policy(policy);
+        self.with_mem_policy(p)
+    }
+
+    /// Returns the config with the extended DDR3 timing set enabled.
+    #[must_use]
+    pub fn with_extended_timing(self, timing: ExtendedTiming) -> Self {
+        let p = self.mem_policy().with_extended_timing(timing);
+        self.with_mem_policy(p)
+    }
+
+    /// Pre-[`MemPolicyConfig`] knob: sets the row policy in place through
+    /// the scattered field path.
+    #[deprecated(note = "use SimConfig::with_row_policy / with_mem_policy")]
+    pub fn set_row_policy(&mut self, policy: RowPolicy) {
+        self.dram.row_policy = policy;
+    }
+
+    /// Pre-[`MemPolicyConfig`] knob: toggles the extended timing set in
+    /// place through the scattered field path.
+    #[deprecated(note = "use SimConfig::with_extended_timing / with_mem_policy")]
+    pub fn set_extended_timing(&mut self, timing: Option<ExtendedTiming>) {
+        self.dram.extended = timing;
     }
 
     /// MSHR entries available to each private L2 (total split evenly), or
@@ -177,5 +283,42 @@ mod tests {
         let mut c = SimConfig::new(4, SchedulingPolicy::DemandFirst);
         c.cores = 2;
         c.validate();
+    }
+
+    #[test]
+    fn mem_policy_round_trips_through_the_dram_fields() {
+        let bundle = MemPolicyConfig::default()
+            .with_row_policy(RowPolicy::Happy)
+            .with_refresh_policy(padc_dram::RefreshPolicy::Darp);
+        assert!(bundle.extended.is_some(), "per-bank refresh needs timing");
+        let c = SimConfig::new(4, SchedulingPolicy::Padc).with_mem_policy(bundle);
+        assert_eq!(c.dram.row_policy, RowPolicy::Happy);
+        assert_eq!(c.dram.refresh_policy, padc_dram::RefreshPolicy::Darp);
+        assert_eq!(c.dram.extended, Some(ExtendedTiming::default()));
+        assert_eq!(c.mem_policy(), bundle);
+    }
+
+    #[test]
+    fn refresh_policy_builder_keeps_an_explicit_timing_set() {
+        let custom = ExtendedTiming {
+            t_refi: 1000,
+            ..ExtendedTiming::default()
+        };
+        let c = SimConfig::new(2, SchedulingPolicy::DemandFirst)
+            .with_extended_timing(custom)
+            .with_refresh_policy(padc_dram::RefreshPolicy::PerBank);
+        assert_eq!(c.dram.extended, Some(custom), "builder must not clobber");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knob_shims_match_the_builders() {
+        let mut old = SimConfig::new(4, SchedulingPolicy::Padc);
+        old.set_row_policy(RowPolicy::Closed);
+        old.set_extended_timing(Some(ExtendedTiming::default()));
+        let new = SimConfig::new(4, SchedulingPolicy::Padc)
+            .with_row_policy(RowPolicy::Closed)
+            .with_extended_timing(ExtendedTiming::default());
+        assert_eq!(old, new);
     }
 }

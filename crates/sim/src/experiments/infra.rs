@@ -93,24 +93,6 @@ impl ExpConfig {
         self.instructions_single = self.instructions_single.max(instructions);
         self
     }
-
-    /// Paper-scale workload counts at a laptop-friendly instruction budget.
-    #[deprecated(note = "use ExpConfig::at(Scale::Full)")]
-    pub fn full() -> Self {
-        Self::at(Scale::Full)
-    }
-
-    /// Reduced scale for quick looks.
-    #[deprecated(note = "use ExpConfig::at(Scale::Quick)")]
-    pub fn quick() -> Self {
-        Self::at(Scale::Quick)
-    }
-
-    /// Tiny scale for the test suite.
-    #[deprecated(note = "use ExpConfig::at(Scale::Smoke)")]
-    pub fn smoke() -> Self {
-        Self::at(Scale::Smoke)
-    }
 }
 
 impl Default for ExpConfig {
@@ -895,11 +877,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_scales() {
-        assert_eq!(ExpConfig::full(), ExpConfig::at(Scale::Full));
-        assert_eq!(ExpConfig::quick(), ExpConfig::at(Scale::Quick));
-        assert_eq!(ExpConfig::smoke(), ExpConfig::at(Scale::Smoke));
+    fn default_config_is_full_scale() {
         assert_eq!(ExpConfig::default(), ExpConfig::at(Scale::Full));
     }
 

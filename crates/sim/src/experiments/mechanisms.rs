@@ -9,7 +9,7 @@
 //! the monolithic path.
 
 use padc_core::{cost, DropThresholds, SchedulingPolicy};
-use padc_dram::MappingScheme;
+use padc_dram::{MappingScheme, RefreshPolicy};
 use padc_prefetch::PrefetcherKind;
 use padc_workloads::{random_workloads, Workload};
 
@@ -377,7 +377,9 @@ pub(crate) fn ext_batch_kind() -> ExpKind {
 fn ext_timing_arms() -> Vec<PolicyArm> {
     fn none(_: &mut SimConfig) {}
     fn ext(cfg: &mut SimConfig) {
-        cfg.dram.extended = Some(padc_dram::ExtendedTiming::default());
+        *cfg = cfg
+            .clone()
+            .with_extended_timing(padc_dram::ExtendedTiming::default());
     }
     vec![
         mech_arm("demand-first", SchedulingPolicy::DemandFirst, true, none),
@@ -501,6 +503,80 @@ pub(crate) fn ext_dspatch_kind() -> ExpKind {
     ExpKind::planned(ext_dspatch_plan, ext_dspatch_reduce)
 }
 
+/// The refresh-policy arm sets: demand-first and PADC run under each of
+/// the three [`RefreshPolicy`] organizations with extended timing (and
+/// therefore refresh) enabled. All-bank refresh blocks the whole channel
+/// for t_RFC every t_REFI; per-bank staggers the windows so only one bank
+/// at a time is out; DARP additionally pulls refreshes early into idle
+/// banks (Chang et al.'s refresh-access parallelism; see PAPERS.md).
+/// Refresh steals exactly the bank time prefetches would speculate into,
+/// so this set probes whether PADC's win survives — and grows with — the
+/// reclaimed refresh bandwidth.
+fn ext_refresh_sets() -> Vec<(&'static str, Vec<PolicyArm>)> {
+    fn all_bank(cfg: &mut SimConfig) {
+        *cfg = cfg
+            .clone()
+            .with_extended_timing(padc_dram::ExtendedTiming::default())
+            .with_refresh_policy(RefreshPolicy::AllBank);
+    }
+    fn per_bank(cfg: &mut SimConfig) {
+        *cfg = cfg.clone().with_refresh_policy(RefreshPolicy::PerBank);
+    }
+    fn darp(cfg: &mut SimConfig) {
+        *cfg = cfg.clone().with_refresh_policy(RefreshPolicy::Darp);
+    }
+    let base: [(&'static str, SchedulingPolicy, bool); 2] = [
+        ("demand-first", SchedulingPolicy::DemandFirst, true),
+        ("PADC", SchedulingPolicy::Padc, true),
+    ];
+    vec![
+        ("all-bank", arms_with(&base, all_bank)),
+        ("per-bank", arms_with(&base, per_bank)),
+        ("darp", arms_with(&base, darp)),
+    ]
+}
+
+fn ext_refresh_plan(exp: &ExpConfig) -> Vec<SimUnit> {
+    let workloads = mech_workloads(exp);
+    let mut units = plan_alone_units(&workloads, exp);
+    for (name, arms) in ext_refresh_sets() {
+        for arm in &arms {
+            for w in &workloads {
+                units.push(SimUnit::workload(arm, name, w, exp));
+            }
+        }
+    }
+    units
+}
+
+fn ext_refresh_reduce(exp: &ExpConfig, results: &[UnitResult]) -> Vec<ExpTable> {
+    let idx = UnitResults::new(results);
+    ext_refresh_sets()
+        .into_iter()
+        .map(|(name, arms)| {
+            reduce_arm_set(
+                &format!("ext-refresh-{name}"),
+                &format!("Extension: PADC under {name} refresh, 4-core"),
+                &arms,
+                name,
+                exp,
+                &idx,
+            )
+        })
+        .collect()
+}
+
+/// Extension (beyond the paper): demand-first and PADC under all-bank,
+/// per-bank, and DARP refresh organizations, 4-core averages (one table
+/// per refresh policy).
+pub fn ext_refresh(exp: &ExpConfig) -> Vec<ExpTable> {
+    ext_refresh_kind().tables(exp, ExecMode::Planned)
+}
+
+pub(crate) fn ext_refresh_kind() -> ExpKind {
+    ExpKind::planned(ext_refresh_plan, ext_refresh_reduce)
+}
+
 /// Tables 1 and 2: the hardware-cost model, evaluated for the paper's
 /// 1/2/4/8-core systems.
 pub fn tab1_2_cost(_exp: &ExpConfig) -> ExpTable {
@@ -604,6 +680,48 @@ mod tests {
         assert_eq!(dspatch_padc.prefetcher, Some(PrefetcherKind::DsPatch));
         // The no-pref arm stays prefetcher-less under both sets.
         assert_eq!(sets[1].1[0].build(4).prefetcher, None);
+    }
+
+    #[test]
+    fn ext_refresh_arms_cover_all_three_policies_with_timing_on() {
+        let sets = ext_refresh_sets();
+        let policies: Vec<_> = sets
+            .iter()
+            .map(|(name, arms)| (*name, arms.last().unwrap().build(4)))
+            .collect();
+        assert_eq!(policies.len(), 3);
+        for (name, cfg) in &policies {
+            assert!(
+                cfg.dram.extended.is_some(),
+                "{name}: refresh arms need extended timing"
+            );
+        }
+        assert_eq!(policies[0].1.dram.refresh_policy, RefreshPolicy::AllBank);
+        assert_eq!(policies[1].1.dram.refresh_policy, RefreshPolicy::PerBank);
+        assert_eq!(policies[2].1.dram.refresh_policy, RefreshPolicy::Darp);
+    }
+
+    #[test]
+    fn ext_refresh_plan_shares_alone_units_across_its_three_tables() {
+        let exp = ExpConfig::at(Scale::Smoke);
+        let units = ext_refresh_plan(&exp);
+        let alone_count = units.iter().filter(|u| u.key.variant == "alone").count();
+        let workloads = mech_workloads(&exp);
+        let distinct: std::collections::HashSet<_> = workloads
+            .iter()
+            .flat_map(|w| w.benchmarks.iter().map(|b| b.name.clone()))
+            .collect();
+        assert_eq!(
+            alone_count,
+            distinct.len(),
+            "alone units planned once, not per table"
+        );
+        let keys: std::collections::HashSet<_> = units.iter().map(|u| u.key.clone()).collect();
+        assert_eq!(
+            keys.len(),
+            units.len(),
+            "duplicate unit keys in ext-refresh plan"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use infra::{
     PlannedExperiment, PolicyArm, Scale, SimUnit, UnitKey, UnitResult, UnitResults,
 };
 pub use mechanisms::{
-    ext_batching, ext_dspatch, ext_timing, ext_write_drain, fig28_prefetchers,
+    ext_batching, ext_dspatch, ext_refresh, ext_timing, ext_write_drain, fig28_prefetchers,
     fig29_ddpf_fdp_demand_first, fig30_ddpf_fdp_equal, fig31_permutation, fig32_runahead,
     tab1_2_cost, tab6_thresholds,
 };

@@ -239,6 +239,11 @@ pub fn registry() -> Vec<Experiment> {
             kind: exp::sweeps::ext_happy_kind(),
         },
         Experiment {
+            id: "ext-refresh",
+            paper_ref: "Extension: per-bank refresh and DARP refresh-access parallelism",
+            kind: exp::mechanisms::ext_refresh_kind(),
+        },
+        Experiment {
             id: "cost",
             paper_ref: "Tables 1-2 (hardware cost)",
             kind: single_table!(exp::tab1_2_cost),

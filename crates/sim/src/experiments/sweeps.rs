@@ -129,7 +129,7 @@ fn fig24_plan(exp: &ExpConfig) -> Vec<SimUnit> {
         }
     }
     for arm in standard_arms() {
-        let arm = arm.mutated(|cfg| cfg.dram.row_policy = RowPolicy::Closed);
+        let arm = arm.mutated(|cfg| *cfg = cfg.clone().with_row_policy(RowPolicy::Closed));
         for w in &workloads {
             units.push(SimUnit::workload(&arm, "closed-row", w, exp));
         }
@@ -188,7 +188,7 @@ fn ext_happy_plan(exp: &ExpConfig) -> Vec<SimUnit> {
             if !EXT_HAPPY_ARMS.contains(&arm.label) {
                 continue;
             }
-            let arm = arm.mutated(move |cfg| cfg.dram.row_policy = policy);
+            let arm = arm.mutated(move |cfg| *cfg = cfg.clone().with_row_policy(policy));
             for w in &workloads {
                 units.push(SimUnit::workload(&arm, variant, w, exp));
             }
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn ext_happy_arms_capture_their_row_policy() {
         let arm = standard_arms().remove(1); // demand-first
-        let happy = arm.mutated(|cfg| cfg.dram.row_policy = RowPolicy::Happy);
+        let happy = arm.mutated(|cfg| *cfg = cfg.clone().with_row_policy(RowPolicy::Happy));
         assert_eq!(happy.build(4).dram.row_policy, RowPolicy::Happy);
         assert_eq!(arm.build(4).dram.row_policy, RowPolicy::Open);
     }

@@ -35,7 +35,7 @@ pub mod profile;
 pub mod serve;
 mod system;
 
-pub use config::SimConfig;
+pub use config::{MemPolicyConfig, SimConfig};
 pub use metrics::{CoreReport, Report, Traffic};
 pub use system::{
     fast_forward_default, fast_forward_mode_default, set_fast_forward_default,

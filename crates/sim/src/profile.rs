@@ -19,6 +19,7 @@
 //! `profile` JSONL object is strictly opt-in: the determinism gates compare
 //! artifacts produced *without* `--profile`.
 
+use serde::{Number, Serialize, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -91,12 +92,70 @@ pub struct SimProfile {
     /// `ext-dspatch` family, proving the dual-pattern modulator actually
     /// exercises both modes at smoke scale.
     pub dspatch_flips: u64,
+    /// DARP refresh pulls: per-bank refreshes the controller issued early
+    /// into idle banks (or during write drains) instead of paying the
+    /// deadline-forced refresh at the t_REFI window boundary (copied from
+    /// [`padc_dram::RefreshCounters`] when the run finishes; zero unless
+    /// `RefreshPolicy::Darp`). `scripts/mech_gate.sh` asserts this is
+    /// nonzero for the `ext-refresh` family.
+    pub refresh_pulls: u64,
+    /// Cycles of bank (or, for all-bank refresh, whole-channel) occupancy
+    /// charged to refresh over the run — the bandwidth the refresh policy
+    /// is competing to reclaim.
+    pub refresh_stall_cycles: u64,
     /// Wall time spent in the controller phase of `step` (timers on only).
     pub controller_ns: u64,
     /// Wall time spent ticking cores (timers on only).
     pub cores_ns: u64,
     /// Wall time of the whole [`System::run`](crate::System::run) call.
     pub wall_ns: u64,
+}
+
+/// Rounds a 0..=1 ratio to a percentage with one decimal, matching the
+/// `{:.1}` precision the old hand-formatted profile lines used.
+fn pct(ratio: f64) -> f64 {
+    (ratio * 1000.0).round() / 10.0
+}
+
+/// The `profile` JSON object (one key per [`SimProfile`] counter in
+/// declaration order, plus the derived `core_skip_pct` / `ctrl_skip_pct`
+/// percentages). This single serde surface is shared by the `padcsim`
+/// `--profile` stderr line, the suite JSONL rows `repro` / `padcsim
+/// --suite` / `padcsim serve` emit (via [`ProfileAccum::to_json`]), and
+/// the gate scripts that parse them.
+impl Serialize for SimProfile {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut push = |k: &str, v: u64| fields.push((k.to_string(), Value::Num(Number::U(v))));
+        push("cycles_stepped", self.cycles_stepped);
+        push("ff_jumps", self.ff_jumps);
+        push("ff_cycles_skipped", self.ff_cycles_skipped);
+        push("core_cycles_ticked", self.core_cycles_ticked);
+        push("core_cycles_skipped", self.core_cycles_skipped);
+        push("horizon_resyncs", self.horizon_resyncs);
+        push("ctrl_cycles_stepped", self.ctrl_cycles_stepped);
+        push("ctrl_cycles_skipped", self.ctrl_cycles_skipped);
+        push("ctrl_events_fired", self.ctrl_events_fired);
+        push("owner_recomputes", self.owner_recomputes);
+        push("owner_invalidations", self.owner_invalidations);
+        push("owner_reuses", self.owner_reuses);
+        push("owner_scan_entries", self.owner_scan_entries);
+        push("dspatch_flips", self.dspatch_flips);
+        push("refresh_pulls", self.refresh_pulls);
+        push("refresh_stall_cycles", self.refresh_stall_cycles);
+        push("controller_ns", self.controller_ns);
+        push("cores_ns", self.cores_ns);
+        push("wall_ns", self.wall_ns);
+        fields.push((
+            "core_skip_pct".to_string(),
+            Value::Num(Number::F(pct(self.core_skip_ratio()))),
+        ));
+        fields.push((
+            "ctrl_skip_pct".to_string(),
+            Value::Num(Number::F(pct(self.ctrl_skip_ratio()))),
+        ));
+        Value::Object(fields)
+    }
 }
 
 impl SimProfile {
@@ -145,6 +204,8 @@ pub struct ProfileAccum {
     owner_reuses: AtomicU64,
     owner_scan_entries: AtomicU64,
     dspatch_flips: AtomicU64,
+    refresh_pulls: AtomicU64,
+    refresh_stall_cycles: AtomicU64,
     controller_ns: AtomicU64,
     cores_ns: AtomicU64,
     wall_ns: AtomicU64,
@@ -181,6 +242,10 @@ impl ProfileAccum {
             .fetch_add(p.owner_scan_entries, Ordering::Relaxed);
         self.dspatch_flips
             .fetch_add(p.dspatch_flips, Ordering::Relaxed);
+        self.refresh_pulls
+            .fetch_add(p.refresh_pulls, Ordering::Relaxed);
+        self.refresh_stall_cycles
+            .fetch_add(p.refresh_stall_cycles, Ordering::Relaxed);
         self.controller_ns
             .fetch_add(p.controller_ns, Ordering::Relaxed);
         self.cores_ns.fetch_add(p.cores_ns, Ordering::Relaxed);
@@ -192,40 +257,46 @@ impl ProfileAccum {
         self.runs.load(Ordering::Relaxed)
     }
 
-    /// Renders the accumulated profile as a JSON object with a fixed key
-    /// order (embedded in the suite's JSONL rows under `"profile"`).
+    /// Snapshot of the folded counters as one [`SimProfile`].
+    pub fn snapshot(&self) -> SimProfile {
+        SimProfile {
+            cycles_stepped: self.cycles_stepped.load(Ordering::Relaxed),
+            ff_jumps: self.ff_jumps.load(Ordering::Relaxed),
+            ff_cycles_skipped: self.ff_cycles_skipped.load(Ordering::Relaxed),
+            core_cycles_ticked: self.core_cycles_ticked.load(Ordering::Relaxed),
+            core_cycles_skipped: self.core_cycles_skipped.load(Ordering::Relaxed),
+            horizon_resyncs: self.horizon_resyncs.load(Ordering::Relaxed),
+            ctrl_cycles_stepped: self.ctrl_cycles_stepped.load(Ordering::Relaxed),
+            ctrl_cycles_skipped: self.ctrl_cycles_skipped.load(Ordering::Relaxed),
+            ctrl_events_fired: self.ctrl_events_fired.load(Ordering::Relaxed),
+            owner_recomputes: self.owner_recomputes.load(Ordering::Relaxed),
+            owner_invalidations: self.owner_invalidations.load(Ordering::Relaxed),
+            owner_reuses: self.owner_reuses.load(Ordering::Relaxed),
+            owner_scan_entries: self.owner_scan_entries.load(Ordering::Relaxed),
+            dspatch_flips: self.dspatch_flips.load(Ordering::Relaxed),
+            refresh_pulls: self.refresh_pulls.load(Ordering::Relaxed),
+            refresh_stall_cycles: self.refresh_stall_cycles.load(Ordering::Relaxed),
+            controller_ns: self.controller_ns.load(Ordering::Relaxed),
+            cores_ns: self.cores_ns.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the accumulated profile as a JSON object (embedded in the
+    /// suite's JSONL rows under `"profile"`): a leading `runs` count
+    /// followed by the serde-serialized [`SimProfile`] fields, so every
+    /// consumer reads the same object shape `padcsim --profile` prints.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"runs\":{},\"cycles_stepped\":{},\"ff_jumps\":{},",
-                "\"ff_cycles_skipped\":{},\"core_cycles_ticked\":{},",
-                "\"core_cycles_skipped\":{},\"horizon_resyncs\":{},",
-                "\"ctrl_cycles_stepped\":{},\"ctrl_cycles_skipped\":{},",
-                "\"ctrl_events_fired\":{},",
-                "\"owner_recomputes\":{},\"owner_invalidations\":{},",
-                "\"owner_reuses\":{},\"owner_scan_entries\":{},",
-                "\"dspatch_flips\":{},",
-                "\"controller_ns\":{},\"cores_ns\":{},\"wall_ns\":{}}}"
-            ),
-            self.runs.load(Ordering::Relaxed),
-            self.cycles_stepped.load(Ordering::Relaxed),
-            self.ff_jumps.load(Ordering::Relaxed),
-            self.ff_cycles_skipped.load(Ordering::Relaxed),
-            self.core_cycles_ticked.load(Ordering::Relaxed),
-            self.core_cycles_skipped.load(Ordering::Relaxed),
-            self.horizon_resyncs.load(Ordering::Relaxed),
-            self.ctrl_cycles_stepped.load(Ordering::Relaxed),
-            self.ctrl_cycles_skipped.load(Ordering::Relaxed),
-            self.ctrl_events_fired.load(Ordering::Relaxed),
-            self.owner_recomputes.load(Ordering::Relaxed),
-            self.owner_invalidations.load(Ordering::Relaxed),
-            self.owner_reuses.load(Ordering::Relaxed),
-            self.owner_scan_entries.load(Ordering::Relaxed),
-            self.dspatch_flips.load(Ordering::Relaxed),
-            self.controller_ns.load(Ordering::Relaxed),
-            self.cores_ns.load(Ordering::Relaxed),
-            self.wall_ns.load(Ordering::Relaxed),
-        )
+        let mut fields = vec![(
+            "runs".to_string(),
+            Value::Num(Number::U(self.runs.load(Ordering::Relaxed))),
+        )];
+        if let Value::Object(rest) = self.snapshot().to_value() {
+            fields.extend(rest);
+        }
+        let mut out = String::new();
+        serde_json::write_value(&mut out, &Value::Object(fields), None, 0);
+        out
     }
 }
 
@@ -305,6 +376,8 @@ mod tests {
             owner_reuses: 20,
             owner_scan_entries: 12,
             dspatch_flips: 3,
+            refresh_pulls: 4,
+            refresh_stall_cycles: 40,
             controller_ns: 0,
             cores_ns: 0,
             wall_ns: 5,
@@ -324,6 +397,8 @@ mod tests {
             owner_reuses: 5,
             owner_scan_entries: 3,
             dspatch_flips: 2,
+            refresh_pulls: 2,
+            refresh_stall_cycles: 17,
             controller_ns: 3,
             cores_ns: 4,
             wall_ns: 5,
@@ -339,7 +414,29 @@ mod tests {
              \"owner_recomputes\":5,\"owner_invalidations\":8,\
              \"owner_reuses\":25,\"owner_scan_entries\":15,\
              \"dspatch_flips\":5,\
-             \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10}"
+             \"refresh_pulls\":6,\"refresh_stall_cycles\":57,\
+             \"controller_ns\":3,\"cores_ns\":4,\"wall_ns\":10,\
+             \"core_skip_pct\":86.2,\"ctrl_skip_pct\":89.6}"
+        );
+    }
+
+    #[test]
+    fn single_run_profile_serializes_to_the_same_shape() {
+        // `padcsim --profile` prints exactly this object (minus `runs`);
+        // the perf gate greps its `"core_skip_pct":` / `"owner_*":` keys.
+        let p = SimProfile {
+            core_cycles_ticked: 25,
+            core_cycles_skipped: 75,
+            refresh_pulls: 9,
+            ..SimProfile::default()
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.starts_with("{\"cycles_stepped\":0,"), "{json}");
+        assert!(json.contains("\"refresh_pulls\":9"), "{json}");
+        assert!(json.contains("\"refresh_stall_cycles\":0"), "{json}");
+        assert!(
+            json.ends_with("\"core_skip_pct\":75,\"ctrl_skip_pct\":0}"),
+            "{json}"
         );
     }
 

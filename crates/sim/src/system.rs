@@ -1242,6 +1242,9 @@ impl System {
         self.profile.owner_reuses = bs.owner_reuses;
         self.profile.owner_scan_entries = bs.owner_scan_entries;
         self.profile.dspatch_flips = self.mem.prefetchers.iter().map(|p| p.mode_flips()).sum();
+        let rc = self.mem.controller.refresh_counters();
+        self.profile.refresh_pulls = rc.pulls;
+        self.profile.refresh_stall_cycles = rc.stall_cycles;
         profile::note_run(&self.profile);
         self.report()
     }

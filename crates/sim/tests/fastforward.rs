@@ -10,6 +10,7 @@
 //! always a jump bound: the accuracy tracker's interval rollover.
 
 use padc_core::SchedulingPolicy;
+use padc_dram::RefreshPolicy;
 use padc_sim::{FastForwardMode, SimConfig, System};
 use padc_workloads::{profiles, BenchProfile};
 use proptest::prelude::*;
@@ -20,6 +21,19 @@ const POLICIES: [SchedulingPolicy; 5] = [
     SchedulingPolicy::PrefetchFirst,
     SchedulingPolicy::ApsOnly,
     SchedulingPolicy::Padc,
+];
+
+/// Refresh configurations the equivalence matrix ranges over: the legacy
+/// no-refresh default, and the three [`RefreshPolicy`] variants with
+/// extended timing on (per-bank/DARP enable it implicitly). Every mode
+/// pair must stay byte-identical under each of them — in particular the
+/// DARP refresh-pull pass, which fires at controller boundaries, must be
+/// invisible to event-driven stepping (DESIGN.md §15).
+const REFRESH_CONFIGS: [Option<RefreshPolicy>; 4] = [
+    None,
+    Some(RefreshPolicy::AllBank),
+    Some(RefreshPolicy::PerBank),
+    Some(RefreshPolicy::Darp),
 ];
 
 /// A small mix of benchmarks with distinct memory behavior: streaming
@@ -39,6 +53,15 @@ fn small_config(seed: u64, cores: usize, policy_idx: usize, instructions: u64) -
     cfg.max_instructions = instructions;
     cfg.max_cycles = 40_000_000;
     cfg
+}
+
+fn refresh_config(cfg: SimConfig, refresh_idx: usize) -> SimConfig {
+    match REFRESH_CONFIGS[refresh_idx % REFRESH_CONFIGS.len()] {
+        None => cfg,
+        Some(policy) => cfg
+            .with_extended_timing(padc_dram::ExtendedTiming::default())
+            .with_refresh_policy(policy),
+    }
 }
 
 fn workloads(cores: usize, first: usize) -> Vec<BenchProfile> {
@@ -73,8 +96,12 @@ proptest! {
                                   cores in 1usize..4,
                                   policy_idx in 0usize..5,
                                   first_bench in 0usize..3,
+                                  refresh_idx in 0usize..4,
                                   instructions in 2_000u64..10_000) {
-        let cfg = small_config(seed, cores, policy_idx, instructions);
+        let cfg = refresh_config(
+            small_config(seed, cores, policy_idx, instructions),
+            refresh_idx,
+        );
 
         let (off_json, off_p, off_now) =
             run_mode(&cfg, cores, first_bench, FastForwardMode::Off);
@@ -190,6 +217,41 @@ fn eight_core_memory_hog_mix_agrees_across_modes() {
         ev_p.ctrl_skip_ratio(),
         hor_p.ctrl_skip_ratio()
     );
+}
+
+/// Deterministic sweep of the full refresh × fast-forward matrix: each
+/// refresh policy (and the no-refresh legacy default) agrees byte-for-byte
+/// across all four modes, and the per-bank policies actually refresh. The
+/// proptest above samples this space; this pins every cell.
+#[test]
+fn refresh_policies_agree_across_all_modes() {
+    for (refresh_idx, refresh) in REFRESH_CONFIGS.iter().enumerate() {
+        let cfg = refresh_config(small_config(5, 2, 4, 6_000), refresh_idx);
+        let mut off = System::new(cfg.clone(), workloads(2, 0));
+        off.set_fast_forward_mode(FastForwardMode::Off);
+        let off_report = off.run();
+        let off_json = serde_json::to_string(&off_report).expect("serialize");
+        for mode in [
+            FastForwardMode::Global,
+            FastForwardMode::Horizon,
+            FastForwardMode::Event,
+        ] {
+            let (json, _, now) = run_mode(&cfg, 2, 0, mode);
+            assert_eq!(
+                off_json, json,
+                "{mode:?} diverged under refresh config {refresh_idx}"
+            );
+            assert_eq!(off.now(), now);
+        }
+        let refreshes: u64 = off_report.channels.iter().map(|c| c.refreshes).sum();
+        match refresh {
+            None => assert_eq!(refreshes, 0, "refresh without extended timing"),
+            Some(_) => assert!(
+                refreshes > 0,
+                "refresh config {refresh_idx} never refreshed"
+            ),
+        }
+    }
 }
 
 /// PAR interval rollovers are an explicit fast-forward event source: both

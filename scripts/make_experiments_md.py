@@ -229,6 +229,20 @@ these workloads (demand-first WS 2.93 vs 2.84 open) and HAPPY's per-row
 closed-row gain (WS 2.89) with no oracle knowledge — and the ordering
 is stable across all three arms. Orthogonal to PADC: policy choice
 moves WS by ~3% while arm choice moves it by ~10%.""",
+    "ext-refresh": """**Extension** (not in the paper): refresh-access parallelism after
+Chang et al.'s DARP (DESIGN.md §15) — all-bank (channel-wide tRFC
+stall), per-bank (staggered windows, tRFCpb = tRFC/2, only the owning
+bank stalls), and darp (per-bank plus out-of-order refresh pulled into
+idle banks and write drains), each crossed with demand-first and PADC.
+Measured: per-bank refresh recovers ~1.1% WS over all-bank for both
+arms (demand-first 2.144 → 2.167, PADC 2.174 → 2.199) — parallelism
+across banks hides most of the refresh penalty by itself. DARP's pulls
+add another +1.8% for demand-first (2.206, the largest arm total) but
+are neutral for PADC (2.192): prefetch-aware scheduling keeps banks
+busy with useful prefetches, so the idle windows DARP exploits are
+scarcer — the two mechanisms compete for the same slack. PADC stays
+the better arm under all-bank and per-bank; under darp the baseline
+catches up.""",
     "cost": """**Paper**: Tables 1–2 — 34,720 bits (~4.25KB) on the 4-core system, 0.2%
 of L2 capacity; 1,824 bits if prefetch bits already exist.
 **Measured**: the cost model reproduces the paper's table *exactly* (the

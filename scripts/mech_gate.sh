@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Mechanisms gate: the two mechanism-arm experiment families added on top
+# Mechanisms gate: the mechanism-arm experiment families added on top
 # of the paper grid — `ext-dspatch` (DSPatch dual-pattern prefetcher under
-# PADC) and `ext-happy` (HAPPY hybrid page policy crossed with APS/APD) —
+# PADC), `ext-happy` (HAPPY hybrid page policy crossed with APS/APD), and
+# `ext-refresh` (per-bank refresh and DARP refresh-access parallelism) —
 # must satisfy the same determinism contract as the rest of the suite:
 # byte-identical JSONL across --jobs 1 / --jobs 8 and across all four
 # --fast-forward modes. A profiled run must additionally show a nonzero
 # DSPatch modulator flip count ("dspatch_flips" in the profile object),
 # proving the Coverage<->Accuracy modulator actually engages at smoke
-# scale rather than sitting in one mode, and the ext-happy table must
-# carry rows for all three row policies.
+# scale rather than sitting in one mode; the ext-happy table must carry
+# rows for all three row policies; the ext-refresh family must emit one
+# table per refresh policy, report nonzero DARP refresh pulls, and an
+# all-bank refresh run must stay byte-identical to the legacy
+# extended-timing model (RefreshPolicy::AllBank is a pure rename of the
+# pre-RefreshPolicy behavior, never a semantic change).
 #
 # No determinism comparison uses --profile: profiled payloads carry wall
 # times and are legitimately nondeterministic. The profiled run is only
@@ -22,7 +27,7 @@ cd "$(dirname "$0")/.."
 source "$(dirname "$0")/gate_summary.sh"
 gate_init "mechanisms gate"
 
-FAMILIES=(ext-dspatch ext-happy)
+FAMILIES=(ext-dspatch ext-happy ext-refresh)
 if [ -n "${MECH_GATE_OUT:-}" ]; then
     OUT="$MECH_GATE_OUT"
     mkdir -p "$OUT"
@@ -34,6 +39,7 @@ fi
 gate_section "build"
 cargo build --release --workspace --quiet
 REPRO=target/release/repro
+SIM=target/release/padcsim
 
 gate_section "jobs 1 vs jobs 8"
 echo "== mechanisms: --jobs 1 vs --jobs 8 on ${FAMILIES[*]} (smoke scale)"
@@ -62,7 +68,8 @@ done
 echo "   byte-identical across all four modes ($(wc -c <"$OUT/ff-off.jsonl") bytes)"
 
 gate_section "table shape"
-echo "== mechanisms: ext-dspatch emits both prefetcher sets, ext-happy all three policies"
+echo "== mechanisms: ext-dspatch emits both prefetcher sets, ext-happy all three policies,"
+echo "   ext-refresh all three refresh policies"
 for table in ext-dspatch-stream ext-dspatch-dspatch; do
     if ! grep -q "\"id\":\"$table\"" "$OUT/j1.jsonl"; then
         echo "FAIL: ext-dspatch artifact misses table $table" >&2
@@ -75,7 +82,14 @@ for variant in open-row closed-row happy; do
         exit 1
     fi
 done
-echo "   both ext-dspatch tables present; ext-happy covers open/closed/happy"
+for table in ext-refresh-all-bank ext-refresh-per-bank ext-refresh-darp; do
+    if ! grep -q "\"id\":\"$table\"" "$OUT/j1.jsonl"; then
+        echo "FAIL: ext-refresh artifact misses table $table" >&2
+        exit 1
+    fi
+done
+echo "   both ext-dspatch tables present; ext-happy covers open/closed/happy;"
+echo "   ext-refresh covers all-bank/per-bank/darp"
 
 gate_section "dspatch modulator engages"
 echo "== mechanisms: profiled ext-dspatch run must report nonzero dspatch_flips"
@@ -92,5 +106,32 @@ if [ "$FLIPS" -eq 0 ]; then
     exit 1
 fi
 echo "   dspatch_flips=$FLIPS (nonzero; modulator exercised both modes)"
+
+gate_section "refresh: all-bank == legacy, darp pulls engage"
+echo "== mechanisms: RefreshPolicy::AllBank must be byte-identical to the legacy"
+echo "   extended-timing model, and the profiled ext-refresh run must pull refreshes"
+REFRESH_MIX=(--bench mcf_06 --bench libquantum_06 --bench lbm_06 --bench milc_06)
+"$SIM" "${REFRESH_MIX[@]}" --policy padc --instructions 30000 \
+    --extended-timing --json >"$OUT/refresh-legacy.json"
+"$SIM" "${REFRESH_MIX[@]}" --policy padc --instructions 30000 \
+    --extended-timing --refresh-policy all-bank --json >"$OUT/refresh-allbank.json"
+if ! cmp "$OUT/refresh-legacy.json" "$OUT/refresh-allbank.json"; then
+    echo "FAIL: --refresh-policy all-bank diverged from the legacy extended-timing" >&2
+    echo "      model — AllBank must stay a pure rename of the pre-RefreshPolicy" >&2
+    echo "      behavior (DESIGN.md §15)" >&2
+    exit 1
+fi
+PULLS=$(grep '"id":"ext-refresh-' "$OUT/profiled.jsonl" \
+    | grep -o '"refresh_pulls":[0-9]*' | head -n1 | cut -d: -f2)
+if [ -z "$PULLS" ]; then
+    echo "FAIL: profiled ext-refresh payload carries no refresh_pulls counter" >&2
+    exit 1
+fi
+if [ "$PULLS" -eq 0 ]; then
+    echo "FAIL: DARP never pulled a refresh into an idle bank at smoke scale (refresh_pulls=0)" >&2
+    exit 1
+fi
+echo "   all-bank byte-identical to legacy ($(wc -c <"$OUT/refresh-legacy.json") bytes);" \
+     "refresh_pulls=$PULLS"
 
 echo "== mech_gate.sh: all green"

@@ -37,13 +37,24 @@
 #    where warm runs silently recompute everything while results stay
 #    byte-identical.
 #
-# 4. The mechanism-arm families (ext-dspatch, ext-happy) must keep their
-#    structural shape (floors from BENCH_mech.json): the cold run must
-#    decompose into at least min_subjobs_executed units under the --jobs
-#    bound with the memo deduplicating alone references, and a warm
-#    rerun must resolve entirely from the store. This catches the new
-#    arms' configs (DsPatchConfig, RowPolicy::Happy) going fingerprint-
-#    unstable while results stay byte-identical.
+# 4. The mechanism-arm families (ext-dspatch, ext-happy, ext-refresh)
+#    must keep their structural shape (floors from BENCH_mech.json): the
+#    cold run must decompose into at least min_subjobs_executed units
+#    under the --jobs bound with the memo deduplicating alone references,
+#    and a warm rerun must resolve entirely from the store. This catches
+#    the new arms' configs (DsPatchConfig, RowPolicy::Happy,
+#    RefreshPolicy) going fingerprint-unstable while results stay
+#    byte-identical.
+#
+# 5. The DARP refresh-pull pass must keep firing (floors from
+#    BENCH_refresh.json): a --refresh-policy darp run on the 8-core mix
+#    must pull at least min_refresh_pulls refreshes into idle banks and
+#    charge nonzero refresh_stall_cycles, while an all-bank run reports
+#    zero pulls (pulls exist only under DARP). Deterministic counts, not
+#    timings. This catches the idle-bank eligibility test silently going
+#    always-false: results would drift only at the IPC level while the
+#    mechanism the ext-refresh family measures quietly turns into plain
+#    per-bank refresh.
 #
 # Set PERF_GATE_OUT to keep the report and profile output in a known
 # directory (CI uploads it on failure); otherwise a temp dir is used.
@@ -84,7 +95,7 @@ echo "== perf: 8-core memory-hog mix, --fast-forward horizon, floor ${floor}%"
     >"$OUT/report.txt" 2>"$OUT/profile.txt"
 grep '^profile:' "$OUT/profile.txt"
 
-skip=$(grep -o 'core_skip_pct=[0-9.]*' "$OUT/profile.txt" | head -n1 | cut -d= -f2)
+skip=$(grep -o '"core_skip_pct":[0-9.]*' "$OUT/profile.txt" | head -n1 | cut -d: -f2)
 if [ -z "$skip" ]; then
     echo "FAIL: no core_skip_pct in --profile output" >&2
     exit 1
@@ -115,7 +126,7 @@ echo "== perf: 8-core mix, --fast-forward event, ctrl floor ${CTRL_MIX_FLOOR}%"
     --fast-forward event --profile \
     >"$OUT/event-mix-report.txt" 2>"$OUT/event-mix-profile.txt"
 grep '^profile:' "$OUT/event-mix-profile.txt"
-ctrl_skip=$(grep -o 'ctrl_skip_pct=[0-9.]*' "$OUT/event-mix-profile.txt" | head -n1 | cut -d= -f2)
+ctrl_skip=$(grep -o '"ctrl_skip_pct":[0-9.]*' "$OUT/event-mix-profile.txt" | head -n1 | cut -d: -f2)
 if [ -z "$ctrl_skip" ]; then
     echo "FAIL: no ctrl_skip_pct in --profile output" >&2
     exit 1
@@ -145,10 +156,10 @@ PYEOF
 
 gate_section "owner-cache floors (event, 8-core mix)"
 echo "== perf: owner cache on the same event-mix run, reuse floor ${BUF_FLOOR}%"
-owner_line=$(grep '^profile: owner_' "$OUT/event-mix-profile.txt" || true)
-recomputes=$(echo "$owner_line" | grep -o 'owner_recomputes=[0-9]*' | cut -d= -f2)
-invalidations=$(echo "$owner_line" | grep -o 'owner_invalidations=[0-9]*' | cut -d= -f2)
-reuses=$(echo "$owner_line" | grep -o 'owner_reuses=[0-9]*' | cut -d= -f2)
+owner_line=$(grep '^profile: ' "$OUT/event-mix-profile.txt" || true)
+recomputes=$(echo "$owner_line" | grep -o '"owner_recomputes":[0-9]*' | cut -d: -f2)
+invalidations=$(echo "$owner_line" | grep -o '"owner_invalidations":[0-9]*' | cut -d: -f2)
+reuses=$(echo "$owner_line" | grep -o '"owner_reuses":[0-9]*' | cut -d: -f2)
 if [ -z "$recomputes" ] || [ -z "$invalidations" ] || [ -z "$reuses" ]; then
     echo "FAIL: no owner_* counters in --profile output" >&2
     exit 1
@@ -177,7 +188,7 @@ echo "== perf: mcf single, --fast-forward event, ctrl floor ${CTRL_MCF_FLOOR}%"
     --fast-forward event --profile \
     >"$OUT/event-mcf-report.txt" 2>"$OUT/event-mcf-profile.txt"
 grep '^profile:' "$OUT/event-mcf-profile.txt"
-ctrl_skip=$(grep -o 'ctrl_skip_pct=[0-9.]*' "$OUT/event-mcf-profile.txt" | head -n1 | cut -d= -f2)
+ctrl_skip=$(grep -o '"ctrl_skip_pct":[0-9.]*' "$OUT/event-mcf-profile.txt" | head -n1 | cut -d: -f2)
 if [ -z "$ctrl_skip" ]; then
     echo "FAIL: no ctrl_skip_pct in --profile output" >&2
     exit 1
@@ -338,7 +349,7 @@ if [ -z "$mech_exec" ] || [ -z "$mech_peak" ] || [ -z "$mech_computed" ] ||
 fi
 if [ "$mech_exec" -lt "$MECH_MIN_SUBJOBS" ]; then
     echo "FAIL: only $mech_exec mechanism units executed (floor $MECH_MIN_SUBJOBS):" >&2
-    echo "      ext-dspatch/ext-happy stopped decomposing into their arm grids" >&2
+    echo "      ext-dspatch/ext-happy/ext-refresh stopped decomposing into their arm grids" >&2
     exit 1
 fi
 if [ "$mech_peak" -gt "$MECH_JOBS" ]; then
@@ -364,4 +375,46 @@ echo "   cold: $mech_exec units (floor $MECH_MIN_SUBJOBS), peak $mech_peak <= $M
      "memo computed $mech_computed <= $MECH_MAX_SINGLES"
 echo "   warm: $mech_hits hits (floor $MECH_MIN_HITS), $mech_misses misses" \
      "(ceiling $MECH_MAX_MISSES), 0 units executed"
+
+# -- 5: DARP refresh-pull floors (BENCH_refresh.json) ------------------
+REFRESH_GATE=$(python3 - <<'PYEOF'
+import json
+gate = json.load(open("BENCH_refresh.json"))["ci_gate"]
+print(gate["mix_instructions"], gate["min_refresh_pulls"])
+PYEOF
+)
+read -r REFRESH_INSTR MIN_REFRESH_PULLS <<<"$REFRESH_GATE"
+
+gate_section "refresh-pull floors (darp, 8-core mix)"
+echo "== refresh: 8-core mix, --refresh-policy darp, pulls floor ${MIN_REFRESH_PULLS}"
+"$SIM" "${MIX[@]}" --policy padc --instructions "$REFRESH_INSTR" \
+    --refresh-policy darp --fast-forward event --profile \
+    >"$OUT/refresh-darp-report.txt" 2>"$OUT/refresh-darp-profile.txt"
+grep '^profile:' "$OUT/refresh-darp-profile.txt"
+pulls=$(grep -o '"refresh_pulls":[0-9]*' "$OUT/refresh-darp-profile.txt" | cut -d: -f2)
+stalls=$(grep -o '"refresh_stall_cycles":[0-9]*' "$OUT/refresh-darp-profile.txt" | cut -d: -f2)
+if [ -z "$pulls" ] || [ -z "$stalls" ]; then
+    echo "FAIL: no refresh_pulls/refresh_stall_cycles in --profile output" >&2
+    exit 1
+fi
+if [ "$pulls" -lt "$MIN_REFRESH_PULLS" ]; then
+    echo "FAIL: only $pulls DARP refresh pulls (floor $MIN_REFRESH_PULLS):" >&2
+    echo "      the idle-bank refresh-pull pass stopped firing — DARP has" >&2
+    echo "      silently degraded to plain per-bank refresh (BENCH_refresh.json)" >&2
+    exit 1
+fi
+if [ "$stalls" -eq 0 ]; then
+    echo "FAIL: refresh_stall_cycles is 0 with $pulls pulls — pull accounting broke" >&2
+    exit 1
+fi
+"$SIM" "${MIX[@]}" --policy padc --instructions "$REFRESH_INSTR" \
+    --refresh-policy all-bank --extended-timing --fast-forward event --profile \
+    >"$OUT/refresh-allbank-report.txt" 2>"$OUT/refresh-allbank-profile.txt"
+ab_pulls=$(grep -o '"refresh_pulls":[0-9]*' "$OUT/refresh-allbank-profile.txt" | cut -d: -f2)
+if [ "$ab_pulls" != "0" ]; then
+    echo "FAIL: all-bank run reports refresh_pulls=$ab_pulls (pulls are DARP-only)" >&2
+    exit 1
+fi
+echo "   darp: $pulls pulls (floor $MIN_REFRESH_PULLS), $stalls stall cycles;" \
+     "all-bank: 0 pulls"
 echo "== perf_gate.sh: all green"

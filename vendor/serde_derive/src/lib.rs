@@ -5,7 +5,8 @@
 //! serde::Deserialize` against the shim's `Value` data model. Supports
 //! exactly the shapes this workspace uses:
 //!
-//! - structs with named fields (honouring `#[serde(default)]`)
+//! - structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`, separately or combined)
 //! - tuple structs (newtypes serialize transparently, wider ones as arrays)
 //! - enums with unit variants (serialized as the variant-name string)
 //! - enums with struct variants (externally tagged, serde-style)
@@ -35,6 +36,18 @@ enum Direction {
 struct Field {
     name: String,
     has_default: bool,
+    /// Path of a `fn(&T) -> bool` predicate from
+    /// `#[serde(skip_serializing_if = "...")]`: when it returns true the
+    /// field is omitted from the serialized object (deserialization then
+    /// relies on `default`, exactly like upstream serde).
+    skip_if: Option<String>,
+}
+
+/// Parsed `#[serde(...)]` field attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    has_default: bool,
+    skip_if: Option<String>,
 }
 
 enum Shape {
@@ -88,9 +101,9 @@ impl<'a> Cursor<'a> {
         matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == s)
     }
 
-    /// Skips attributes; returns true if one of them was `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> Result<bool, String> {
-        let mut has_default = false;
+    /// Skips attributes, collecting the supported `#[serde(...)]` ones.
+    fn skip_attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
         while self.is_punct('#') {
             self.next();
             let Some(TokenTree::Group(g)) = self.next() else {
@@ -103,15 +116,30 @@ impl<'a> Cursor<'a> {
                         return Err("unsupported bare #[serde] attribute".into());
                     };
                     let args = args.stream().to_string();
-                    if args.trim() == "default" {
-                        has_default = true;
-                    } else {
-                        return Err(format!("unsupported #[serde({args})] attribute"));
+                    // Quoted predicate paths never contain commas, so a
+                    // textual split is safe for the attributes we accept.
+                    for part in args.split(',') {
+                        let part = part.trim();
+                        if part.is_empty() || part == "default" {
+                            attrs.has_default |= part == "default";
+                            continue;
+                        }
+                        let path = part
+                            .strip_prefix("skip_serializing_if")
+                            .map(|r| r.trim_start())
+                            .and_then(|r| r.strip_prefix('='))
+                            .map(|r| r.trim())
+                            .and_then(|r| r.strip_prefix('"'))
+                            .and_then(|r| r.strip_suffix('"'));
+                        match path {
+                            Some(p) => attrs.skip_if = Some(p.to_string()),
+                            None => return Err(format!("unsupported #[serde({args})] attribute")),
+                        }
                     }
                 }
             }
         }
-        Ok(has_default)
+        Ok(attrs)
     }
 
     fn skip_visibility(&mut self) {
@@ -164,7 +192,7 @@ fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut c = Cursor { toks, i: 0 };
     let mut fields = Vec::new();
     while c.peek().is_some() {
-        let has_default = c.skip_attrs()?;
+        let attrs = c.skip_attrs()?;
         c.skip_visibility();
         let name = match c.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -190,7 +218,11 @@ fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<Field>, String> {
         if c.is_punct(',') {
             c.next();
         }
-        fields.push(Field { name, has_default });
+        fields.push(Field {
+            name,
+            has_default: attrs.has_default,
+            skip_if: attrs.skip_if,
+        });
     }
     Ok(fields)
 }
@@ -255,16 +287,25 @@ fn parse_variants(toks: &[TokenTree]) -> Result<Vec<Variant>, String> {
 fn gen_serialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
-            let entries: String = fields
+            let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",
+                    let push = format!(
+                        "__fields.push(({:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{})));",
                         f.name, f.name
-                    )
+                    );
+                    match &f.skip_if {
+                        Some(path) => format!("if !{path}(&self.{}) {{ {push} }}", f.name),
+                        None => push,
+                    }
                 })
                 .collect();
-            format!("::serde::Value::Object(vec![{entries}])")
+            format!(
+                "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Object(__fields) }}"
+            )
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
@@ -283,18 +324,28 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                     ),
                     Some(fields) => {
                         let binds: String = fields.iter().map(|f| format!("{},", f.name)).collect();
-                        let entries: String = fields
+                        let pushes: String = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "({:?}.to_string(), ::serde::Serialize::to_value({})),",
+                                let push = format!(
+                                    "__fields.push(({:?}.to_string(), \
+                                     ::serde::Serialize::to_value({})));",
                                     f.name, f.name
-                                )
+                                );
+                                match &f.skip_if {
+                                    Some(path) => {
+                                        format!("if !{path}({}) {{ {push} }}", f.name)
+                                    }
+                                    None => push,
+                                }
                             })
                             .collect();
                         format!(
-                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
-                             ({v:?}.to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                            "{name}::{v} {{ {binds} }} => {{ \
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Object(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Object(__fields))]) }},",
                             v = v.name
                         )
                     }
